@@ -1,0 +1,374 @@
+// Benchmarks regenerating every figure and table of the reproduction
+// (one benchmark family per experiment in DESIGN.md's index), plus
+// microbenchmarks of the core engines. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark logs its table once, so `-bench -v` doubles
+// as a report generator; cmd/figures prints the full-size versions.
+package weakorder_test
+
+import (
+	"sync"
+	"testing"
+
+	"weakorder"
+	"weakorder/internal/exp"
+	"weakorder/internal/gen"
+	"weakorder/internal/hb"
+	"weakorder/internal/ideal"
+	"weakorder/internal/litmus"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/scmatch"
+	"weakorder/internal/vclock"
+)
+
+// logOnce logs a table on the first iteration only.
+func logOnce(b *testing.B, once *sync.Once, t *exp.Table) {
+	once.Do(func() { b.Log("\n" + t.String()) })
+}
+
+// ---------------------------------------------------------------------------
+// Experiment regeneration benchmarks (the paper's figures + added tables).
+
+var fig1Once sync.Once
+
+func BenchmarkFigure1Dekker(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Figure1(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &fig1Once, t)
+	}
+}
+
+var fig2Once sync.Once
+
+func BenchmarkFigure2DRF0Verdicts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t := exp.Figure2()
+		logOnce(b, &fig2Once, t)
+	}
+}
+
+var fig3Once sync.Once
+
+func BenchmarkFigure3StallComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Figure3(int64(i) + 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &fig3Once, t)
+	}
+}
+
+var table1Once sync.Once
+
+func BenchmarkTable1ReleaseStallVsLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table1(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table1Once, t)
+	}
+}
+
+var table2Once sync.Once
+
+func BenchmarkTable2TestAndTAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table2(2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table2Once, t)
+	}
+}
+
+var table3Once sync.Once
+
+func BenchmarkTable3PolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table3(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table3Once, t)
+	}
+}
+
+var table4Once sync.Once
+
+func BenchmarkTable4Definition2Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table4(2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table4Once, t)
+	}
+}
+
+var table5Once sync.Once
+
+func BenchmarkTable5SubstrateComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table5(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table5Once, t)
+	}
+}
+
+var table6Once sync.Once
+
+func BenchmarkTable6LitmusMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, t, err := exp.Table6(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, &table6Once, t)
+	}
+}
+
+// BenchmarkSnoopMachine measures the snoopy-bus substrate on the
+// critical-section workload.
+func BenchmarkSnoopMachine(b *testing.B) {
+	prog := litmus.CriticalSection(4, 4)
+	cfg := machine.Config{Policy: policy.WODef2, Topology: machine.TopoBus, Caches: true, Snoop: true}
+	cycles := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := machine.Run(prog, cfg, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for DESIGN.md's called-out design choices.
+
+// BenchmarkAblationROSyncCachedVsUncached isolates the Section 6
+// implementation choice: cached-shared Tests vs uncached remote reads on
+// a contended Test&TestAndSet lock.
+func BenchmarkAblationROSyncCachedVsUncached(b *testing.B) {
+	prog := litmus.TestAndTASWork(8, 2, 12)
+	for _, uncached := range []bool{false, true} {
+		name := "cached"
+		if uncached {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := machine.Config{
+				Policy: policy.WODef2RO, Topology: machine.TopoNetwork,
+				Caches: true, ROUncachedTest: uncached,
+			}
+			cycles := uint64(0)
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(prog, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+		})
+	}
+}
+
+// BenchmarkAblationBusVsNetwork compares interconnects under WO-Def2 on
+// the critical-section workload.
+func BenchmarkAblationBusVsNetwork(b *testing.B) {
+	prog := litmus.CriticalSection(4, 2)
+	for _, topo := range []machine.Topology{machine.TopoBus, machine.TopoNetwork} {
+		b.Run(topo.String(), func(b *testing.B) {
+			cfg := machine.Config{Policy: policy.WODef2, Topology: topo, Caches: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := machine.Run(prog, cfg, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWriteBufferDepth sweeps the write-buffer depth under
+// WO-Def2 on the data-heavy handoff workload.
+func BenchmarkAblationWriteBufferDepth(b *testing.B) {
+	prog := litmus.Figure3Work(8)
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "depth1", 4: "depth4", 16: "depth16"}[depth], func(b *testing.B) {
+			cfg := machine.Config{
+				Policy: policy.WODef2, Topology: machine.TopoNetwork,
+				Caches: true, WriteBuffer: depth,
+			}
+			cycles := uint64(0)
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(prog, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine microbenchmarks.
+
+func BenchmarkIdealEnumerateDekker(b *testing.B) {
+	prog := litmus.Dekker()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := ideal.Enumerate(prog, ideal.EnumConfig{}, func(it *ideal.Interp) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdealRunSeedCriticalSection(b *testing.B) {
+	prog := litmus.CriticalSection(4, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := ideal.RunSeed(prog, ideal.Config{}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHBBuildAndRaces(b *testing.B) {
+	it, err := ideal.RunSeed(litmus.CriticalSection(4, 4), ideal.Config{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := it.Execution()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := hb.BuildAugmented(exec, nil, hb.SyncAll)
+		if races := g.Races(); len(races) != 0 {
+			b.Fatal("unexpected race")
+		}
+	}
+}
+
+func BenchmarkVectorClockDetector(b *testing.B) {
+	it, err := ideal.RunSeed(litmus.CriticalSection(4, 8), ideal.Config{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := it.Execution()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if races := vclock.CheckExecution(exec, hb.SyncAll); len(races) != 0 {
+			b.Fatal("unexpected race")
+		}
+	}
+}
+
+func BenchmarkSCMatchOracle(b *testing.B) {
+	prog := litmus.CriticalSection(2, 2)
+	res, err := machine.Run(prog, machine.Config{
+		Policy: policy.WODef2, Topology: machine.TopoNetwork, Caches: true,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := scmatch.Matches(prog, res.Result, scmatch.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !m.OK {
+			b.Fatal("must appear SC")
+		}
+	}
+}
+
+func BenchmarkMachineCriticalSection4p(b *testing.B) {
+	prog := litmus.CriticalSection(4, 4)
+	cfg := machine.Config{Policy: policy.WODef2, Topology: machine.TopoNetwork, Caches: true}
+	ops := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := machine.Run(prog, cfg, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range res.Stats.Procs {
+			ops += res.Stats.Procs[j].MemOps
+		}
+	}
+	b.ReportMetric(float64(ops)/float64(b.N), "memops/run")
+}
+
+func BenchmarkMachineSCvsWODef2(b *testing.B) {
+	prog := litmus.Barrier(4)
+	for _, pol := range []policy.Kind{policy.SC, policy.WODef2} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := machine.Config{Policy: pol, Topology: machine.TopoNetwork, Caches: true}
+			cycles := uint64(0)
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(prog, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+		})
+	}
+}
+
+func BenchmarkDRF0CheckGenerated(b *testing.B) {
+	prog := gen.RaceFree(gen.RaceFreeConfig{Procs: 2, Sections: 1, OpsPerSection: 1}, 5)
+	for i := 0; i < b.N; i++ {
+		v, err := weakorder.CheckDRF0(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.DRF {
+			b.Fatal("generated program must be DRF")
+		}
+	}
+}
+
+func BenchmarkParseAndFormat(b *testing.B) {
+	text := weakorder.FormatProgram(litmus.CriticalSection(4, 4))
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		p, err := weakorder.ParseProgram(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = weakorder.FormatProgram(p)
+	}
+}
+
+// BenchmarkResultKey exercises the result fingerprint used to classify
+// outcomes.
+func BenchmarkResultKey(b *testing.B) {
+	it, err := ideal.RunSeed(litmus.CriticalSection(4, 4), ideal.Config{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := mem.ResultOf(it.Execution())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

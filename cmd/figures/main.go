@@ -1,0 +1,97 @@
+// Command figures regenerates every figure and table of the reproduction
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+// outputs).
+//
+// Usage:
+//
+//	figures            # everything
+//	figures -fig 1     # just Figure 1
+//	figures -table 3   # just Table 3
+//	figures -quick     # reduced seed counts (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weakorder/internal/exp"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "regenerate only this figure (1-3)")
+		table = flag.Int("table", 0, "regenerate only this table (1-6)")
+		quick = flag.Bool("quick", false, "reduced seed counts")
+	)
+	flag.Parse()
+
+	seeds := 30
+	t3seeds := 5
+	t4progs, t4seeds := 5, 4
+	if *quick {
+		seeds, t3seeds, t4progs, t4seeds = 8, 2, 2, 2
+	}
+
+	want := func(isFig bool, n int) bool {
+		if *fig == 0 && *table == 0 {
+			return true
+		}
+		if isFig {
+			return *fig == n
+		}
+		return *table == n
+	}
+
+	if want(true, 1) {
+		_, t, err := exp.Figure1(seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(true, 2) {
+		_, t := exp.Figure2()
+		fmt.Println(t)
+	}
+	if want(true, 3) {
+		_, t, err := exp.Figure3(7)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 1) {
+		_, t, err := exp.Table1(t3seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 2) {
+		_, t, err := exp.Table2(2, t3seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 3) {
+		_, t, err := exp.Table3(t3seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 4) {
+		_, t, err := exp.Table4(t4progs, t4seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 5) {
+		_, t, err := exp.Table5(t3seeds)
+		exit(err)
+		fmt.Println(t)
+	}
+	if want(false, 6) {
+		_, t, err := exp.Table6(t3seeds * 3)
+		exit(err)
+		fmt.Println(t)
+	}
+}
+
+func exit(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,247 @@
+// Command wosim runs a litmus program on a configured simulated
+// multiprocessor and reports the result, whether it appears sequentially
+// consistent, and the stall statistics.
+//
+// Usage:
+//
+//	wosim -policy WO-Def2 -topo network -caches -seeds 20 prog.litmus
+//	echo '...' | wosim -policy SC -
+//
+// With -builtin NAME a program from the built-in litmus library is used
+// instead of a file (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"weakorder"
+	"weakorder/internal/cpu"
+	"weakorder/internal/ideal"
+	"weakorder/internal/litmus"
+	"weakorder/internal/machine"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/runner"
+	"weakorder/internal/trace"
+)
+
+var builtins = map[string]func() *program.Program{
+	"dekker":      litmus.Dekker,
+	"dekker-sync": litmus.DekkerSync,
+	"mp":          litmus.MessagePassing,
+	"mp-racy":     litmus.MessagePassingRacy,
+	"lb":          litmus.LoadBuffering,
+	"iriw":        litmus.IRIW,
+	"coherence":   litmus.Coherence,
+	"figure3":     litmus.Figure3,
+	"critsec":     func() *program.Program { return litmus.CriticalSection(2, 2) },
+	"ttas":        func() *program.Program { return litmus.TestAndTAS(2, 2) },
+	"barrier":     func() *program.Program { return litmus.Barrier(3) },
+}
+
+func main() {
+	var (
+		policyName = flag.String("policy", "WO-Def2", "consistency policy: SC, Unconstrained, WO-Def1, WO-Def2, WO-Def2+RO")
+		topo       = flag.String("topo", "network", "interconnect: bus or network")
+		caches     = flag.Bool("caches", true, "coherent caches (false = flat memory modules)")
+		seeds      = flag.Int("seeds", 1, "number of seeds to run")
+		seed       = flag.Int64("seed", 0, "first seed")
+		builtin    = flag.String("builtin", "", "run a built-in litmus program instead of a file")
+		list       = flag.Bool("list", false, "list built-in programs and exit")
+		verbose    = flag.Bool("v", false, "print the committed-operation trace")
+		timeline   = flag.Bool("timeline", false, "print the last run as a figure-style timeline")
+		checkSC    = flag.Bool("check-sc", true, "check each result against the SC oracle")
+		suite      = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
+	)
+	flag.Parse()
+
+	if *suite {
+		runSuite(*seeds)
+		return
+	}
+
+	if *list {
+		names := make([]string, 0, len(builtins))
+		for n := range builtins {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*builtin, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := weakorder.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := weakorder.MachineConfig{Policy: pol, Caches: *caches}
+	switch *topo {
+	case "bus":
+		cfg.Topology = weakorder.Bus
+	case "network":
+		cfg.Topology = weakorder.Network
+	default:
+		fatal(fmt.Errorf("unknown topology %q (want bus or network)", *topo))
+	}
+
+	fmt.Printf("program %s on %s\n\n", prog.Name, cfg.Name())
+	outcomes := make(map[string]int)
+	nonSC := 0
+	condHits := 0
+	for s := 0; s < *seeds; s++ {
+		res, err := weakorder.Simulate(prog, cfg, *seed+int64(s))
+		if err != nil {
+			fatal(err)
+		}
+		outcomes[res.Result.Key()]++
+		if *verbose {
+			fmt.Printf("--- seed %d (%d cycles)\n", *seed+int64(s), res.Stats.Cycles)
+			for _, op := range res.Exec.Ops {
+				fmt.Println("  ", op)
+			}
+		}
+		if *checkSC {
+			ok, _, err := weakorder.AppearsSC(prog, res.Result)
+			if err != nil {
+				fatal(err)
+			}
+			if !ok {
+				nonSC++
+			}
+		}
+		if res.CondHolds(prog) {
+			condHits++
+		}
+		if s == *seeds-1 {
+			if *timeline {
+				fmt.Println(trace.Timeline(res.Exec, 60))
+			}
+			printStats(res)
+		}
+	}
+
+	fmt.Printf("\noutcomes over %d seeds:\n", *seeds)
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %4dx %s\n", outcomes[k], k)
+	}
+	if *checkSC {
+		fmt.Printf("non-SC results: %d/%d\n", nonSC, *seeds)
+	}
+	if prog.Cond != nil {
+		allowed, err := condAllowedUnderSC(prog)
+		if err != nil {
+			fatal(err)
+		}
+		verdict := "FORBIDDEN under SC"
+		if allowed {
+			verdict = "allowed under SC"
+		}
+		fmt.Printf("condition %q: observed %d/%d (%s)\n", prog.Cond.String(), condHits, *seeds, verdict)
+	}
+}
+
+// condAllowedUnderSC reports whether any sequentially consistent
+// execution satisfies the program's postcondition.
+func condAllowedUnderSC(prog *program.Program) (bool, error) {
+	allowed := false
+	_, err := ideal.Enumerate(prog, ideal.EnumConfig{
+		Interp:        ideal.Config{MaxMemOpsPerThread: 16},
+		SkipTruncated: true,
+		MaxPaths:      5_000_000,
+	}, func(it *ideal.Interp) error {
+		if it.EvalCond(prog.Cond) {
+			allowed = true
+			return ideal.ErrStop
+		}
+		return nil
+	})
+	return allowed, err
+}
+
+func loadProgram(builtin, path string) (*program.Program, error) {
+	if builtin != "" {
+		mk, ok := builtins[builtin]
+		if !ok {
+			return nil, fmt.Errorf("unknown builtin %q (use -list)", builtin)
+		}
+		return mk(), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("usage: wosim [flags] prog.litmus  (or -builtin NAME, or - for stdin)")
+	}
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return weakorder.ParseProgram(string(src))
+}
+
+func printStats(res *weakorder.RunResult) {
+	fmt.Printf("\nlast run: %d cycles, %d messages (avg latency %.1f)\n",
+		res.Stats.Cycles, res.Stats.Net.Messages, res.Stats.Net.AvgLatency())
+	for i := range res.Stats.Procs {
+		p := &res.Stats.Procs[i]
+		fmt.Printf("  P%d: %d mem ops (%d sync), stalls:", i, p.MemOps, p.SyncOps)
+		for r := 0; r < cpu.NumReasons; r++ {
+			if p.Stall[r] > 0 {
+				fmt.Printf(" %v=%d", cpu.Reason(r), p.Stall[r])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// runSuite prints the classic litmus matrix: for each test and policy,
+// how many of the seeds exhibited the SC-forbidden outcome.
+func runSuite(seeds int) {
+	if seeds <= 1 {
+		seeds = 20
+	}
+	pols := []policy.Kind{policy.SC, policy.Unconstrained, policy.WODef1, policy.WODef2, policy.WODef2RO}
+	fmt.Printf("%-8s", "test")
+	for _, pol := range pols {
+		fmt.Printf("  %-14s", pol)
+	}
+	fmt.Printf("  (forbidden/runs, %d seeds, network+caches)\n", seeds)
+	for _, tc := range litmus.Classic() {
+		fmt.Printf("%-8s", tc.Name)
+		for _, pol := range pols {
+			cfg := machine.Config{Policy: pol, Topology: machine.TopoNetwork, Caches: true, NetJitter: 20}
+			rep, err := runner.RunOn(tc.Prog, cfg, runner.Config{Seeds: seeds, Forbidden: tc.Forbidden})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-14s", fmt.Sprintf("%d/%d", rep.ForbiddenRuns, rep.Runs))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSC never exhibits a forbidden outcome; the Co* rows are coherence-")
+	fmt.Println("guaranteed on every machine; the rest are fair game for weak hardware")
+	fmt.Println("because these programs race (DRF0 makes no promise about them).")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Barrier: pre-barrier writes must be visible after the barrier. Each
+// processor writes a value, crosses a centralized sense-style barrier
+// built from synchronization flags, and reads its left neighbor's value.
+// The example compares all four consistency policies: every one delivers
+// the correct values (the program obeys DRF0), but they pay very
+// different synchronization costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakorder"
+)
+
+// barrier builds the program: arrive flags + a go flag, all sync
+// variables; data slots are ordinary memory.
+func barrier(procs int) *weakorder.Program {
+	b := weakorder.NewProgram(fmt.Sprintf("barrier-%dp", procs))
+	goFlag := b.Var("go")
+	data := make([]weakorder.Addr, procs)
+	arrive := make([]weakorder.Addr, procs)
+	for p := 0; p < procs; p++ {
+		data[p] = b.Var(fmt.Sprintf("data%d", p))
+		arrive[p] = b.Var(fmt.Sprintf("arrive%d", p))
+	}
+	for p := 0; p < procs; p++ {
+		t := b.Thread()
+		t.StoreImm(data[p], weakorder.Value(100+p)) // pre-barrier write
+		t.SyncStoreImm(arrive[p], 1)
+		if p == 0 {
+			for q := 1; q < procs; q++ {
+				lbl := fmt.Sprintf("gather%d", q)
+				t.Label(lbl)
+				t.SyncLoad(weakorder.R0, arrive[q])
+				t.BeqImm(weakorder.R0, 0, lbl)
+			}
+			t.SyncStoreImm(goFlag, 1)
+		} else {
+			t.Label("wait")
+			t.SyncLoad(weakorder.R0, goFlag)
+			t.BeqImm(weakorder.R0, 0, "wait")
+		}
+		t.Load(weakorder.R2, data[(p+procs-1)%procs]) // post-barrier read
+	}
+	return b.MustBuild()
+}
+
+func main() {
+	const procs, seeds = 4, 5
+	prog := barrier(procs)
+
+	// Exhaustive DRF0 checking is exponential in threads; verify the
+	// 2-processor instance of the same construction (the discipline —
+	// data published only before sync-flag releases — is size-independent).
+	verdict, err := weakorder.CheckDRF0(barrier(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2-processor instance:", verdict)
+
+	fmt.Printf("\n%-12s %-12s %-16s %-10s\n", "policy", "avg cycles", "avg sync stall", "correct")
+	for _, pol := range []weakorder.Policy{weakorder.SC, weakorder.WODef1, weakorder.WODef2, weakorder.WODef2RO} {
+		cfg := weakorder.MachineConfig{Policy: pol, Topology: weakorder.Network, Caches: true}
+		var cycles, stall uint64
+		correct := true
+		for seed := int64(0); seed < seeds; seed++ {
+			res, err := weakorder.Simulate(prog, cfg, seed*3+2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles += res.Stats.Cycles
+			for i := range res.Stats.Procs {
+				stall += res.Stats.Procs[i].SyncStall()
+			}
+			// Every post-barrier read must observe the neighbor's
+			// pre-barrier write.
+			for _, op := range res.Exec.Ops {
+				if op.Kind == weakorder.Read && len(op.Label) > 4 && op.Label[:4] == "data" {
+					want := weakorder.Value(100 + int(op.Label[4]-'0'))
+					if op.Got != want {
+						correct = false
+					}
+				}
+			}
+		}
+		fmt.Printf("%-12s %-12.1f %-16.1f %-10v\n",
+			pol, float64(cycles)/seeds, float64(stall)/seeds, correct)
+	}
+	fmt.Println("\nall policies deliver the barrier semantics (the program obeys DRF0);")
+	fmt.Println("they differ only in how much synchronization stall they pay for it.")
+}

@@ -1,0 +1,74 @@
+// Spinlock: the Section 6 study. Processors increment a shared counter
+// under a Test&TestAndSet lock. Under WO-Def2 every spinning Test is
+// treated as a write by the protocol and serializes on the lock line;
+// under WO-Def2+RO the Tests are read-only synchronization that spins on
+// locally cached shared copies — the serialization (and its cycles)
+// disappear as contention grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakorder"
+)
+
+// ttas builds the Test&TestAndSet critical-section program.
+func ttas(procs, rounds, work int) *weakorder.Program {
+	b := weakorder.NewProgram(fmt.Sprintf("ttas-%dp", procs))
+	lock, counter := b.Var("lock"), b.Var("counter")
+	for p := 0; p < procs; p++ {
+		t := b.Thread()
+		priv := b.Var(fmt.Sprintf("priv%d", p))
+		for r := 0; r < rounds; r++ {
+			spin := fmt.Sprintf("spin%d", r)
+			t.Label(spin)
+			t.SyncLoad(weakorder.R0, lock) // Test: read-only sync
+			t.BneImm(weakorder.R0, 0, spin)
+			t.TAS(weakorder.R0, lock) // TestAndSet: sync RMW
+			t.BneImm(weakorder.R0, 0, spin)
+			t.Load(weakorder.R1, counter)
+			t.AddImm(weakorder.R1, weakorder.R1, 1)
+			t.Store(counter, weakorder.R1)
+			for w := 0; w < work; w++ {
+				t.StoreImm(priv, weakorder.Value(w))
+			}
+			t.SyncStoreImm(lock, 0) // Unset: sync write
+		}
+	}
+	return b.MustBuild()
+}
+
+func main() {
+	const rounds, work, seeds = 2, 12, 5
+
+	fmt.Printf("%-6s %-12s %-12s %-14s %-10s\n", "procs", "policy", "avg cycles", "dir forwards", "counter ok")
+	for _, procs := range []int{2, 4, 8} {
+		prog := ttas(procs, rounds, work)
+		counter, _ := prog.AddrOf("counter")
+		for _, pol := range []weakorder.Policy{weakorder.WODef2, weakorder.WODef2RO} {
+			cfg := weakorder.MachineConfig{
+				Policy: pol, Topology: weakorder.Network, Caches: true,
+			}
+			var cycles, forwards uint64
+			allOK := true
+			for seed := int64(0); seed < seeds; seed++ {
+				res, err := weakorder.Simulate(prog, cfg, seed*13+1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+				for i := range res.Stats.Dirs {
+					forwards += res.Stats.Dirs[i].Forwards
+				}
+				if res.Exec.Final[counter] != weakorder.Value(procs*rounds) {
+					allOK = false
+				}
+			}
+			fmt.Printf("%-6d %-12s %-12.1f %-14d %-10v\n",
+				procs, pol, float64(cycles)/seeds, forwards/seeds, allOK)
+		}
+	}
+	fmt.Println("\nthe refinement removes the Test serialization: fewer exclusive transfers,")
+	fmt.Println("fewer cycles at high contention, with mutual exclusion intact.")
+}

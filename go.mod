@@ -1,0 +1,3 @@
+module weakorder
+
+go 1.22

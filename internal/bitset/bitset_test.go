@@ -1,0 +1,140 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveHas(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Errorf("fresh set has bit %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Errorf("bit %d missing after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("bit 64 present after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestEmptyAndClear(t *testing.T) {
+	s := New(10)
+	if !s.Empty() {
+		t.Error("fresh set must be empty")
+	}
+	s.Add(3)
+	if s.Empty() {
+		t.Error("set with a member must not be empty")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("cleared set must be empty")
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Add(1)
+	b.Add(69)
+	if changed := a.UnionWith(b); !changed {
+		t.Error("union adding a new bit must report changed")
+	}
+	if !a.Has(1) || !a.Has(69) {
+		t.Error("union must contain both inputs' bits")
+	}
+	if changed := a.UnionWith(b); changed {
+		t.Error("idempotent union must report unchanged")
+	}
+}
+
+func TestUnionCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity mismatch must panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access must panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestMembersAndForEach(t *testing.T) {
+	s := New(100)
+	want := []int{2, 3, 5, 64, 99}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.ForEach(func(i int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("ForEach visited %d after early stop, want 2", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(10)
+	s.Add(4)
+	c := s.Clone()
+	c.Add(5)
+	if s.Has(5) {
+		t.Error("mutating a clone must not affect the original")
+	}
+	if !c.Has(4) {
+		t.Error("clone must retain original bits")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(4)
+	if got := s.String(); got != "{1, 4}" {
+		t.Errorf("String = %q, want {1, 4}", got)
+	}
+	if got := New(3).String(); got != "{}" {
+		t.Errorf("empty String = %q, want {}", got)
+	}
+}
+
+func TestQuickCountMatchesNaive(t *testing.T) {
+	f := func(bits []uint16) bool {
+		s := New(1 << 16)
+		uniq := make(map[int]bool)
+		for _, b := range bits {
+			s.Add(int(b))
+			uniq[int(b)] = true
+		}
+		return s.Count() == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

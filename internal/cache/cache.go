@@ -1,0 +1,679 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+)
+
+// LineState is a cache's view of one line.
+type LineState uint8
+
+// Cache line states (MSI with a single dirty/exclusive state).
+const (
+	// LineInvalid: not present (lines are removed from the map instead).
+	LineInvalid LineState = iota
+	// LineShared: read-only copy; memory is up to date.
+	LineShared
+	// LineExclusive: sole, potentially dirty copy.
+	LineExclusive
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case LineInvalid:
+		return "Invalid"
+	case LineShared:
+		return "Shared"
+	case LineExclusive:
+		return "Exclusive"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Req is one processor-issued memory operation. The cache calls OnCommit
+// when the operation commits (read value bound / local copy modified) and
+// OnGlobal when it is globally performed (all invalidations acknowledged;
+// for reads and writes with no other copies, this coincides with commit).
+type Req struct {
+	// Kind classifies the operation; all five mem.Kind values are legal.
+	Kind mem.Kind
+	// Addr is the accessed location (one line per location).
+	Addr mem.Addr
+	// Data is the value to write, for operations with a write component
+	// (a TAS passes 1).
+	Data mem.Value
+	// OnCommit receives the read value (reads/RMW) or the written value.
+	OnCommit func(v mem.Value)
+	// OnGlobal fires when the operation is globally performed. Optional.
+	OnGlobal func()
+}
+
+// Config parameterizes a cache.
+type Config struct {
+	// ID is the cache's network endpoint (equal to its processor id).
+	ID int
+	// Home maps an address to its directory's endpoint id.
+	Home func(mem.Addr) int
+	// HitLatency is the cycles from issue to commit on a hit (>= 1).
+	HitLatency sim.Time
+	// Capacity bounds the number of resident lines (0 = unbounded).
+	// Victims are chosen FIFO, skipping reserved lines (the paper: a
+	// reserved line is never flushed) — if every line is ineligible the
+	// cache temporarily overflows and records it.
+	Capacity int
+	// UseReserve enables the Section 5.3 reserve-bit mechanism: a
+	// synchronization operation that commits while the counter is
+	// positive reserves its line, and forwarded requests for a reserved
+	// line are deferred until the counter reads zero.
+	UseReserve bool
+	// ROSyncBypass enables the Section 6 refinement: read-only
+	// synchronization operations (Test) are serviced like data reads — a
+	// cached shared copy that subsequent spins hit locally — instead of
+	// exclusive acquisitions, and they never set reserve bits. A reserved
+	// line refuses the downgrade (the forward defers until the counter
+	// reads zero), so reserved lines always remain exclusive and the
+	// deadlock-freedom argument of Section 5.3 is unaffected.
+	ROSyncBypass bool
+	// ROSyncUncached (with ROSyncBypass) switches Tests to uncached
+	// remote value reads (MsgSyncRead) answered even by reserved owners —
+	// an ablation showing why the cached-shared variant is the right
+	// reading of Section 6 under contention.
+	ROSyncUncached bool
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	Upgrades       uint64
+	SyncRequests   uint64 // sync ops issued to the protocol (GetX sync / SyncRead)
+	DeferredFwds   uint64 // forwarded requests deferred by a reserve bit
+	DeferredCycles uint64 // total cycles forwarded requests spent deferred
+	Evictions      uint64
+	Writebacks     uint64
+	Overflows      uint64 // fills admitted past capacity (no eligible victim)
+	InvsReceived   uint64
+}
+
+type line struct {
+	state    LineState
+	val      mem.Value
+	reserved bool
+	// pendingLocal counts processor hits in flight (issued, commit
+	// scheduled): forwarded requests must not transfer the line out from
+	// under a local operation that has already won it.
+	pendingLocal int
+	// deferred holds forwarded requests stalled by the reserve bit or by
+	// an in-flight local hit.
+	deferred []deferredFwd
+	insertAt uint64 // fill order for FIFO victimization
+}
+
+type deferredFwd struct {
+	msg   network.Msg
+	since sim.Time
+}
+
+type mshrSort uint8
+
+const (
+	fetchS mshrSort = iota
+	fetchX
+	fetchSyncRead
+)
+
+type mshr struct {
+	addr     mem.Addr
+	sort     mshrSort
+	sync     bool   // the fetch is on behalf of a synchronization op
+	dataMiss bool   // the fetch holds a counter unit (data read/write miss)
+	ops      []*Req // operations waiting on this line, in program order
+	fwds     []deferredFwd
+}
+
+type ackState struct {
+	counted bool     // holds one counter unit until MemAck
+	waiters []func() // OnGlobal callbacks awaiting the MemAck
+}
+
+// debugTrace, when set by tests, observes every message delivery.
+var debugTrace func(cacheID, src int, m network.Msg)
+
+// Cache is one processor's cache plus the Section 5.3 counter and
+// reserve-bit logic.
+type Cache struct {
+	k      *sim.Kernel
+	net    network.Network
+	cfg    Config
+	lines  map[mem.Addr]*line
+	mshrs  map[mem.Addr]*mshr
+	acks   map[mem.Addr]*ackState
+	wbWait map[mem.Addr]bool // PutX issued, WBAck pending
+	// counter is the paper's per-processor counter: outstanding data
+	// misses plus committed writes awaiting their memory (all-invalidated)
+	// acknowledgement.
+	counter int
+	fillSeq uint64
+	stats   Stats
+	// onCounterZero hooks external waiters (processor eviction stalls).
+	onCounterZero []func()
+}
+
+// New constructs a cache attached to the network at cfg.ID.
+func New(k *sim.Kernel, net network.Network, cfg Config) *Cache {
+	if cfg.HitLatency == 0 {
+		cfg.HitLatency = 1
+	}
+	if cfg.Home == nil {
+		panic("cache: Config.Home is required")
+	}
+	c := &Cache{
+		k:      k,
+		net:    net,
+		cfg:    cfg,
+		lines:  make(map[mem.Addr]*line),
+		mshrs:  make(map[mem.Addr]*mshr),
+		acks:   make(map[mem.Addr]*ackState),
+		wbWait: make(map[mem.Addr]bool),
+	}
+	net.Attach(cfg.ID, c.handle)
+	return c
+}
+
+// Counter returns the paper's outstanding-access counter.
+func (c *Cache) Counter() int { return c.counter }
+
+// Busy reports whether any transaction, deferred forward, or pending
+// acknowledgement is outstanding (used for drain detection).
+func (c *Cache) Busy() bool {
+	if len(c.mshrs) > 0 || len(c.acks) > 0 || len(c.wbWait) > 0 {
+		return true
+	}
+	for _, l := range c.lines {
+		if len(l.deferred) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Snoop returns the cache's value for addr and whether it holds the line
+// exclusively (dirty); used for final-state extraction.
+func (c *Cache) Snoop(addr mem.Addr) (mem.Value, bool) {
+	if l, ok := c.lines[addr]; ok && l.state == LineExclusive {
+		return l.val, true
+	}
+	return 0, false
+}
+
+// LineInfo exposes a line's state and reserve bit for tests/invariants.
+func (c *Cache) LineInfo(addr mem.Addr) (LineState, bool) {
+	if l, ok := c.lines[addr]; ok {
+		return l.state, l.reserved
+	}
+	return LineInvalid, false
+}
+
+// ReservedLines returns the addresses currently reserved (for tests).
+func (c *Cache) ReservedLines() []mem.Addr {
+	var out []mem.Addr
+	for a, l := range c.lines {
+		if l.reserved {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WhenCounterZero registers fn to run the next time the counter reads
+// zero; if it is already zero, fn runs immediately.
+func (c *Cache) WhenCounterZero(fn func()) {
+	if c.counter == 0 {
+		fn()
+		return
+	}
+	c.onCounterZero = append(c.onCounterZero, fn)
+}
+
+// Issue starts a memory operation. Operations to the same line are
+// serviced in issue order.
+func (c *Cache) Issue(r *Req) {
+	if m, ok := c.mshrs[r.Addr]; ok {
+		m.ops = append(m.ops, r)
+		return
+	}
+	l, present := c.lines[r.Addr]
+	if present && c.satisfiable(l, r) {
+		c.stats.Hits++
+		addr := r.Addr
+		l.pendingLocal++
+		c.k.After(c.cfg.HitLatency, func() {
+			c.commitOnLine(l, r)
+			l.pendingLocal--
+			if l.pendingLocal == 0 {
+				c.flushDeferred(addr, l)
+			}
+		})
+		return
+	}
+	c.startMiss(r, l, present)
+}
+
+// satisfiable reports whether r can complete against the resident line.
+func (c *Cache) satisfiable(l *line, r *Req) bool {
+	if c.isROSyncRead(r) || r.Kind == mem.Read {
+		return true // any resident state serves a read
+	}
+	return l.state == LineExclusive
+}
+
+// isROSyncRead reports whether r takes the Section 6 uncached
+// read-only-synchronization path.
+func (c *Cache) isROSyncRead(r *Req) bool {
+	return r.Kind == mem.SyncRead && c.cfg.ROSyncBypass
+}
+
+// startMiss allocates an MSHR and sends the appropriate request.
+func (c *Cache) startMiss(r *Req, l *line, present bool) {
+	c.stats.Misses++
+	m := &mshr{addr: r.Addr, ops: []*Req{r}}
+	c.mshrs[r.Addr] = m
+	home := c.cfg.Home(r.Addr)
+	switch {
+	case c.isROSyncRead(r) && c.cfg.ROSyncUncached:
+		m.sort = fetchSyncRead
+		c.stats.SyncRequests++
+		c.net.Send(c.cfg.ID, home, MsgSyncRead{Addr: r.Addr})
+	case c.isROSyncRead(r):
+		// Cached-shared Test: protocol-wise a data read, but it does NOT
+		// hold a counter unit. A Test can defer on another processor's
+		// reserve bit, so counting it would let two processors' reserves
+		// wait on each other's spinning Tests — a deadlock the paper's
+		// counter (which tracks only unconditionally completing accesses)
+		// never creates. The issuing processor is stalled on the Test
+		// anyway, so no later synchronization can commit before it.
+		m.sort = fetchS
+		c.stats.SyncRequests++
+		c.net.Send(c.cfg.ID, home, MsgGetS{Addr: r.Addr})
+	case r.Kind == mem.Read:
+		m.sort = fetchS
+		m.dataMiss = true
+		c.counter++
+		c.net.Send(c.cfg.ID, home, MsgGetS{Addr: r.Addr})
+	default:
+		// Writes, RMWs and (non-bypass) synchronization operations all
+		// need the line exclusive; synchronization operations are flagged
+		// so owners can apply reserve-bit deferral.
+		m.sort = fetchX
+		m.sync = r.Kind.IsSync()
+		if present {
+			c.stats.Upgrades++
+		}
+		if m.sync {
+			c.stats.SyncRequests++
+		} else {
+			m.dataMiss = true
+			c.counter++
+		}
+		c.net.Send(c.cfg.ID, home, MsgGetX{Addr: r.Addr, Sync: m.sync})
+	}
+}
+
+// commitOnLine performs r against the resident line and fires callbacks.
+func (c *Cache) commitOnLine(l *line, r *Req) {
+	var got mem.Value
+	switch r.Kind {
+	case mem.Read, mem.SyncRead:
+		got = l.val
+	case mem.Write, mem.SyncWrite:
+		l.val = r.Data
+		got = r.Data
+	case mem.SyncRMW:
+		got = l.val
+		l.val = r.Data
+	}
+	// A committing synchronization operation reserves the line when
+	// previous accesses (or its own invalidations) are still outstanding.
+	// Under the Section 6 refinement, read-only synchronization operations
+	// take the uncached-bypass path and never reserve.
+	if r.Kind.IsSync() && !c.isROSyncRead(r) && c.cfg.UseReserve && c.counter > 0 {
+		l.reserved = true
+	}
+	if r.OnCommit != nil {
+		r.OnCommit(got)
+	}
+	if r.OnGlobal != nil {
+		if ack, pending := c.acks[r.Addr]; pending && r.Kind.WritesMemory() {
+			ack.waiters = append(ack.waiters, r.OnGlobal)
+		} else {
+			r.OnGlobal()
+		}
+	}
+}
+
+// handle dispatches an incoming protocol message.
+func (c *Cache) handle(src int, m network.Msg) {
+	if debugTrace != nil {
+		debugTrace(c.cfg.ID, src, m)
+	}
+	switch msg := m.(type) {
+	case MsgData:
+		c.fill(msg.Addr, msg.Value, LineShared, false)
+	case MsgOwnerData:
+		c.fill(msg.Addr, msg.Value, LineShared, false)
+	case MsgDataEx:
+		c.fill(msg.Addr, msg.Value, LineExclusive, msg.AcksPending)
+	case MsgOwnerDataEx:
+		c.fill(msg.Addr, msg.Value, LineExclusive, false)
+	case MsgSyncReadReply:
+		c.syncReadReply(msg)
+	case MsgMemAck:
+		c.memAck(msg.Addr)
+	case MsgInv:
+		c.invalidate(msg.Addr)
+	case MsgWBAck:
+		delete(c.wbWait, msg.Addr)
+	case MsgFwdGetS, MsgFwdGetX, MsgFwdSyncRead:
+		c.forward(m)
+	default:
+		panic(fmt.Sprintf("cache %d: unexpected message %T from %d", c.cfg.ID, m, src))
+	}
+}
+
+// fill installs a line and drains the MSHR.
+func (c *Cache) fill(addr mem.Addr, val mem.Value, st LineState, acksPending bool) {
+	m, ok := c.mshrs[addr]
+	if !ok {
+		panic(fmt.Sprintf("cache %d: fill for %d without MSHR", c.cfg.ID, addr))
+	}
+	if m.dataMiss {
+		// Data read misses and exclusive-transfer write misses complete
+		// the counter unit now; a write whose invalidations are pending
+		// keeps its unit until the MemAck (the paper's decrement rules).
+		if !acksPending {
+			c.decCounter()
+		}
+		m.dataMiss = false
+	} else if m.sync && acksPending {
+		// A committed synchronization write awaiting invalidation acks
+		// counts as an outstanding access until globally performed.
+		c.counter++
+	}
+	if acksPending {
+		if _, dup := c.acks[addr]; dup {
+			panic(fmt.Sprintf("cache %d: overlapping ack transactions for %d", c.cfg.ID, addr))
+		}
+		c.acks[addr] = &ackState{counted: true}
+	}
+	c.makeRoom()
+	l := &line{state: st, val: val, insertAt: c.fillSeq}
+	c.fillSeq++
+	c.lines[addr] = l
+	c.drainMSHR(m, l)
+}
+
+// drainMSHR commits queued operations in order against the filled line;
+// an operation needing more rights than the line grants re-issues an
+// upgrade and leaves the rest queued. When all operations complete the
+// MSHR retires and deferred forwards are serviced.
+func (c *Cache) drainMSHR(m *mshr, l *line) {
+	for len(m.ops) > 0 {
+		r := m.ops[0]
+		if !c.satisfiable(l, r) {
+			// Upgrade: reuse the MSHR for a GetX on the same line.
+			m.sort = fetchX
+			m.sync = r.Kind.IsSync()
+			c.stats.Upgrades++
+			if m.sync {
+				c.stats.SyncRequests++
+			} else {
+				m.dataMiss = true
+				c.counter++
+			}
+			c.net.Send(c.cfg.ID, c.cfg.Home(m.addr), MsgGetX{Addr: m.addr, Sync: m.sync})
+			return
+		}
+		m.ops = m.ops[1:]
+		c.commitOnLine(l, r)
+	}
+	fwds := m.fwds
+	delete(c.mshrs, m.addr)
+	for _, f := range fwds {
+		c.forward(f.msg)
+	}
+}
+
+// syncReadReply completes an uncached read-only synchronization read.
+func (c *Cache) syncReadReply(msg MsgSyncReadReply) {
+	m, ok := c.mshrs[msg.Addr]
+	if !ok || m.sort != fetchSyncRead {
+		panic(fmt.Sprintf("cache %d: stray SyncReadReply for %d", c.cfg.ID, msg.Addr))
+	}
+	r := m.ops[0]
+	m.ops = m.ops[1:]
+	if r.OnCommit != nil {
+		r.OnCommit(msg.Value)
+	}
+	if r.OnGlobal != nil {
+		r.OnGlobal()
+	}
+	rest := m.ops
+	fwds := m.fwds
+	delete(c.mshrs, msg.Addr)
+	// Remaining queued operations re-enter the issue path (they may hit a
+	// resident line or start a fresh transaction).
+	for _, q := range rest {
+		c.Issue(q)
+	}
+	for _, f := range fwds {
+		c.forward(f.msg)
+	}
+}
+
+// memAck completes a write's global performance.
+func (c *Cache) memAck(addr mem.Addr) {
+	ack, ok := c.acks[addr]
+	if !ok {
+		panic(fmt.Sprintf("cache %d: stray MemAck for %d", c.cfg.ID, addr))
+	}
+	delete(c.acks, addr)
+	if ack.counted {
+		c.decCounter()
+	}
+	for _, fn := range ack.waiters {
+		fn()
+	}
+}
+
+// invalidate services an incoming invalidation and acknowledges to the
+// directory. Reserved lines are exclusive and are never invalidated, so
+// no deferral is needed here.
+func (c *Cache) invalidate(addr mem.Addr) {
+	c.stats.InvsReceived++
+	if l, ok := c.lines[addr]; ok {
+		if l.state == LineExclusive {
+			panic(fmt.Sprintf("cache %d: invalidation for exclusive line %d", c.cfg.ID, addr))
+		}
+		delete(c.lines, addr)
+	}
+	c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgInvAck{Addr: addr})
+}
+
+// forward services (or defers) a request forwarded by the directory.
+func (c *Cache) forward(m network.Msg) {
+	var addr mem.Addr
+	switch msg := m.(type) {
+	case MsgFwdGetS:
+		addr = msg.Addr
+	case MsgFwdGetX:
+		addr = msg.Addr
+	case MsgFwdSyncRead:
+		addr = msg.Addr
+	default:
+		panic(fmt.Sprintf("cache %d: forward of %T", c.cfg.ID, m))
+	}
+
+	l, present := c.lines[addr]
+	if !present {
+		if c.wbWait[addr] {
+			// Our writeback crossed this forward: it was addressed to us
+			// as the *old* owner, and the directory resolves the blocked
+			// request from the PutX data. This check must precede the
+			// MSHR check — we may already be re-requesting the same line
+			// (a new transaction queued at the directory behind the
+			// resolution), and stashing the stale forward there would
+			// transfer the line to a requester that is no longer waiting.
+			// Channel ordering guarantees the WBAck arrives before any
+			// forward aimed at our new ownership, so wbWait here always
+			// means the forward is stale.
+			return
+		}
+		if mshr, fetching := c.mshrs[addr]; fetching {
+			// The directory granted us ownership but the line is still in
+			// flight: service after the fill.
+			mshr.fwds = append(mshr.fwds, deferredFwd{msg: m, since: c.k.Now()})
+			return
+		}
+		panic(fmt.Sprintf("cache %d: forward %T for absent line %d", c.cfg.ID, m, addr))
+	}
+	if l.state != LineExclusive {
+		panic(fmt.Sprintf("cache %d: forward %T for %v line %d", c.cfg.ID, m, l.state, addr))
+	}
+
+	// Read-only synchronization reads are answered even when reserved
+	// (Section 6: they need not stall other processors).
+	if msg, ok := m.(MsgFwdSyncRead); ok {
+		c.net.Send(c.cfg.ID, msg.Requester, MsgSyncReadReply{Addr: addr, Value: l.val})
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgSyncReadDone{Addr: addr})
+		return
+	}
+	if l.pendingLocal > 0 || (l.reserved && c.counter > 0) {
+		if l.reserved && c.counter > 0 {
+			c.stats.DeferredFwds++
+		}
+		l.deferred = append(l.deferred, deferredFwd{msg: m, since: c.k.Now()})
+		return
+	}
+	c.serviceForward(addr, l, m)
+}
+
+// serviceForward transfers or downgrades the line.
+func (c *Cache) serviceForward(addr mem.Addr, l *line, m network.Msg) {
+	switch msg := m.(type) {
+	case MsgFwdGetS:
+		l.state = LineShared
+		l.reserved = false
+		c.net.Send(c.cfg.ID, msg.Requester, MsgOwnerData{Addr: addr, Value: l.val})
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgXferDone{Addr: addr, Shared: true, MemData: l.val})
+	case MsgFwdGetX:
+		val := l.val
+		delete(c.lines, addr)
+		c.net.Send(c.cfg.ID, msg.Requester, MsgOwnerDataEx{Addr: addr, Value: val})
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgXferDone{Addr: addr, NewOwner: msg.Requester})
+	default:
+		panic(fmt.Sprintf("cache %d: serviceForward %T", c.cfg.ID, m))
+	}
+}
+
+// decCounter decrements the counter; on reaching zero it clears every
+// reserve bit and services all deferred forwards (the paper: "all reserve
+// bits are reset when the counter reads zero").
+func (c *Cache) decCounter() {
+	if c.counter <= 0 {
+		panic(fmt.Sprintf("cache %d: counter underflow", c.cfg.ID))
+	}
+	c.counter--
+	if c.counter > 0 {
+		return
+	}
+	for _, fn := range c.onCounterZero {
+		fn()
+	}
+	c.onCounterZero = nil
+	// Collect deferred work first: servicing can mutate c.lines.
+	type pending struct {
+		addr  mem.Addr
+		msg   network.Msg
+		since sim.Time
+	}
+	var work []pending
+	var addrs []mem.Addr
+	for a := range c.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		l := c.lines[a]
+		l.reserved = false
+		for _, f := range l.deferred {
+			work = append(work, pending{addr: a, msg: f.msg, since: f.since})
+		}
+		l.deferred = nil
+	}
+	for _, w := range work {
+		c.stats.DeferredCycles += uint64(c.k.Now() - w.since)
+		// Re-enter the forward path: the line may have changed state.
+		c.forward(w.msg)
+	}
+}
+
+// flushDeferred re-drives forwards deferred by an in-flight local hit
+// once the line has no pending local operations. Entries blocked by a
+// reserve bit simply re-defer.
+func (c *Cache) flushDeferred(addr mem.Addr, l *line) {
+	if cur, ok := c.lines[addr]; !ok || cur != l || len(l.deferred) == 0 {
+		return
+	}
+	work := l.deferred
+	l.deferred = nil
+	for _, f := range work {
+		c.forward(f.msg)
+	}
+}
+
+// makeRoom evicts a victim if the cache is at capacity. Reserved lines
+// and lines with deferred forwards are never victimized (the paper: a
+// reserved line is never flushed); if no line is eligible the cache
+// overflows temporarily.
+func (c *Cache) makeRoom() {
+	if c.cfg.Capacity <= 0 || len(c.lines) < c.cfg.Capacity {
+		return
+	}
+	var victim mem.Addr
+	var vl *line
+	for a, l := range c.lines {
+		if l.reserved || len(l.deferred) > 0 || l.pendingLocal > 0 {
+			continue
+		}
+		if _, ackPending := c.acks[a]; ackPending {
+			// The directory transaction for this line is still collecting
+			// invalidation acks; writing it back now would race that
+			// transaction.
+			continue
+		}
+		if vl == nil || l.insertAt < vl.insertAt {
+			victim, vl = a, l
+		}
+	}
+	if vl == nil {
+		c.stats.Overflows++
+		return
+	}
+	c.stats.Evictions++
+	if vl.state == LineExclusive {
+		c.stats.Writebacks++
+		c.wbWait[victim] = true
+		c.net.Send(c.cfg.ID, c.cfg.Home(victim), MsgPutX{Addr: victim, Data: vl.val})
+	}
+	delete(c.lines, victim)
+}

@@ -1,0 +1,495 @@
+package cache
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+)
+
+// rig assembles n caches and one directory on an ordered general network.
+type rig struct {
+	k      *sim.Kernel
+	net    *network.General
+	caches []*Cache
+	dir    *Directory
+}
+
+func newRig(t *testing.T, n int, cacheCfg func(*Config)) *rig {
+	t.Helper()
+	k := &sim.Kernel{}
+	net := network.NewGeneral(k, network.GeneralConfig{BaseLatency: 2, OrderedPairs: true}, 1)
+	r := &rig{k: k, net: net}
+	home := func(a mem.Addr) int { return n }
+	r.dir = NewDirectory(k, net, DirConfig{ID: n, NumProcs: n, Latency: 1})
+	for i := 0; i < n; i++ {
+		cfg := Config{ID: i, Home: home, HitLatency: 1}
+		if cacheCfg != nil {
+			cacheCfg(&cfg)
+		}
+		r.caches = append(r.caches, New(k, net, cfg))
+	}
+	return r
+}
+
+// settle runs the kernel until idle (bounded).
+func (r *rig) settle(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		if r.k.Pending() == 0 {
+			return
+		}
+		r.k.Tick()
+	}
+	t.Fatal("rig did not settle within 10000 cycles")
+}
+
+// doOp issues a request and settles; it returns the committed value and
+// whether OnGlobal fired.
+func (r *rig) doOp(t *testing.T, c int, kind mem.Kind, addr mem.Addr, data mem.Value) (mem.Value, bool) {
+	t.Helper()
+	var got mem.Value
+	committed, global := false, false
+	r.caches[c].Issue(&Req{
+		Kind: kind, Addr: addr, Data: data,
+		OnCommit: func(v mem.Value) { got = v; committed = true },
+		OnGlobal: func() { global = true },
+	})
+	r.settle(t)
+	if !committed {
+		t.Fatalf("cache %d: %v on %d did not commit", c, kind, addr)
+	}
+	return got, global
+}
+
+func TestReadMissFillsShared(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.dir.SetInit(5, 42)
+	v, global := r.doOp(t, 0, mem.Read, 5, 0)
+	if v != 42 || !global {
+		t.Fatalf("read returned %d (global %v), want 42/true", v, global)
+	}
+	if st, _ := r.caches[0].LineInfo(5); st != LineShared {
+		t.Fatalf("line state %v, want Shared", st)
+	}
+	if ds, _, sharers := r.dir.State(5); ds != DirShared || len(sharers) != 1 {
+		t.Fatalf("dir state %v sharers %v", ds, sharers)
+	}
+}
+
+func TestWriteMissFillsExclusive(t *testing.T) {
+	r := newRig(t, 2, nil)
+	v, global := r.doOp(t, 0, mem.Write, 3, 9)
+	if v != 9 || !global {
+		t.Fatalf("write returned %d (global %v)", v, global)
+	}
+	if st, _ := r.caches[0].LineInfo(3); st != LineExclusive {
+		t.Fatalf("line state %v, want Exclusive", st)
+	}
+	if val, dirty := r.caches[0].Snoop(3); !dirty || val != 9 {
+		t.Fatalf("snoop %d/%v, want 9/dirty", val, dirty)
+	}
+	if r.caches[0].Counter() != 0 {
+		t.Fatalf("counter %d after completion, want 0", r.caches[0].Counter())
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.dir.SetInit(1, 7)
+	r.doOp(t, 1, mem.Read, 1, 0) // P1 shared
+	r.doOp(t, 2, mem.Read, 1, 0) // P2 shared
+	_, global := r.doOp(t, 0, mem.Write, 1, 8)
+	if !global {
+		t.Fatal("write must be globally performed after all acks")
+	}
+	for _, c := range []int{1, 2} {
+		if st, _ := r.caches[c].LineInfo(1); st != LineInvalid {
+			t.Errorf("cache %d still has the line (%v)", c, st)
+		}
+	}
+	if r.caches[1].Stats().InvsReceived != 1 || r.caches[2].Stats().InvsReceived != 1 {
+		t.Error("both sharers must receive invalidations")
+	}
+	// Subsequent read by an invalidated sharer sees the new value.
+	if v, _ := r.doOp(t, 1, mem.Read, 1, 0); v != 8 {
+		t.Errorf("re-read = %d, want 8", v)
+	}
+}
+
+func TestOwnershipTransferOnWriteMiss(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.doOp(t, 0, mem.Write, 4, 1) // P0 exclusive
+	v, global := r.doOp(t, 1, mem.Write, 4, 2)
+	if v != 2 || !global {
+		t.Fatalf("second write %d/%v", v, global)
+	}
+	if st, _ := r.caches[0].LineInfo(4); st != LineInvalid {
+		t.Errorf("old owner keeps line (%v)", st)
+	}
+	if ds, owner, _ := r.dir.State(4); ds != DirExclusive || owner != 1 {
+		t.Errorf("dir %v owner %d, want Exclusive/1", ds, owner)
+	}
+}
+
+func TestReadFromDirtyOwnerDowngrades(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.doOp(t, 0, mem.Write, 4, 5)
+	v, _ := r.doOp(t, 1, mem.Read, 4, 0)
+	if v != 5 {
+		t.Fatalf("read = %d, want 5 (from owner)", v)
+	}
+	if st, _ := r.caches[0].LineInfo(4); st != LineShared {
+		t.Errorf("owner state %v, want Shared after downgrade", st)
+	}
+	if ds, _, sharers := r.dir.State(4); ds != DirShared || len(sharers) != 2 {
+		t.Errorf("dir %v sharers %v, want Shared with both", ds, sharers)
+	}
+	if r.dir.MemValue(4) != 5 {
+		t.Errorf("memory not updated on downgrade: %d", r.dir.MemValue(4))
+	}
+}
+
+func TestRMWAtomicOnLine(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.dir.SetInit(9, 3)
+	v, _ := r.doOp(t, 0, mem.SyncRMW, 9, 1)
+	if v != 3 {
+		t.Fatalf("RMW read %d, want 3", v)
+	}
+	if val, dirty := r.caches[0].Snoop(9); !dirty || val != 1 {
+		t.Fatalf("RMW wrote %d/%v, want 1/dirty", val, dirty)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.dir.SetInit(2, 1)
+	r.doOp(t, 0, mem.Read, 2, 0)
+	r.doOp(t, 1, mem.Read, 2, 0)
+	v, global := r.doOp(t, 0, mem.Write, 2, 10) // upgrade: P1 invalidated
+	if v != 10 || !global {
+		t.Fatalf("upgrade write %d/%v", v, global)
+	}
+	if st, _ := r.caches[1].LineInfo(2); st != LineInvalid {
+		t.Errorf("other sharer not invalidated (%v)", st)
+	}
+	if r.caches[0].Stats().Upgrades == 0 {
+		t.Error("upgrade not counted")
+	}
+}
+
+func TestSoleSharerSilentUpgrade(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.doOp(t, 0, mem.Read, 2, 0)
+	_, global := r.doOp(t, 0, mem.Write, 2, 4)
+	if !global {
+		t.Fatal("sole-sharer upgrade must be globally performed at fill")
+	}
+	if r.dir.Stats().Invalidations != 0 {
+		t.Error("no invalidations expected for sole-sharer upgrade")
+	}
+}
+
+func TestCounterTracksOutstandingDataMisses(t *testing.T) {
+	r := newRig(t, 1, nil)
+	c := r.caches[0]
+	c.Issue(&Req{Kind: mem.Read, Addr: 1})
+	c.Issue(&Req{Kind: mem.Write, Addr: 2, Data: 1})
+	if c.Counter() != 2 {
+		t.Fatalf("counter = %d with two outstanding data misses, want 2", c.Counter())
+	}
+	r.settle(t)
+	if c.Counter() != 0 {
+		t.Fatalf("counter = %d after settle, want 0", c.Counter())
+	}
+}
+
+func TestSyncMissDoesNotCountButItsAcksDo(t *testing.T) {
+	r := newRig(t, 2, UseReserveCfg)
+	r.dir.SetInit(7, 0)
+	r.doOp(t, 1, mem.Read, 7, 0) // P1 shares the line: sync will need acks
+	c := r.caches[0]
+	c.Issue(&Req{Kind: mem.SyncRMW, Addr: 7, Data: 1})
+	if c.Counter() != 0 {
+		t.Fatalf("counter = %d while sync request in flight, want 0", c.Counter())
+	}
+	r.settle(t)
+	if c.Counter() != 0 {
+		t.Fatalf("counter = %d after sync globally performed, want 0", c.Counter())
+	}
+}
+
+// UseReserveCfg enables the reserve-bit mechanism.
+func UseReserveCfg(cfg *Config) { cfg.UseReserve = true }
+
+func TestReserveSetWhileDataOutstandingAndDefersSync(t *testing.T) {
+	r := newRig(t, 3, UseReserveCfg)
+	// P2 holds x shared so P0's write needs a slow ack round-trip, and
+	// P0 already owns the lock line s so its release commits locally.
+	r.doOp(t, 2, mem.Read, 0, 0)
+	r.doOp(t, 0, mem.SyncRMW, 8, 1)
+
+	p0 := r.caches[0]
+	// Concurrently: P0's data write to x (MemAck pending for ~10 cycles),
+	// P0's release of s (local hit, commits next cycle, reserves), and
+	// P1's acquire of s (forward reaches P0 at ~cycle 5, while the MemAck
+	// is still outstanding).
+	p0.Issue(&Req{Kind: mem.Write, Addr: 0, Data: 1})
+	syncCommitted := false
+	p0.Issue(&Req{Kind: mem.SyncWrite, Addr: 8, Data: 0,
+		OnCommit: func(v mem.Value) { syncCommitted = true }})
+	gotLock := false
+	var lockVal mem.Value
+	r.caches[1].Issue(&Req{Kind: mem.SyncRMW, Addr: 8, Data: 2,
+		OnCommit: func(v mem.Value) { gotLock = true; lockVal = v }})
+
+	// Advance until the release commits; the line must be reserved.
+	for i := 0; i < 1000 && !syncCommitted; i++ {
+		r.k.Tick()
+	}
+	if !syncCommitted {
+		t.Fatal("release did not commit")
+	}
+	if res := p0.ReservedLines(); len(res) != 1 || res[0] != 8 {
+		t.Fatalf("reserved lines %v, want [8]", res)
+	}
+
+	r.settle(t)
+	if !gotLock {
+		t.Fatal("deferred sync request never serviced")
+	}
+	if lockVal != 0 {
+		t.Fatalf("P1 acquired with value %d, want 0 (after the release)", lockVal)
+	}
+	if p0.Stats().DeferredFwds == 0 {
+		t.Error("expected the forward to be deferred by the reserve bit")
+	}
+	if len(p0.ReservedLines()) != 0 {
+		t.Error("reserve bits must clear when the counter reads zero")
+	}
+}
+
+func TestROSyncBypassCachedSharedTest(t *testing.T) {
+	// Default Section 6 path: the Test takes a shared cached copy; the
+	// previous owner downgrades, and subsequent spins hit locally.
+	r := newRig(t, 2, func(cfg *Config) { cfg.UseReserve = true; cfg.ROSyncBypass = true })
+	r.doOp(t, 0, mem.SyncRMW, 5, 1) // P0 owns s exclusively (value 1)
+	v, _ := r.doOp(t, 1, mem.SyncRead, 5, 0)
+	if v != 1 {
+		t.Fatalf("sync read = %d, want 1", v)
+	}
+	if st, _ := r.caches[0].LineInfo(5); st != LineShared {
+		t.Errorf("owner state %v, want Shared (downgraded)", st)
+	}
+	if st, _ := r.caches[1].LineInfo(5); st != LineShared {
+		t.Errorf("reader state %v, want Shared (cached Test)", st)
+	}
+	// A second Test hits locally.
+	before := r.caches[1].Stats().Hits
+	if v, _ := r.doOp(t, 1, mem.SyncRead, 5, 0); v != 1 {
+		t.Fatalf("second sync read = %d, want 1", v)
+	}
+	if r.caches[1].Stats().Hits != before+1 {
+		t.Error("second Test must hit the shared copy locally")
+	}
+}
+
+func TestROSyncUncachedServesValueWithoutTransfer(t *testing.T) {
+	// Ablation path: uncached remote value reads, answered even by
+	// reserved owners, with no downgrade and nothing cached at the reader.
+	r := newRig(t, 2, func(cfg *Config) {
+		cfg.UseReserve = true
+		cfg.ROSyncBypass = true
+		cfg.ROSyncUncached = true
+	})
+	r.doOp(t, 0, mem.SyncRMW, 5, 1) // P0 owns s exclusively (value 1)
+	v, _ := r.doOp(t, 1, mem.SyncRead, 5, 0)
+	if v != 1 {
+		t.Fatalf("sync read = %d, want 1", v)
+	}
+	if st, _ := r.caches[0].LineInfo(5); st != LineExclusive {
+		t.Errorf("owner state %v, want Exclusive (no downgrade)", st)
+	}
+	if st, _ := r.caches[1].LineInfo(5); st != LineInvalid {
+		t.Errorf("reader state %v, want Invalid (uncached read)", st)
+	}
+}
+
+func TestROSyncReadFromMemory(t *testing.T) {
+	r := newRig(t, 2, func(cfg *Config) { cfg.ROSyncBypass = true; cfg.ROSyncUncached = true })
+	r.dir.SetInit(5, 3)
+	if v, _ := r.doOp(t, 1, mem.SyncRead, 5, 0); v != 3 {
+		t.Fatalf("sync read from memory = %d, want 3", v)
+	}
+}
+
+func TestReservedLineRefusesDowngradeUntilCounterZero(t *testing.T) {
+	// Under the cached-shared Test path a reserved line must stay
+	// exclusive: the FwdGetS defers until the owner's counter drains.
+	r := newRig(t, 3, func(cfg *Config) { cfg.UseReserve = true; cfg.ROSyncBypass = true })
+	r.doOp(t, 2, mem.Read, 0, 0)    // P2 shares x: P0's write will need acks
+	r.doOp(t, 0, mem.SyncRMW, 8, 1) // P0 owns s
+
+	p0 := r.caches[0]
+	p0.Issue(&Req{Kind: mem.Write, Addr: 0, Data: 1}) // slow global perform
+	released := false
+	p0.Issue(&Req{Kind: mem.SyncWrite, Addr: 8, Data: 0,
+		OnCommit: func(v mem.Value) { released = true }})
+	testDone := false
+	var testVal mem.Value
+	r.caches[1].Issue(&Req{Kind: mem.SyncRead, Addr: 8,
+		OnCommit: func(v mem.Value) { testDone = true; testVal = v }})
+	for i := 0; i < 1000 && !released; i++ {
+		r.k.Tick()
+	}
+	if !released {
+		t.Fatal("release did not commit")
+	}
+	if st, _ := p0.LineInfo(8); st != LineExclusive {
+		t.Fatalf("reserved line state %v, want Exclusive", st)
+	}
+	r.settle(t)
+	if !testDone || testVal != 0 {
+		t.Fatalf("Test done=%v val=%d, want true/0", testDone, testVal)
+	}
+}
+
+func TestEvictionWritesBackDirtyLine(t *testing.T) {
+	r := newRig(t, 1, func(cfg *Config) { cfg.Capacity = 2 })
+	r.doOp(t, 0, mem.Write, 1, 11)
+	r.doOp(t, 0, mem.Write, 2, 22)
+	r.doOp(t, 0, mem.Write, 3, 33) // evicts line 1
+	if st, _ := r.caches[0].LineInfo(1); st != LineInvalid {
+		t.Errorf("line 1 still resident (%v)", st)
+	}
+	if r.dir.MemValue(1) != 11 {
+		t.Errorf("memory[1] = %d, want 11 (writeback)", r.dir.MemValue(1))
+	}
+	if s := r.caches[0].Stats(); s.Evictions == 0 || s.Writebacks == 0 {
+		t.Errorf("stats %+v: expected evictions and writebacks", s)
+	}
+	// The evicted line is still readable (from memory).
+	if v, _ := r.doOp(t, 0, mem.Read, 1, 0); v != 11 {
+		t.Errorf("re-read after eviction = %d, want 11", v)
+	}
+}
+
+func TestSharedEvictionSilentAndStaleInvAck(t *testing.T) {
+	r := newRig(t, 2, func(cfg *Config) { cfg.Capacity = 1 })
+	r.dir.SetInit(1, 5)
+	r.doOp(t, 0, mem.Read, 1, 0)
+	r.doOp(t, 0, mem.Read, 2, 0) // silently drops shared line 1
+	// P1 writes line 1: directory still lists P0 as sharer and sends an
+	// invalidation; P0 must ack despite not holding the line.
+	if _, global := r.doOp(t, 1, mem.Write, 1, 6); !global {
+		t.Fatal("write must complete via stale-sharer ack")
+	}
+}
+
+func TestBusyAndIdleTracking(t *testing.T) {
+	r := newRig(t, 1, nil)
+	c := r.caches[0]
+	if c.Busy() {
+		t.Error("fresh cache must be idle")
+	}
+	c.Issue(&Req{Kind: mem.Read, Addr: 1})
+	if !c.Busy() {
+		t.Error("cache with outstanding miss must be busy")
+	}
+	r.settle(t)
+	if c.Busy() || !r.dir.Idle() {
+		t.Error("cache and directory must drain")
+	}
+}
+
+func TestMSHRMergesSameLineOps(t *testing.T) {
+	r := newRig(t, 1, nil)
+	c := r.caches[0]
+	var order []mem.Value
+	c.Issue(&Req{Kind: mem.Write, Addr: 1, Data: 1, OnCommit: func(v mem.Value) { order = append(order, v) }})
+	c.Issue(&Req{Kind: mem.Read, Addr: 1, OnCommit: func(v mem.Value) { order = append(order, v) }})
+	c.Issue(&Req{Kind: mem.Write, Addr: 1, Data: 2, OnCommit: func(v mem.Value) { order = append(order, v) }})
+	r.settle(t)
+	if len(order) != 3 || order[0] != 1 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("commit order/values %v, want [1 1 2]", order)
+	}
+	if r.caches[0].Stats().Misses != 1 {
+		t.Errorf("misses = %d, want 1 (merged)", r.caches[0].Stats().Misses)
+	}
+}
+
+func TestReadThenWriteMergedIssuesUpgrade(t *testing.T) {
+	// A read miss followed by a write to the same line: the read fills
+	// Shared, then the queued write upgrades.
+	r := newRig(t, 2, nil)
+	r.dir.SetInit(1, 9)
+	r.doOp(t, 1, mem.Read, 1, 0) // P1 shares too, so upgrade needs an ack
+	c := r.caches[0]
+	var reads, writes []mem.Value
+	c.Issue(&Req{Kind: mem.Read, Addr: 1, OnCommit: func(v mem.Value) { reads = append(reads, v) }})
+	c.Issue(&Req{Kind: mem.Write, Addr: 1, Data: 4, OnCommit: func(v mem.Value) { writes = append(writes, v) }})
+	r.settle(t)
+	if len(reads) != 1 || reads[0] != 9 {
+		t.Fatalf("reads %v, want [9]", reads)
+	}
+	if len(writes) != 1 || writes[0] != 4 {
+		t.Fatalf("writes %v, want [4]", writes)
+	}
+	if st, _ := c.LineInfo(1); st != LineExclusive {
+		t.Errorf("state %v, want Exclusive after upgrade", st)
+	}
+}
+
+func TestHitDefersForwardUntilCommit(t *testing.T) {
+	// A local hit in flight must not lose the line to a forward: the
+	// forward waits for the local commit.
+	r := newRig(t, 2, nil)
+	c0 := r.caches[0]
+	r.doOp(t, 0, mem.SyncRMW, 5, 1) // P0 exclusive, val 1 (TAS won)
+
+	// P0 unsets (hit, commit scheduled) while P1's TAS races in.
+	var p0Got, p1Got mem.Value
+	c0.Issue(&Req{Kind: mem.SyncWrite, Addr: 5, Data: 0,
+		OnCommit: func(v mem.Value) { p0Got = v }})
+	r.caches[1].Issue(&Req{Kind: mem.SyncRMW, Addr: 5, Data: 1,
+		OnCommit: func(v mem.Value) { p1Got = v }})
+	r.settle(t)
+	if p0Got != 0 {
+		t.Fatalf("P0 unset committed %d, want 0", p0Got)
+	}
+	if p1Got != 0 {
+		t.Fatalf("P1 TAS read %d, want 0 (must see the unset)", p1Got)
+	}
+}
+
+func TestMsgNames(t *testing.T) {
+	msgs := []interface{}{
+		MsgGetS{}, MsgGetX{}, MsgSyncRead{}, MsgPutX{}, MsgInvAck{},
+		MsgXferDone{}, MsgSyncReadDone{}, MsgData{}, MsgDataEx{},
+		MsgMemAck{}, MsgInv{}, MsgWBAck{}, MsgFwdGetS{}, MsgFwdGetX{},
+		MsgFwdSyncRead{}, MsgSyncReadReply{}, MsgOwnerData{}, MsgOwnerDataEx{},
+	}
+	seen := make(map[string]bool)
+	for _, m := range msgs {
+		name := MsgName(m)
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate message name %q for %T", name, m)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLineAndDirStateStrings(t *testing.T) {
+	for _, s := range []LineState{LineInvalid, LineShared, LineExclusive} {
+		if s.String() == "" {
+			t.Error("empty LineState string")
+		}
+	}
+	for _, s := range []DirState{DirUncached, DirShared, DirExclusive} {
+		if s.String() == "" {
+			t.Error("empty DirState string")
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/bitset"
+	"weakorder/internal/mem"
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+)
+
+// DirState is the directory's view of one line.
+type DirState uint8
+
+// Directory line states.
+const (
+	// DirUncached: memory holds the only copy.
+	DirUncached DirState = iota
+	// DirShared: one or more caches hold read-only copies; memory is
+	// up to date.
+	DirShared
+	// DirExclusive: exactly one cache owns a (potentially dirty) copy.
+	DirExclusive
+)
+
+// String names the state.
+func (s DirState) String() string {
+	switch s {
+	case DirUncached:
+		return "Uncached"
+	case DirShared:
+		return "Shared"
+	case DirExclusive:
+		return "Exclusive"
+	default:
+		return fmt.Sprintf("DirState(%d)", uint8(s))
+	}
+}
+
+// pendingKind describes why a directory line is blocked.
+type pendingKind uint8
+
+const (
+	pendNone        pendingKind = iota
+	pendAcks                    // awaiting invalidation acks, then MemAck to requester
+	pendFwdS                    // awaiting owner response to FwdGetS
+	pendFwdX                    // awaiting owner response to FwdGetX
+	pendFwdSyncRead             // awaiting owner response to FwdSyncRead
+)
+
+type dirLine struct {
+	state   DirState
+	sharers *bitset.Set
+	owner   int
+	val     mem.Value
+
+	pending   pendingKind
+	acksLeft  int
+	requester int         // cache awaiting completion of the pending transaction
+	queue     []queuedReq // requests waiting for the line to unblock
+}
+
+type queuedReq struct {
+	src int
+	m   network.Msg
+}
+
+// DirConfig parameterizes a directory/memory module.
+type DirConfig struct {
+	// ID is the module's network endpoint.
+	ID int
+	// NumProcs is the number of caches (endpoints 0..NumProcs-1).
+	NumProcs int
+	// Latency is the memory/directory access latency applied to replies.
+	Latency sim.Time
+}
+
+// Directory is one memory module with a full-map directory. It serializes
+// transactions per line: a request arriving while the line has a pending
+// transaction queues until the transaction completes.
+type Directory struct {
+	k     *sim.Kernel
+	net   network.Network
+	cfg   DirConfig
+	lines map[mem.Addr]*dirLine
+	stats DirStats
+}
+
+// DirStats counts directory activity.
+type DirStats struct {
+	// Requests counts processed requests by message name.
+	Requests map[string]uint64
+	// Forwards counts requests forwarded to owners.
+	Forwards uint64
+	// Invalidations counts invalidation messages sent.
+	Invalidations uint64
+	// QueuedMax is the peak per-line queue length observed.
+	QueuedMax int
+}
+
+// NewDirectory constructs a directory attached to the network at cfg.ID.
+func NewDirectory(k *sim.Kernel, net network.Network, cfg DirConfig) *Directory {
+	if cfg.Latency == 0 {
+		cfg.Latency = 1
+	}
+	d := &Directory{
+		k:     k,
+		net:   net,
+		cfg:   cfg,
+		lines: make(map[mem.Addr]*dirLine),
+		stats: DirStats{Requests: make(map[string]uint64)},
+	}
+	net.Attach(cfg.ID, d.handle)
+	return d
+}
+
+func (d *Directory) line(a mem.Addr) *dirLine {
+	l, ok := d.lines[a]
+	if !ok {
+		l = &dirLine{state: DirUncached, sharers: bitset.New(d.cfg.NumProcs), owner: -1}
+		d.lines[a] = l
+	}
+	return l
+}
+
+// SetInit installs the initial memory value of an address.
+func (d *Directory) SetInit(a mem.Addr, v mem.Value) { d.line(a).val = v }
+
+// MemValue returns the directory's (memory's) current value for an
+// address. When the line is exclusive in some cache this may be stale;
+// use the machine's final-state extraction, which consults owners.
+func (d *Directory) MemValue(a mem.Addr) mem.Value {
+	if l, ok := d.lines[a]; ok {
+		return l.val
+	}
+	return 0
+}
+
+// State exposes a line's directory state (for tests and invariants).
+func (d *Directory) State(a mem.Addr) (DirState, int, []int) {
+	l, ok := d.lines[a]
+	if !ok {
+		return DirUncached, -1, nil
+	}
+	return l.state, l.owner, l.sharers.Members()
+}
+
+// Idle reports whether no line has a pending transaction or queued
+// requests (used for drain/termination detection).
+func (d *Directory) Idle() bool {
+	for _, l := range d.lines {
+		if l.pending != pendNone || len(l.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingLines returns the addresses of blocked lines, for deadlock
+// diagnostics.
+func (d *Directory) PendingLines() []mem.Addr {
+	var out []mem.Addr
+	for a, l := range d.lines {
+		if l.pending != pendNone || len(l.queue) > 0 {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns directory statistics.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// handle dispatches an incoming message.
+func (d *Directory) handle(src int, m network.Msg) {
+	if debugTrace != nil {
+		debugTrace(d.cfg.ID, src, m)
+	}
+	d.stats.Requests[MsgName(m)]++
+	switch msg := m.(type) {
+	case MsgGetS:
+		d.request(src, msg.Addr, m)
+	case MsgGetX:
+		d.request(src, msg.Addr, m)
+	case MsgSyncRead:
+		d.request(src, msg.Addr, m)
+	case MsgPutX:
+		d.putX(src, msg)
+	case MsgInvAck:
+		d.invAck(src, msg)
+	case MsgXferDone:
+		d.xferDone(src, msg)
+	case MsgSyncReadDone:
+		d.syncReadDone(src, msg)
+	default:
+		panic(fmt.Sprintf("directory %d: unexpected message %T from %d", d.cfg.ID, m, src))
+	}
+}
+
+// request processes or queues a GetS/GetX/SyncRead.
+func (d *Directory) request(src int, a mem.Addr, m network.Msg) {
+	l := d.line(a)
+	if l.pending != pendNone {
+		l.queue = append(l.queue, queuedReq{src: src, m: m})
+		if len(l.queue) > d.stats.QueuedMax {
+			d.stats.QueuedMax = len(l.queue)
+		}
+		return
+	}
+	d.process(src, a, l, m)
+}
+
+// process handles a request on an unblocked line.
+func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
+	switch msg := m.(type) {
+	case MsgGetS:
+		switch l.state {
+		case DirUncached, DirShared:
+			l.state = DirShared
+			l.sharers.Add(src)
+			d.reply(src, MsgData{Addr: a, Value: l.val})
+		case DirExclusive:
+			d.stats.Forwards++
+			l.pending = pendFwdS
+			l.requester = src
+			d.reply(l.owner, MsgFwdGetS{Addr: a, Requester: src})
+		}
+	case MsgGetX:
+		switch l.state {
+		case DirUncached:
+			l.state = DirExclusive
+			l.owner = src
+			d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+		case DirShared:
+			others := 0
+			l.sharers.ForEach(func(i int) bool {
+				if i != src {
+					others++
+				}
+				return true
+			})
+			if others == 0 {
+				// Requester was the only sharer: silent upgrade.
+				l.sharers.Clear()
+				l.state = DirExclusive
+				l.owner = src
+				d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+				return
+			}
+			// Forward the line to the requester in parallel with the
+			// invalidations (the paper's protocol); collect acks here and
+			// send the final MemAck when all arrive.
+			d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: true})
+			l.pending = pendAcks
+			l.acksLeft = others
+			l.requester = src
+			l.sharers.ForEach(func(i int) bool {
+				if i != src {
+					d.stats.Invalidations++
+					d.reply(i, MsgInv{Addr: a})
+				}
+				return true
+			})
+			l.sharers.Clear()
+			l.state = DirExclusive
+			l.owner = src
+		case DirExclusive:
+			if l.owner == src {
+				panic(fmt.Sprintf("directory %d: GetX from current owner %d for %d", d.cfg.ID, src, a))
+			}
+			d.stats.Forwards++
+			l.pending = pendFwdX
+			l.requester = src
+			d.reply(l.owner, MsgFwdGetX{Addr: a, Requester: src, Sync: msg.Sync})
+		}
+	case MsgSyncRead:
+		switch l.state {
+		case DirUncached, DirShared:
+			// Memory is current: answer directly, no state change, no
+			// cached copy for the reader.
+			d.reply(src, MsgSyncReadReply{Addr: a, Value: l.val})
+		case DirExclusive:
+			d.stats.Forwards++
+			l.pending = pendFwdSyncRead
+			l.requester = src
+			d.reply(l.owner, MsgFwdSyncRead{Addr: a, Requester: src})
+		}
+	default:
+		panic(fmt.Sprintf("directory %d: cannot process %T", d.cfg.ID, m))
+	}
+}
+
+// putX handles a writeback. A PutX crossing a forwarded request resolves
+// that transaction from memory: the (former) owner no longer has the line
+// and will drop the forward.
+func (d *Directory) putX(src int, msg MsgPutX) {
+	a := msg.Addr
+	l := d.line(a)
+	switch {
+	case l.pending == pendNone:
+		if l.state != DirExclusive || l.owner != src {
+			panic(fmt.Sprintf("directory %d: unexpected PutX from %d for %d (state %v owner %d)",
+				d.cfg.ID, src, a, l.state, l.owner))
+		}
+		l.val = msg.Data
+		l.state = DirUncached
+		l.owner = -1
+		d.reply(src, MsgWBAck{Addr: a})
+	case (l.pending == pendFwdS || l.pending == pendFwdX || l.pending == pendFwdSyncRead) && l.owner == src:
+		// The writeback crossed our forward. Satisfy the blocked request
+		// from the written-back data.
+		l.val = msg.Data
+		req := l.requester
+		switch l.pending {
+		case pendFwdS:
+			l.state = DirShared
+			l.owner = -1
+			l.sharers.Clear()
+			l.sharers.Add(req)
+			d.reply(req, MsgData{Addr: a, Value: l.val})
+		case pendFwdX:
+			l.state = DirExclusive
+			l.owner = req
+			d.reply(req, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+		case pendFwdSyncRead:
+			l.state = DirUncached
+			l.owner = -1
+			d.reply(req, MsgSyncReadReply{Addr: a, Value: l.val})
+		}
+		d.reply(src, MsgWBAck{Addr: a})
+		d.unblock(a, l)
+	default:
+		panic(fmt.Sprintf("directory %d: PutX from %d for %d during %v (owner %d)",
+			d.cfg.ID, src, a, l.pending, l.owner))
+	}
+}
+
+// invAck collects one invalidation acknowledgement.
+func (d *Directory) invAck(src int, msg MsgInvAck) {
+	l := d.line(msg.Addr)
+	if l.pending != pendAcks || l.acksLeft <= 0 {
+		panic(fmt.Sprintf("directory %d: stray InvAck from %d for %d", d.cfg.ID, src, msg.Addr))
+	}
+	l.acksLeft--
+	if l.acksLeft == 0 {
+		d.reply(l.requester, MsgMemAck{Addr: msg.Addr})
+		d.unblock(msg.Addr, l)
+	}
+}
+
+// xferDone completes a forwarded GetS/GetX.
+func (d *Directory) xferDone(src int, msg MsgXferDone) {
+	l := d.line(msg.Addr)
+	switch l.pending {
+	case pendFwdS:
+		if !msg.Shared {
+			panic(fmt.Sprintf("directory %d: FwdGetS completed without Shared flag for %d", d.cfg.ID, msg.Addr))
+		}
+		l.val = msg.MemData
+		l.state = DirShared
+		l.sharers.Clear()
+		l.sharers.Add(src)         // previous owner keeps a shared copy
+		l.sharers.Add(l.requester) // requester received one
+		l.owner = -1
+	case pendFwdX:
+		l.state = DirExclusive
+		l.owner = msg.NewOwner
+	default:
+		panic(fmt.Sprintf("directory %d: XferDone for %d with pending=%v", d.cfg.ID, msg.Addr, l.pending))
+	}
+	d.unblock(msg.Addr, l)
+}
+
+// syncReadDone completes a forwarded MsgSyncRead.
+func (d *Directory) syncReadDone(src int, msg MsgSyncReadDone) {
+	l := d.line(msg.Addr)
+	if l.pending != pendFwdSyncRead {
+		panic(fmt.Sprintf("directory %d: SyncReadDone for %d with pending=%v", d.cfg.ID, msg.Addr, l.pending))
+	}
+	d.unblock(msg.Addr, l)
+}
+
+// unblock clears the pending transaction and processes queued requests
+// until the line blocks again or the queue drains.
+func (d *Directory) unblock(a mem.Addr, l *dirLine) {
+	l.pending = pendNone
+	l.acksLeft = 0
+	l.requester = -1
+	for len(l.queue) > 0 && l.pending == pendNone {
+		q := l.queue[0]
+		l.queue = l.queue[1:]
+		d.process(q.src, a, l, q.m)
+	}
+}
+
+// reply sends a message after the configured memory latency.
+func (d *Directory) reply(dst int, m network.Msg) {
+	d.k.After(d.cfg.Latency, func() { d.net.Send(d.cfg.ID, dst, m) })
+}

@@ -1,0 +1,194 @@
+// Package cache implements the paper's Section 5.2 implementation model:
+// per-processor write-back caches kept coherent by a directory-based
+// invalidation protocol over an arbitrary interconnect, extended with the
+// Section 5.3 mechanisms — a per-processor counter of outstanding accesses
+// and a per-line reserve bit that stalls other processors' synchronization
+// requests until the counter reads zero.
+//
+// Protocol summary (line granularity = one word, so no false sharing):
+//
+//   - A data read miss sends GetS to the line's home directory. The
+//     directory replies with Data, or forwards to the exclusive owner,
+//     which supplies the line and downgrades.
+//   - A write or synchronization operation needs the line exclusive: GetX.
+//     For a line shared in other caches the directory forwards the line to
+//     the requester in parallel with invalidations (the paper's protocol);
+//     sharers acknowledge to the directory, which sends a final MemAck to
+//     the requester once all acknowledgements arrive. A write commits when
+//     it modifies the local copy and is globally performed when the MemAck
+//     (or the line itself, when no other copies existed) arrives.
+//   - The directory serializes transactions per line: requests arriving
+//     while a line transaction is in flight queue at the directory.
+//   - A cache holding a reserved line (reserve bit set, counter > 0)
+//     defers forwarded ownership requests until its counter reads zero;
+//     read-only synchronization reads (the Section 6 refinement) are
+//     serviced immediately as uncached value replies.
+package cache
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+)
+
+// Messages from a cache to a directory.
+type (
+	// MsgGetS requests a shared copy (data read miss).
+	MsgGetS struct {
+		Addr mem.Addr
+	}
+	// MsgGetX requests an exclusive copy (write miss, upgrade, or
+	// synchronization operation — all synchronization operations are
+	// treated as writes by the protocol, Section 5.2). Sync distinguishes
+	// synchronization requests so owners can apply reserve-bit stalling.
+	MsgGetX struct {
+		Addr mem.Addr
+		Sync bool
+	}
+	// MsgSyncRead requests the current value of a location without
+	// taking a cached copy: the Section 6 read-only-synchronization
+	// path (Test). Only issued under the WO-Def2+RO policy.
+	MsgSyncRead struct {
+		Addr mem.Addr
+	}
+	// MsgPutX writes back a dirty line on eviction.
+	MsgPutX struct {
+		Addr mem.Addr
+		Data mem.Value
+	}
+	// MsgInvAck acknowledges an invalidation to the directory.
+	MsgInvAck struct {
+		Addr mem.Addr
+	}
+	// MsgXferDone tells the directory a forwarded request was serviced:
+	// ownership moved to NewOwner (exclusive transfer) or, when Shared is
+	// set, the owner downgraded and MemData carries the up-to-date value
+	// for memory.
+	MsgXferDone struct {
+		Addr     mem.Addr
+		NewOwner int
+		Shared   bool
+		MemData  mem.Value
+	}
+	// MsgSyncReadDone tells the directory a forwarded MsgSyncRead was
+	// answered, unblocking the line.
+	MsgSyncReadDone struct {
+		Addr mem.Addr
+	}
+)
+
+// Messages from a directory to a cache.
+type (
+	// MsgData fills a shared copy in response to MsgGetS.
+	MsgData struct {
+		Addr  mem.Addr
+		Value mem.Value
+	}
+	// MsgDataEx grants an exclusive copy in response to MsgGetX. When
+	// AcksPending is set, other caches held shared copies: their
+	// invalidations were sent in parallel and the requester's write is
+	// globally performed only when the matching MsgMemAck arrives.
+	MsgDataEx struct {
+		Addr        mem.Addr
+		Value       mem.Value
+		AcksPending bool
+	}
+	// MsgMemAck reports that all invalidation acknowledgements for the
+	// requester's earlier MsgGetX have been collected: the write is now
+	// globally performed.
+	MsgMemAck struct {
+		Addr mem.Addr
+	}
+	// MsgInv invalidates a shared copy.
+	MsgInv struct {
+		Addr mem.Addr
+	}
+	// MsgWBAck acknowledges a MsgPutX writeback.
+	MsgWBAck struct {
+		Addr mem.Addr
+	}
+	// MsgFwdGetS forwards a read request to the exclusive owner.
+	MsgFwdGetS struct {
+		Addr      mem.Addr
+		Requester int
+	}
+	// MsgFwdGetX forwards an exclusive request to the current owner.
+	MsgFwdGetX struct {
+		Addr      mem.Addr
+		Requester int
+		Sync      bool
+	}
+	// MsgFwdSyncRead forwards an uncached synchronization read to the
+	// exclusive owner.
+	MsgFwdSyncRead struct {
+		Addr      mem.Addr
+		Requester int
+	}
+	// MsgSyncReadReply answers a MsgSyncRead with the current value
+	// (sent by the directory or by the forwarded-to owner).
+	MsgSyncReadReply struct {
+		Addr  mem.Addr
+		Value mem.Value
+	}
+)
+
+// Messages between caches (owner to requester).
+type (
+	// MsgOwnerData supplies a shared copy from the previous exclusive
+	// owner (response to MsgFwdGetS).
+	MsgOwnerData struct {
+		Addr  mem.Addr
+		Value mem.Value
+	}
+	// MsgOwnerDataEx transfers the exclusive copy from the previous
+	// owner (response to MsgFwdGetX). Exactly one copy existed, so the
+	// receiving write is globally performed on receipt.
+	MsgOwnerDataEx struct {
+		Addr  mem.Addr
+		Value mem.Value
+	}
+)
+
+// MsgName returns a short name for a protocol message, for statistics.
+func MsgName(m interface{}) string {
+	switch m.(type) {
+	case MsgGetS:
+		return "GetS"
+	case MsgGetX:
+		return "GetX"
+	case MsgSyncRead:
+		return "SyncRead"
+	case MsgPutX:
+		return "PutX"
+	case MsgInvAck:
+		return "InvAck"
+	case MsgXferDone:
+		return "XferDone"
+	case MsgSyncReadDone:
+		return "SyncReadDone"
+	case MsgData:
+		return "Data"
+	case MsgDataEx:
+		return "DataEx"
+	case MsgMemAck:
+		return "MemAck"
+	case MsgInv:
+		return "Inv"
+	case MsgWBAck:
+		return "WBAck"
+	case MsgFwdGetS:
+		return "FwdGetS"
+	case MsgFwdGetX:
+		return "FwdGetX"
+	case MsgFwdSyncRead:
+		return "FwdSyncRead"
+	case MsgSyncReadReply:
+		return "SyncReadReply"
+	case MsgOwnerData:
+		return "OwnerData"
+	case MsgOwnerDataEx:
+		return "OwnerDataEx"
+	default:
+		return fmt.Sprintf("%T", m)
+	}
+}

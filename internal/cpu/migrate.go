@@ -1,0 +1,92 @@
+package cpu
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// The paper's Section 5.1 allows process migration: "Re-scheduling of a
+// process on another processor is possible if it can be ensured that
+// before a context switch, all previous reads of the process have
+// returned their values and all previous writes have been globally
+// performed." This file implements that contract: a processor can be
+// asked to suspend; it drains (finishes any stalled operation, empties
+// its write buffer, retires in-flight writes) and then parks, after
+// which its architectural thread state can be exported and installed on
+// an idle processor. The logical thread id travels with the state, so
+// migrated operations keep their (thread, index) identity in traces and
+// results.
+
+// ThreadState is the architectural state that migrates: the logical
+// thread id, program counter, registers, next program-order index, and
+// the instruction stream itself.
+type ThreadState struct {
+	ThreadID int
+	PC       int
+	Regs     [program.NumRegs]mem.Value
+	NextIx   int
+	Thread   program.Thread
+}
+
+// RequestSuspend asks the processor to park at the next drained point:
+// no stalled operation, an empty write buffer, and no in-flight writes.
+// The caller (the machine) must additionally confirm the memory system's
+// counter reads zero before exporting — the paper's "all previous writes
+// globally performed".
+func (p *Proc) RequestSuspend() { p.suspendReq = true }
+
+// Suspended reports whether the processor has parked after a suspend
+// request.
+func (p *Proc) Suspended() bool { return p.state == stSuspended }
+
+// Export returns the architectural thread state of a suspended (or
+// halted) processor.
+func (p *Proc) Export() ThreadState {
+	if p.state != stSuspended && p.state != stHalted {
+		panic(fmt.Sprintf("cpu %d: Export while running", p.cfg.ID))
+	}
+	return ThreadState{
+		ThreadID: p.tid,
+		PC:       p.pc,
+		Regs:     p.regs,
+		NextIx:   p.nextIx,
+		Thread:   p.thread,
+	}
+}
+
+// Install loads a migrated thread onto an idle processor (one whose own
+// thread has halted, was created empty, or was itself suspended and
+// exported) and resumes execution.
+func (p *Proc) Install(st ThreadState) error {
+	if !p.Halted() && p.state != stSuspended {
+		return fmt.Errorf("cpu %d: Install on a busy processor", p.cfg.ID)
+	}
+	p.thread = st.Thread
+	p.pc = st.PC
+	p.regs = st.Regs
+	p.nextIx = st.NextIx
+	p.tid = st.ThreadID
+	p.suspendReq = false
+	p.state = stRun
+	p.stats.DoneAt = 0
+	p.finalSnap = nil
+	return nil
+}
+
+// ThreadID returns the logical thread the processor is running.
+func (p *Proc) ThreadID() int { return p.tid }
+
+// Retire empties a suspended processor after its thread has been
+// exported: the processor halts and takes no further part in the run.
+func (p *Proc) Retire() {
+	if p.state != stSuspended {
+		panic(fmt.Sprintf("cpu %d: Retire while not suspended", p.cfg.ID))
+	}
+	p.thread = program.Thread{Name: "retired"}
+	p.pc = 0
+	p.suspendReq = false
+	p.state = stHalted
+	p.stats.DoneAt = uint64(p.k.Now())
+}

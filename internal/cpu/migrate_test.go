@@ -1,0 +1,188 @@
+package cpu
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+)
+
+func TestSuspendExportInstallRoundTrip(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 2)
+	th := buildThread(t, func(tb *program.ThreadBuilder) {
+		tb.StoreImm(1, 7)
+		tb.StoreImm(2, 8)
+		tb.StoreImm(3, 9)
+	})
+	src := New(k, Config{ID: 0, Policy: policy.WODef2}, th, port, nil)
+	// Run a couple of cycles, then request suspension.
+	for c := 1; c <= 2; c++ {
+		k.AdvanceTo(sim.Time(c))
+		src.Tick()
+		src.Drain()
+	}
+	src.RequestSuspend()
+	for c := 3; c <= 50 && !src.Suspended(); c++ {
+		k.AdvanceTo(sim.Time(c))
+		src.Tick()
+		src.Drain()
+	}
+	if !src.Suspended() {
+		t.Fatal("processor did not suspend")
+	}
+	st := src.Export()
+	if st.ThreadID != 0 {
+		t.Errorf("exported thread id %d", st.ThreadID)
+	}
+	src.Retire()
+	if !src.Halted() {
+		t.Error("retired processor must be halted")
+	}
+
+	dst := New(k, Config{ID: 5, ThreadID: 5, Policy: policy.WODef2}, program.Thread{}, port, nil)
+	if !dst.Halted() {
+		t.Fatal("empty processor must start halted")
+	}
+	if err := dst.Install(st); err != nil {
+		t.Fatal(err)
+	}
+	if dst.ThreadID() != 0 {
+		t.Errorf("installed thread id %d, want 0 (logical identity travels)", dst.ThreadID())
+	}
+	for c := 51; c <= 300; c++ {
+		if dst.Halted() && !pBusy(dst) {
+			break
+		}
+		k.AdvanceTo(sim.Time(c))
+		dst.Tick()
+		dst.Drain()
+	}
+	for a, want := range map[mem.Addr]mem.Value{1: 7, 2: 8, 3: 9} {
+		if got := port.memory[a]; got != want {
+			t.Errorf("memory[%d] = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestInstallOnBusyProcessorFails(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 2)
+	th := buildThread(t, func(tb *program.ThreadBuilder) { tb.StoreImm(1, 1); tb.StoreImm(2, 2) })
+	busy := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	if err := busy.Install(ThreadState{Thread: th}); err == nil {
+		t.Fatal("Install on a running processor must fail")
+	}
+}
+
+func TestExportWhileRunningPanics(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 2)
+	th := buildThread(t, func(tb *program.ThreadBuilder) { tb.StoreImm(1, 1) })
+	p := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Export while running must panic")
+		}
+	}()
+	p.Export()
+}
+
+func TestRetireWhileRunningPanics(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 2)
+	th := buildThread(t, func(tb *program.ThreadBuilder) { tb.StoreImm(1, 1) })
+	p := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Retire while running must panic")
+		}
+	}()
+	p.Retire()
+}
+
+func TestStallReasonExposed(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 20)
+	th := buildThread(t, func(tb *program.ThreadBuilder) { tb.Load(program.R0, 1) })
+	p := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	k.AdvanceTo(1)
+	p.Tick()
+	r, stalled := p.StallReason()
+	if !stalled || r != ReadWait {
+		t.Errorf("StallReason = %v,%v; want ReadWait,true", r, stalled)
+	}
+}
+
+func TestExecLocalFullInstructionSet(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 1)
+	th := buildThread(t, func(tb *program.ThreadBuilder) {
+		tb.LoadImm(program.R1, 5)
+		tb.Mov(program.R2, program.R1)             // 5
+		tb.Add(program.R3, program.R1, program.R2) // 10
+		tb.Sub(program.R4, program.R3, program.R1) // 5
+		tb.AddImm(program.R5, program.R4, 3)       // 8
+		tb.Nop()
+		tb.BeqImm(program.R5, 9, "skip")     // not taken
+		tb.Beq(program.R1, program.R2, "eq") // taken
+		tb.LoadImm(program.R5, 99)           // skipped
+		tb.Label("eq")
+		tb.BneImm(program.R5, 8, "skip")     // not taken
+		tb.Bne(program.R1, program.R3, "ne") // taken
+		tb.Label("skip")
+		tb.LoadImm(program.R5, 98) // skipped via ne path? no: ne jumps past
+		tb.Label("ne")
+		tb.BltImm(program.R1, 2, "skip")     // not taken (5 >= 2)
+		tb.Blt(program.R1, program.R3, "lt") // taken (5 < 10)
+		tb.Label("lt")
+		tb.BgeImm(program.R1, 100, "skip")   // not taken
+		tb.Bge(program.R3, program.R1, "ge") // taken
+		tb.Label("ge")
+		tb.Jmp("done")
+		tb.LoadImm(program.R5, 97)
+		tb.Label("done")
+		tb.Store(6, program.R5)
+		tb.Halt()
+	})
+	p := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	runProc(t, k, p, 200)
+	if got := port.memory[6]; got != 8 {
+		t.Fatalf("memory[6] = %d, want 8", got)
+	}
+}
+
+func TestSuspendWaitsForStalledOperation(t *testing.T) {
+	k := &sim.Kernel{}
+	port := newFakePort(k, 30)
+	th := buildThread(t, func(tb *program.ThreadBuilder) {
+		tb.Load(program.R0, 1) // blocks 30 cycles
+		tb.StoreImm(2, 2)
+	})
+	p := New(k, Config{Policy: policy.WODef2}, th, port, nil)
+	k.AdvanceTo(1)
+	p.Tick() // issues the read; stalled
+	p.RequestSuspend()
+	for c := 2; c <= 10; c++ {
+		k.AdvanceTo(sim.Time(c))
+		p.Tick()
+		p.Drain()
+	}
+	if p.Suspended() {
+		t.Fatal("must not suspend while a read is outstanding")
+	}
+	for c := 11; c <= 100 && !p.Suspended(); c++ {
+		k.AdvanceTo(sim.Time(c))
+		p.Tick()
+		p.Drain()
+	}
+	if !p.Suspended() {
+		t.Fatal("must suspend once drained")
+	}
+	// The pending store after the read must not have been dispatched.
+	if port.memory[2] != 0 {
+		t.Error("suspension must park before dispatching further work")
+	}
+}

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/policy"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	rows, table, err := Figure1(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 system classes x 2 policies)", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Config.Policy {
+		case policy.Unconstrained:
+			if r.Violations == 0 {
+				t.Errorf("%s: unconstrained hardware must exhibit the Figure 1 violation", r.Config.Name())
+			}
+		case policy.SC:
+			if r.Violations != 0 || r.NonSC != 0 {
+				t.Errorf("%s: SC hardware exhibited %d violations, %d non-SC results",
+					r.Config.Name(), r.Violations, r.NonSC)
+			}
+		}
+	}
+	if !strings.Contains(table.String(), "Figure 1") {
+		t.Error("table must render with its id")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows, table := Figure2()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		isA := strings.Contains(r.Execution, "(a)")
+		if isA && r.Races != 0 {
+			t.Errorf("Figure 2(a) under %v/%s reported %d races, want 0", r.Mode, r.Checker, r.Races)
+		}
+		if !isA && r.Races == 0 {
+			t.Errorf("Figure 2(b) under %v/%s reported no races", r.Mode, r.Checker)
+		}
+	}
+	if table.String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, table, err := Figure3(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := make(map[policy.Kind]Figure3Row)
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if !r.AppearsSC {
+			t.Errorf("%v: Figure 3 run must appear SC", r.Policy)
+		}
+	}
+	def1, def2 := byPolicy[policy.WODef1], byPolicy[policy.WODef2]
+	if def2.ReleaserStall >= def1.ReleaserStall {
+		t.Errorf("releaser stall: Def1 %d vs Def2 %d — the new implementation must stall the releaser less",
+			def1.ReleaserStall, def2.ReleaserStall)
+	}
+	if def2.AcquirerStall == 0 {
+		t.Error("the acquirer must still stall under Def2 (its TAS waits on the reserve bit)")
+	}
+	if table.String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, _, err := Table1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under Def1 the release stall must grow with latency; under Def2 it
+	// must grow much more slowly. Compare smallest vs largest latency.
+	stall := func(pol policy.Kind, lat float64) float64 {
+		for _, r := range rows {
+			if r.Policy == pol && float64(r.NetBase) == lat {
+				return r.ReleaserStall
+			}
+		}
+		t.Fatalf("missing row %v@%v", pol, lat)
+		return 0
+	}
+	d1lo, d1hi := stall(policy.WODef1, 5), stall(policy.WODef1, 80)
+	d2lo, d2hi := stall(policy.WODef2, 5), stall(policy.WODef2, 80)
+	if d1hi <= d1lo {
+		t.Errorf("Def1 release stall must grow with latency: %v -> %v", d1lo, d1hi)
+	}
+	// Def2's releaser beats Def1's at every latency (commit-only wait vs
+	// full drain + global performance)...
+	for _, lat := range []float64{5, 10, 20, 40, 80} {
+		if stall(policy.WODef2, lat) >= stall(policy.WODef1, lat) {
+			t.Errorf("at latency %v, Def2 (%v) must beat Def1 (%v)",
+				lat, stall(policy.WODef2, lat), stall(policy.WODef1, lat))
+		}
+	}
+	// ...and the gap widens with latency: Def1 additionally waits out the
+	// write's global performance, which scales with the network.
+	if (d1hi - d2hi) <= (d1lo - d2lo) {
+		t.Errorf("the Def1-Def2 gap must widen with latency: %v@5 vs %v@80", d1lo-d2lo, d1hi-d2hi)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, _, err := Table2(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc := make(map[string]float64)
+	for _, r := range rows {
+		if r.Procs == 8 {
+			cyc[r.Variant] = r.Cycles
+		}
+	}
+	def2 := cyc["WO-Def2"]
+	cached := cyc["WO-Def2+RO (cached Test)"]
+	if def2 == 0 || cached == 0 {
+		t.Fatalf("missing 8-processor rows: %v", cyc)
+	}
+	// At the highest contention the cached-Test refinement must win.
+	if cached >= def2 {
+		t.Errorf("at 8 processors the refinement must be faster: Def2 %v vs cached-Test %v", def2, cached)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, _, err := Table3(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: on the data-heavy workload, SC must be slowest at 8
+	// processors (it serializes every access's global performance).
+	var scCyc, def2Cyc float64
+	for _, r := range rows {
+		if r.Workload == "datasync(8 data/sync)" && r.Procs == 8 {
+			switch r.Policy {
+			case policy.SC:
+				scCyc = r.Cycles
+			case policy.WODef2:
+				def2Cyc = r.Cycles
+			}
+		}
+	}
+	if scCyc == 0 || def2Cyc == 0 {
+		t.Fatal("missing rows")
+	}
+	if def2Cyc >= scCyc {
+		t.Errorf("WO-Def2 (%v cycles) must beat SC (%v cycles) on the data-heavy workload", def2Cyc, scCyc)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, _, err := Table4(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Class == "generated DRF0" && r.AppearsSC != r.Runs {
+			t.Errorf("%v: %d/%d DRF0 runs appeared SC — the contract demands all",
+				r.Policy, r.AppearsSC, r.Runs)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows, _, err := Table5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sub string, pol policy.Kind) float64 {
+		for _, r := range rows {
+			if r.Substrate == sub && r.Policy == pol {
+				return r.ReleaserStall
+			}
+		}
+		t.Fatalf("missing row %s/%v", sub, pol)
+		return 0
+	}
+	// Directory/network: Def2 releases earlier than Def1.
+	if get("directory/network", policy.WODef2) >= get("directory/network", policy.WODef1) {
+		t.Error("on the directory substrate Def2's releaser must stall less than Def1's")
+	}
+	// Snoopy/bus: the two converge (within 20%).
+	d1 := get("snoopy/bus", policy.WODef1)
+	d2 := get("snoopy/bus", policy.WODef2)
+	lo, hi := d1, d2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo == 0 || hi/lo > 1.2 {
+		t.Errorf("on the atomic bus the definitions should converge: Def1 %v vs Def2 %v", d1, d2)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows, _, err := Table6(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawForbidden := false
+	for _, r := range rows {
+		if r.Policy == policy.SC && (r.Forbidden != 0 || r.NonSC != 0) {
+			t.Errorf("%s: SC exhibited %d forbidden / %d non-SC", r.Test, r.Forbidden, r.NonSC)
+		}
+		if r.Coherence && r.Forbidden != 0 {
+			t.Errorf("%s on %v: coherence-guaranteed outcome observed", r.Test, r.Policy)
+		}
+		if r.Forbidden > 0 {
+			sawForbidden = true
+		}
+	}
+	if !sawForbidden {
+		t.Error("some weak machine must exhibit some forbidden outcome")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Headers: []string{"a", "bee"}}
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "yyyy")
+	tb.Notes = append(tb.Notes, "a note")
+	out := tb.String()
+	for _, want := range []string{"T — demo", "a", "bee", "2.50", "yyyy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

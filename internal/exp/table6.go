@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/machine"
+	"weakorder/internal/policy"
+	"weakorder/internal/runner"
+)
+
+// Table6Row is one (test, policy) cell of the classic litmus matrix.
+type Table6Row struct {
+	Test      string
+	Policy    policy.Kind
+	Runs      int
+	Forbidden int
+	NonSC     int
+	Coherence bool // the forbidden outcome is coherence-guaranteed away
+}
+
+// Table6 runs the classic litmus suite (SB, MP, S, R, 2+2W, WRC, RWC,
+// IRIW, CoRR, CoWW) across every policy on the network machine and
+// counts SC-forbidden outcomes — the herd-style behavioral fingerprint
+// of each hardware design. SC exhibits nothing; the Co* rows are
+// guaranteed by cache coherence on every machine; the remaining rows are
+// racy programs for which weak ordering makes no promise.
+func Table6(seeds int) ([]Table6Row, *Table, error) {
+	var rows []Table6Row
+	for _, tc := range litmus.Classic() {
+		for _, pol := range policy.All() {
+			cfg := machine.Config{Policy: pol, Topology: machine.TopoNetwork, Caches: true, NetJitter: 20}
+			rep, err := runner.RunOn(tc.Prog, cfg, runner.Config{Seeds: seeds, Forbidden: tc.Forbidden})
+			if err != nil {
+				return nil, nil, fmt.Errorf("table6 %s %v: %w", tc.Name, pol, err)
+			}
+			rows = append(rows, Table6Row{
+				Test:      tc.Name,
+				Policy:    pol,
+				Runs:      rep.Runs,
+				Forbidden: rep.ForbiddenRuns,
+				NonSC:     rep.NonSCRuns,
+				Coherence: tc.CoherenceOnly,
+			})
+		}
+	}
+	t := &Table{
+		ID:      "Table 6",
+		Title:   "Classic litmus matrix: SC-forbidden outcomes per policy (network+caches)",
+		Headers: []string{"test", "policy", "forbidden/runs", "non-SC/runs"},
+		Notes: []string{
+			"SC never exhibits a forbidden outcome; CoRR/CoWW are coherence-guaranteed everywhere",
+			"the rest are racy programs: fair game for every weakly ordered machine",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Test, r.Policy.String(),
+			fmt.Sprintf("%d/%d", r.Forbidden, r.Runs),
+			fmt.Sprintf("%d/%d", r.NonSC, r.Runs))
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,283 @@
+// Package gen produces random programs for property-based testing: a
+// race-free generator whose output provably obeys DRF0 by construction
+// (every shared variable is protected by a fixed lock acquired with
+// TestAndSet and released with a synchronization Unset), and a racy
+// generator that omits the discipline.
+//
+// The race-free generator is the engine behind the repository's strongest
+// validation: for every generated program and every seed, results from
+// the weakly ordered machines must appear sequentially consistent
+// (Definition 2), and the DRF0 checker must accept the program.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// RaceFreeConfig parameterizes the race-free generator.
+type RaceFreeConfig struct {
+	// Procs is the number of threads (>= 1, default 2).
+	Procs int
+	// Locks is the number of lock variables (default 2).
+	Locks int
+	// SharedPerLock is the number of shared variables protected by each
+	// lock (default 2).
+	SharedPerLock int
+	// PrivatePerProc is the number of unshared scratch variables per
+	// thread (default 2).
+	PrivatePerProc int
+	// Sections is the number of critical sections per thread (default 2).
+	Sections int
+	// OpsPerSection is the number of shared accesses inside each critical
+	// section (default 2).
+	OpsPerSection int
+	// PrivateOps is the number of private accesses between sections
+	// (default 2).
+	PrivateOps int
+	// TTAS spins with a read-only Test before attempting the TestAndSet
+	// (Section 6's Test&TestAndSet) instead of spinning on TAS directly.
+	TTAS bool
+}
+
+func (c RaceFreeConfig) withDefaults() RaceFreeConfig {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Procs, 2)
+	def(&c.Locks, 2)
+	def(&c.SharedPerLock, 2)
+	def(&c.PrivatePerProc, 2)
+	def(&c.Sections, 2)
+	def(&c.OpsPerSection, 2)
+	def(&c.PrivateOps, 2)
+	return c
+}
+
+// RaceFree generates a DRF0 program: each thread alternates private work
+// with lock-protected critical sections. Every access to a shared
+// variable happens while holding that variable's (unique) protecting
+// lock, so all conflicting accesses are ordered through the lock's
+// synchronization chain in every idealized execution.
+func RaceFree(cfg RaceFreeConfig, seed int64) *program.Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("racefree-%d", seed))
+
+	locks := make([]mem.Addr, cfg.Locks)
+	shared := make([][]mem.Addr, cfg.Locks)
+	for l := range locks {
+		locks[l] = b.Var(fmt.Sprintf("lock%d", l))
+		for s := 0; s < cfg.SharedPerLock; s++ {
+			shared[l] = append(shared[l], b.Var(fmt.Sprintf("s%d_%d", l, s)))
+		}
+	}
+
+	for pi := 0; pi < cfg.Procs; pi++ {
+		private := make([]mem.Addr, cfg.PrivatePerProc)
+		for v := range private {
+			private[v] = b.Var(fmt.Sprintf("p%d_%d", pi, v))
+		}
+		th := b.Thread()
+		label := 0
+		privateWork := func() {
+			for i := 0; i < cfg.PrivateOps; i++ {
+				v := private[rng.Intn(len(private))]
+				if rng.Intn(2) == 0 {
+					th.StoreImm(v, mem.Value(rng.Intn(100)))
+				} else {
+					th.Load(program.Reg(rng.Intn(4)), v)
+				}
+			}
+		}
+		privateWork()
+		for sec := 0; sec < cfg.Sections; sec++ {
+			l := rng.Intn(cfg.Locks)
+			spin := fmt.Sprintf("spin%d", label)
+			label++
+			th.Label(spin)
+			if cfg.TTAS {
+				th.SyncLoad(program.R6, locks[l])
+				th.BneImm(program.R6, 0, spin)
+			}
+			th.TAS(program.R7, locks[l])
+			th.BneImm(program.R7, 0, spin)
+			for i := 0; i < cfg.OpsPerSection; i++ {
+				v := shared[l][rng.Intn(len(shared[l]))]
+				switch rng.Intn(3) {
+				case 0:
+					th.StoreImm(v, mem.Value(1000*pi+sec*10+i))
+				case 1:
+					th.Load(program.Reg(rng.Intn(4)), v)
+				default:
+					// Read-modify-write through registers.
+					th.Load(program.R5, v)
+					th.AddImm(program.R5, program.R5, 1)
+					th.Store(v, program.R5)
+				}
+			}
+			th.SyncStoreImm(locks[l], 0)
+			privateWork()
+		}
+	}
+	return b.MustBuild()
+}
+
+// HandoffConfig parameterizes the flag-handoff generator.
+type HandoffConfig struct {
+	// Stages is the number of pipeline stages (threads); each stage
+	// receives from its predecessor and publishes to its successor
+	// (default 3).
+	Stages int
+	// Items is the number of values pushed through the pipeline
+	// (default 2).
+	Items int
+	// Work is the number of private writes each stage performs per item
+	// (default 1).
+	Work int
+}
+
+func (c HandoffConfig) withDefaults() HandoffConfig {
+	if c.Stages == 0 {
+		c.Stages = 3
+	}
+	if c.Items == 0 {
+		c.Items = 2
+	}
+	if c.Work == 0 {
+		c.Work = 1
+	}
+	return c
+}
+
+// Handoff generates a pipeline program disciplined purely by
+// release/acquire flag pairs: stage k spins on a read-only
+// synchronization Test of flag k until it reaches the item count, reads
+// the predecessor's slot, transforms it, writes its own slot, and
+// releases flag k+1 with a synchronization write. All conflicting data
+// accesses are ordered by a release (SW) followed by an acquire (SR) on
+// the same flag, so the program obeys DRF0, the Section 6 refined model,
+// AND the strict release/acquire model (hb.SyncPairedRA) — no TAS, no
+// lock chains, just paired handoffs.
+func Handoff(cfg HandoffConfig, seed int64) *program.Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("handoff-%d", seed))
+
+	slots := make([]mem.Addr, cfg.Stages+1)
+	flags := make([]mem.Addr, cfg.Stages+1)
+	acks := make([]mem.Addr, cfg.Stages+1)
+	for i := range slots {
+		slots[i] = b.Var(fmt.Sprintf("slot%d", i))
+		flags[i] = b.Var(fmt.Sprintf("flag%d", i))
+		acks[i] = b.Var(fmt.Sprintf("ack%d", i))
+	}
+
+	for st := 0; st < cfg.Stages; st++ {
+		th := b.Thread()
+		priv := b.Var(fmt.Sprintf("priv%d", st))
+		for item := 0; item < cfg.Items; item++ {
+			if st > 0 {
+				// Acquire the predecessor's release of this item.
+				spin := fmt.Sprintf("spin%d", item)
+				th.Label(spin)
+				th.SyncLoad(program.R0, flags[st])
+				th.BltImm(program.R0, mem.Value(item+1), spin)
+				th.Load(program.R1, slots[st-1])
+				th.AddImm(program.R1, program.R1, mem.Value(rng.Intn(9)+1))
+				// Acknowledge consumption so the predecessor may overwrite
+				// its slot (back-pressure: without this, the predecessor's
+				// next write would race with our read).
+				th.SyncStoreImm(acks[st], mem.Value(item+1))
+			}
+			if st < cfg.Stages-1 && item > 0 {
+				// Wait for the successor to have consumed the previous
+				// item before overwriting our slot.
+				wait := fmt.Sprintf("wait%d", item)
+				th.Label(wait)
+				th.SyncLoad(program.R2, acks[st+1])
+				th.BltImm(program.R2, mem.Value(item), wait)
+			}
+			if st == 0 {
+				th.StoreImm(slots[0], mem.Value(100*item+rng.Intn(50)))
+			} else {
+				th.Store(slots[st], program.R1)
+			}
+			for w := 0; w < cfg.Work; w++ {
+				th.StoreImm(priv, mem.Value(item*10+w))
+			}
+			// Release to the successor.
+			th.SyncStoreImm(flags[st+1], mem.Value(item+1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// RacyConfig parameterizes the racy generator.
+type RacyConfig struct {
+	// Procs is the number of threads (default 2).
+	Procs int
+	// Vars is the number of shared variables (default 3).
+	Vars int
+	// OpsPerProc is the number of accesses per thread (default 5).
+	OpsPerProc int
+	// SyncFraction inserts a synchronization operation with probability
+	// 1/SyncFraction per op slot (default 4; 0 disables sync entirely).
+	SyncFraction int
+}
+
+func (c RacyConfig) withDefaults() RacyConfig {
+	if c.Procs == 0 {
+		c.Procs = 2
+	}
+	if c.Vars == 0 {
+		c.Vars = 3
+	}
+	if c.OpsPerProc == 0 {
+		c.OpsPerProc = 5
+	}
+	if c.SyncFraction == 0 {
+		c.SyncFraction = 4
+	}
+	return c
+}
+
+// Racy generates a program with unsynchronized conflicting accesses:
+// loads and stores scattered over shared variables, with occasional
+// synchronization operations that do not establish a protective
+// discipline. Most seeds violate DRF0 (callers should verify with the
+// checker when the distinction matters).
+func Racy(cfg RacyConfig, seed int64) *program.Program {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("racy-%d", seed))
+	vars := make([]mem.Addr, cfg.Vars)
+	for i := range vars {
+		vars[i] = b.Var(fmt.Sprintf("v%d", i))
+	}
+	syncVar := b.Var("sv")
+	for pi := 0; pi < cfg.Procs; pi++ {
+		th := b.Thread()
+		for i := 0; i < cfg.OpsPerProc; i++ {
+			v := vars[rng.Intn(len(vars))]
+			switch {
+			case cfg.SyncFraction > 0 && rng.Intn(cfg.SyncFraction) == 0:
+				if rng.Intn(2) == 0 {
+					th.SwapImm(program.R3, syncVar, mem.Value(pi))
+				} else {
+					th.SyncStoreImm(syncVar, mem.Value(i))
+				}
+			case rng.Intn(2) == 0:
+				th.StoreImm(v, mem.Value(100*pi+i))
+			default:
+				th.Load(program.Reg(rng.Intn(4)), v)
+			}
+		}
+	}
+	return b.MustBuild()
+}

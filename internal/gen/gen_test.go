@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"testing"
+
+	"weakorder/internal/drf"
+	"weakorder/internal/hb"
+	"weakorder/internal/ideal"
+	"weakorder/internal/vclock"
+)
+
+func TestRaceFreeProgramsValidate(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := RaceFree(RaceFreeConfig{}, seed)
+		if err := p.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRaceFreeProgramsObeyDRF0(t *testing.T) {
+	// The generator's lock discipline must yield DRF0 programs. Small
+	// shapes keep exhaustive enumeration tractable.
+	cfg := RaceFreeConfig{Procs: 2, Locks: 1, SharedPerLock: 1, Sections: 1,
+		OpsPerSection: 1, PrivateOps: 1, PrivatePerProc: 1}
+	for seed := int64(0); seed < 15; seed++ {
+		p := RaceFree(cfg, seed)
+		v, err := drf.Check(p, hb.SyncAll, drf.CheckConfig{
+			Enum: ideal.EnumConfig{
+				Interp:        ideal.Config{MaxMemOpsPerThread: 16},
+				SkipTruncated: true,
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !v.DRF {
+			t.Errorf("seed %d: generated program races: %v\n%s", seed, v.Races, p)
+		}
+	}
+}
+
+func TestRaceFreeTTASObeysRefinedModel(t *testing.T) {
+	cfg := RaceFreeConfig{Procs: 2, Locks: 1, SharedPerLock: 1, Sections: 1,
+		OpsPerSection: 1, PrivateOps: 1, PrivatePerProc: 1, TTAS: true}
+	for seed := int64(0); seed < 10; seed++ {
+		p := RaceFree(cfg, seed)
+		v, err := drf.Check(p, hb.SyncWriterOrdered, drf.CheckConfig{
+			Enum: ideal.EnumConfig{
+				Interp:        ideal.Config{MaxMemOpsPerThread: 16},
+				SkipTruncated: true,
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !v.DRF {
+			t.Errorf("seed %d: TTAS program violates the refined model: %v", seed, v.Races)
+		}
+	}
+}
+
+func TestRacyProgramsMostlyRace(t *testing.T) {
+	racy := 0
+	const n = 15
+	for seed := int64(0); seed < n; seed++ {
+		p := Racy(RacyConfig{}, seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		v, err := drf.Check(p, hb.SyncAll, drf.CheckConfig{
+			Enum: ideal.EnumConfig{MaxPaths: 2_000_000},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !v.DRF {
+			racy++
+		}
+	}
+	if racy < n/2 {
+		t.Errorf("only %d/%d racy programs actually raced", racy, n)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RaceFree(RaceFreeConfig{}, 7)
+	b := RaceFree(RaceFreeConfig{}, 7)
+	if a.String() != b.String() {
+		t.Error("RaceFree must be deterministic per seed")
+	}
+	c := Racy(RacyConfig{}, 7)
+	d := Racy(RacyConfig{}, 7)
+	if c.String() != d.String() {
+		t.Error("Racy must be deterministic per seed")
+	}
+	e := RaceFree(RaceFreeConfig{}, 8)
+	if a.String() == e.String() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestHandoffProgramsObeyAllThreeModels(t *testing.T) {
+	cfg := HandoffConfig{Stages: 2, Items: 2, Work: 1}
+	seeds := int64(3)
+	if testing.Short() {
+		seeds = 1
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		p := Handoff(cfg, seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, mode := range []hb.SyncMode{hb.SyncAll, hb.SyncWriterOrdered, hb.SyncPairedRA} {
+			v, err := drf.Check(p, mode, drf.CheckConfig{
+				Enum: ideal.EnumConfig{
+					Interp:        ideal.Config{MaxMemOpsPerThread: 9},
+					SkipTruncated: true,
+					MaxPaths:      2_000_000,
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d [%v]: %v", seed, mode, err)
+			}
+			if !v.DRF {
+				t.Errorf("seed %d: handoff program races under %v: %v\n%s", seed, mode, v.Races, p)
+			}
+		}
+	}
+}
+
+func TestHandoffThreeStagesSampledRaceFreedom(t *testing.T) {
+	// Exhaustive enumeration of a 3-stage spinning pipeline explodes;
+	// sample fair idealized executions instead and check each with the
+	// linear-time vector-clock detector under the strictest model.
+	p := Handoff(HandoffConfig{Stages: 3, Items: 2}, 1)
+	for seed := int64(0); seed < 20; seed++ {
+		it, err := ideal.RunSeed(p, ideal.Config{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if races := vclock.CheckExecution(it.Execution(), hb.SyncPairedRA); len(races) != 0 {
+			t.Fatalf("seed %d: handoff execution races under drf0+ra: %v", seed, races)
+		}
+	}
+}
+
+func TestHandoffDeterministic(t *testing.T) {
+	a := Handoff(HandoffConfig{}, 3)
+	b := Handoff(HandoffConfig{}, 3)
+	if a.String() != b.String() {
+		t.Error("Handoff must be deterministic per seed")
+	}
+}

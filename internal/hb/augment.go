@@ -1,0 +1,132 @@
+package hb
+
+import (
+	"sort"
+
+	"weakorder/internal/mem"
+)
+
+// Augment implements the paper's Section 4 boundary construction: before
+// the actual execution, a hypothetical processor (mem.InitProc) writes the
+// initial value of every location and then performs a synchronization
+// operation on a fresh location; each real processor then performs a
+// synchronization operation on that location before its first real
+// operation. Symmetrically, after the execution each real processor
+// synchronizes on a second fresh location, after which a hypothetical
+// processor (mem.FinalProc) synchronizes and reads every location.
+//
+// The effect is that initializing writes happen-before every real access
+// and every real access happens-before the final reads, so accesses that
+// race only with the initial or final state are still classified as races
+// by DRF0.
+//
+// init supplies the program's initial memory contents (locations absent
+// from it initialize to zero). The returned execution is fresh; e is not
+// modified.
+func Augment(e *mem.Execution, init map[mem.Addr]mem.Value) *mem.Execution {
+	addrSet := make(map[mem.Addr]bool)
+	maxAddr := mem.Addr(0)
+	for _, op := range e.Ops {
+		addrSet[op.Addr] = true
+		if op.Addr > maxAddr {
+			maxAddr = op.Addr
+		}
+	}
+	for a := range e.Final {
+		addrSet[a] = true
+		if a > maxAddr {
+			maxAddr = a
+		}
+	}
+	for a := range init {
+		addrSet[a] = true
+		if a > maxAddr {
+			maxAddr = a
+		}
+	}
+	addrs := make([]mem.Addr, 0, len(addrSet))
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	initSync := maxAddr + 1
+	finalSync := maxAddr + 2
+
+	out := &mem.Execution{
+		Final: make(map[mem.Addr]mem.Value, len(e.Final)),
+		Procs: e.Procs,
+	}
+	for a, v := range e.Final {
+		out.Final[a] = v
+	}
+
+	// Hypothetical initial block.
+	ix := 0
+	for _, a := range addrs {
+		out.Ops = append(out.Ops, mem.Op{
+			Proc: mem.InitProc, Index: ix, Kind: mem.Write, Addr: a,
+			Data: init[a], Label: "init",
+		})
+		ix++
+	}
+	out.Ops = append(out.Ops, mem.Op{
+		Proc: mem.InitProc, Index: ix, Kind: mem.SyncRMW, Addr: initSync, Label: "init-sync",
+	})
+	for p := 0; p < e.Procs; p++ {
+		out.Ops = append(out.Ops, mem.Op{
+			Proc: p, Index: -1, Kind: mem.SyncRMW, Addr: initSync, Label: "init-sync",
+		})
+	}
+
+	// The actual execution.
+	out.Ops = append(out.Ops, e.Ops...)
+
+	// Hypothetical final block.
+	lastIndex := make(map[int]int, e.Procs)
+	for p := 0; p < e.Procs; p++ {
+		lastIndex[p] = -1
+	}
+	for _, op := range e.Ops {
+		if op.Proc >= 0 && op.Index > lastIndex[op.Proc] {
+			lastIndex[op.Proc] = op.Index
+		}
+	}
+	for p := 0; p < e.Procs; p++ {
+		out.Ops = append(out.Ops, mem.Op{
+			Proc: p, Index: lastIndex[p] + 1, Kind: mem.SyncRMW, Addr: finalSync, Label: "final-sync",
+		})
+	}
+	fx := 0
+	out.Ops = append(out.Ops, mem.Op{
+		Proc: mem.FinalProc, Index: fx, Kind: mem.SyncRMW, Addr: finalSync, Label: "final-sync",
+	})
+	fx++
+	for _, a := range addrs {
+		out.Ops = append(out.Ops, mem.Op{
+			Proc: mem.FinalProc, Index: fx, Kind: mem.Read, Addr: a,
+			Got: e.Final[a], Label: "final",
+		})
+		fx++
+	}
+	return out
+}
+
+// BuildAugmented is shorthand for Build(Augment(e, init), mode).
+func BuildAugmented(e *mem.Execution, init map[mem.Addr]mem.Value, mode SyncMode) *Graph {
+	return Build(Augment(e, init), mode)
+}
+
+// RealRaces filters races down to those between two real (non-boundary)
+// operations. Boundary operations participate in ordering but races
+// reported against them would double-report initial/final-state races in
+// most callers' output.
+func RealRaces(races []Race) []Race {
+	var out []Race
+	for _, r := range races {
+		if r.A.Proc >= 0 && r.B.Proc >= 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package hb
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// releaseReleaseExec: P0 writes data then releases s; P1 also releases s
+// (no acquire) and then reads the data.
+func releaseReleaseExec() *mem.Execution {
+	return &mem.Execution{
+		Procs: 2,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1},     // W(y)
+			{Proc: 0, Index: 1, Kind: mem.SyncWrite, Addr: 5}, // release s
+			{Proc: 1, Index: 0, Kind: mem.SyncWrite, Addr: 5}, // release s (no acquire!)
+			{Proc: 1, Index: 1, Kind: mem.Read, Addr: 1},      // R(y)
+		},
+	}
+}
+
+// releaseAcquireExec: proper pairing — P1 acquires with a sync read.
+func releaseAcquireExec() *mem.Execution {
+	return &mem.Execution{
+		Procs: 2,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1},
+			{Proc: 0, Index: 1, Kind: mem.SyncWrite, Addr: 5},
+			{Proc: 1, Index: 0, Kind: mem.SyncRead, Addr: 5}, // acquire
+			{Proc: 1, Index: 1, Kind: mem.Read, Addr: 1},
+		},
+	}
+}
+
+func TestPairedRADropsReleaseReleaseEdge(t *testing.T) {
+	e := releaseReleaseExec()
+	// Writer-ordered: SW→SW edge exists, so the accesses are ordered.
+	if g := Build(e, SyncWriterOrdered); !g.HappensBefore(0, 3) {
+		t.Error("writer-ordered must order through the SW→SW edge")
+	}
+	// PairedRA: release→release orders nothing; the data accesses race.
+	g := Build(e, SyncPairedRA)
+	if g.HappensBefore(0, 3) {
+		t.Error("paired-RA must not order through release→release")
+	}
+	if races := g.Races(); len(races) != 1 {
+		t.Errorf("races = %v, want exactly the W/R pair", races)
+	}
+}
+
+func TestPairedRAKeepsReleaseAcquireEdge(t *testing.T) {
+	e := releaseAcquireExec()
+	g := Build(e, SyncPairedRA)
+	if !g.HappensBefore(0, 3) {
+		t.Error("paired-RA must order through a release→acquire pair")
+	}
+	if races := g.Races(); len(races) != 0 {
+		t.Errorf("unexpected races: %v", races)
+	}
+}
+
+func TestPairedRAAcquireSeesAllEarlierReleases(t *testing.T) {
+	// Two independent releasers, one acquirer: the acquire is ordered
+	// after BOTH releases even though the releases are unordered among
+	// themselves.
+	e := &mem.Execution{
+		Procs: 3,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1},     // W(y)
+			{Proc: 1, Index: 0, Kind: mem.Write, Addr: 2},     // W(z)
+			{Proc: 0, Index: 1, Kind: mem.SyncWrite, Addr: 5}, // release
+			{Proc: 1, Index: 1, Kind: mem.SyncWrite, Addr: 5}, // release
+			{Proc: 2, Index: 0, Kind: mem.SyncRead, Addr: 5},  // acquire
+			{Proc: 2, Index: 1, Kind: mem.Read, Addr: 1},
+			{Proc: 2, Index: 2, Kind: mem.Read, Addr: 2},
+		},
+	}
+	g := Build(e, SyncPairedRA)
+	if !g.HappensBefore(0, 5) || !g.HappensBefore(1, 6) {
+		t.Error("the acquire must be ordered after every earlier release")
+	}
+	if races := g.Races(); len(races) != 0 {
+		t.Errorf("unexpected races: %v", races)
+	}
+	if err := g.CheckStrictPartialOrder(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedRAModeString(t *testing.T) {
+	if SyncPairedRA.String() != "drf0+ra" {
+		t.Errorf("String = %q", SyncPairedRA.String())
+	}
+}

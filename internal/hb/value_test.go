@@ -1,0 +1,107 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// The Lemma 1 value condition's failure modes: wrong value from the
+// hb-last write, wrong initial value, and ambiguity on racy executions.
+
+func TestValueConditionWrongValue(t *testing.T) {
+	e := &mem.Execution{
+		Procs: 1,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1, Data: 5},
+			{Proc: 0, Index: 1, Kind: mem.Read, Addr: 1, Got: 7}, // wrong!
+		},
+	}
+	g := Build(e, SyncAll)
+	err := g.CheckReadsSeeLastWrite(nil)
+	if err == nil || !strings.Contains(err.Error(), "hb-last write") {
+		t.Fatalf("err = %v, want hb-last-write violation", err)
+	}
+}
+
+func TestValueConditionInitialValue(t *testing.T) {
+	e := &mem.Execution{
+		Procs: 1,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Read, Addr: 1, Got: 9},
+		},
+	}
+	g := Build(e, SyncAll)
+	if err := g.CheckReadsSeeLastWrite(map[mem.Addr]mem.Value{1: 9}); err != nil {
+		t.Fatalf("correct initial read rejected: %v", err)
+	}
+	if err := g.CheckReadsSeeLastWrite(nil); err == nil {
+		t.Fatal("reading 9 from a zero-initialized location must fail")
+	}
+}
+
+func TestValueConditionAmbiguousOnRacyExecution(t *testing.T) {
+	// Two unordered writes before a read: the hb-last write is not
+	// unique, which the checker reports rather than guessing.
+	e := &mem.Execution{
+		Procs: 3,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1, Data: 1},
+			{Proc: 1, Index: 0, Kind: mem.Write, Addr: 1, Data: 2},
+			{Proc: 0, Index: 1, Kind: mem.SyncRMW, Addr: 5},
+			{Proc: 1, Index: 1, Kind: mem.SyncRMW, Addr: 5},
+			{Proc: 2, Index: 0, Kind: mem.SyncRMW, Addr: 5},
+			{Proc: 2, Index: 1, Kind: mem.Read, Addr: 1, Got: 2},
+		},
+	}
+	g := Build(e, SyncAll)
+	err := g.CheckReadsSeeLastWrite(nil)
+	if err == nil || !strings.Contains(err.Error(), "maximal") {
+		t.Fatalf("err = %v, want ambiguity report", err)
+	}
+}
+
+func TestValueConditionRMWExcludesOwnWrite(t *testing.T) {
+	e := &mem.Execution{
+		Procs: 1,
+		Ops: []mem.Op{
+			{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1, Data: 4},
+			{Proc: 0, Index: 1, Kind: mem.SyncRMW, Addr: 1, Got: 4, Data: 9},
+		},
+	}
+	g := Build(e, SyncAll)
+	if err := g.CheckReadsSeeLastWrite(nil); err != nil {
+		t.Fatalf("RMW reading its predecessor rejected: %v", err)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	e := &mem.Execution{
+		Procs: 1,
+		Ops:   []mem.Op{{Proc: 0, Index: 0, Kind: mem.Write, Addr: 1}},
+	}
+	g := Build(e, SyncWriterOrdered)
+	if g.N() != 1 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.Mode() != SyncWriterOrdered {
+		t.Errorf("Mode = %v", g.Mode())
+	}
+	if g.Execution() != e {
+		t.Error("Execution accessor")
+	}
+	if SyncMode(99).String() == "" {
+		t.Error("unknown mode must render")
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{
+		A: mem.Op{Proc: 0, Kind: mem.Write, Addr: 1, Data: 2},
+		B: mem.Op{Proc: 1, Kind: mem.Read, Addr: 1, Got: 0},
+	}
+	if !strings.Contains(r.String(), "race:") {
+		t.Errorf("Race.String = %q", r.String())
+	}
+}

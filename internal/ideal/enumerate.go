@@ -1,0 +1,141 @@
+package ideal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/program"
+)
+
+// EnumConfig controls exhaustive interleaving enumeration.
+type EnumConfig struct {
+	// Interp bounds each interpreted path.
+	Interp Config
+	// MaxExecutions aborts enumeration after this many complete executions
+	// (0 = unlimited). Exceeding it yields ErrBudget.
+	MaxExecutions int
+	// MaxPaths aborts after exploring this many paths, complete or not
+	// (0 = unlimited). Exceeding it yields ErrBudget.
+	MaxPaths int
+	// SkipTruncated controls what happens when a path exceeds the
+	// per-thread memory-operation budget: if true the path is silently
+	// abandoned, otherwise enumeration fails with ErrTruncated.
+	SkipTruncated bool
+}
+
+// ErrBudget reports that enumeration exceeded its execution or path budget.
+var ErrBudget = errors.New("ideal: enumeration budget exceeded")
+
+// ErrStop is returned by a visitor to stop enumeration early without error.
+var ErrStop = errors.New("ideal: stop enumeration")
+
+// EnumStats summarizes an enumeration.
+type EnumStats struct {
+	// Executions is the number of complete executions visited.
+	Executions int
+	// Truncated is the number of abandoned (budget-exceeded) paths.
+	Truncated int
+	// Steps is the total number of Step calls performed.
+	Steps int
+}
+
+// Visitor receives each complete idealized execution. Returning ErrStop
+// halts enumeration successfully; any other non-nil error aborts it.
+type Visitor func(*Interp) error
+
+// Enumerate explores every interleaving of p at memory-operation
+// granularity, invoking visit once per complete execution. The Interp
+// passed to visit is owned by the enumerator and must not be retained;
+// call Execution on it to snapshot.
+func Enumerate(p *program.Program, cfg EnumConfig, visit Visitor) (EnumStats, error) {
+	var stats EnumStats
+	root := New(p, cfg.Interp)
+	err := enumerate(root, cfg, &stats, visit)
+	if errors.Is(err, ErrStop) {
+		return stats, nil
+	}
+	return stats, err
+}
+
+func enumerate(it *Interp, cfg EnumConfig, stats *EnumStats, visit Visitor) error {
+	if cfg.MaxPaths > 0 && stats.Steps > cfg.MaxPaths {
+		return ErrBudget
+	}
+	if it.Done() {
+		stats.Executions++
+		if cfg.MaxExecutions > 0 && stats.Executions > cfg.MaxExecutions {
+			return ErrBudget
+		}
+		return visit(it)
+	}
+	for _, tid := range it.Runnable() {
+		child := it.Clone()
+		stats.Steps++
+		_, _, err := child.Step(tid)
+		switch {
+		case errors.Is(err, ErrTruncated):
+			stats.Truncated++
+			if cfg.SkipTruncated {
+				continue
+			}
+			return ErrTruncated
+		case err != nil:
+			return err
+		}
+		if err := enumerate(child, cfg, stats, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSchedule interprets p under an explicit schedule: schedule[i] names
+// the thread taking step i. When the schedule is exhausted (or names a
+// halted thread) remaining threads run round-robin to completion.
+func RunSchedule(p *program.Program, cfg Config, schedule []int) (*Interp, error) {
+	it := New(p, cfg)
+	for _, tid := range schedule {
+		if it.Done() {
+			break
+		}
+		if tid < 0 || tid >= len(it.threads) || it.threads[tid].halted {
+			continue
+		}
+		if _, _, err := it.Step(tid); err != nil {
+			return nil, err
+		}
+	}
+	if err := drain(it); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// RunSeed interprets p under a pseudo-random fair interleaving derived from
+// seed. Fairness (every runnable thread is eventually chosen) ensures that
+// spin loops waiting on other threads terminate.
+func RunSeed(p *program.Program, cfg Config, seed int64) (*Interp, error) {
+	it := New(p, cfg)
+	rng := rand.New(rand.NewSource(seed))
+	for !it.Done() {
+		run := it.Runnable()
+		tid := run[rng.Intn(len(run))]
+		if _, _, err := it.Step(tid); err != nil {
+			return nil, fmt.Errorf("ideal: seed %d: %w", seed, err)
+		}
+	}
+	return it, nil
+}
+
+// drain runs all remaining threads round-robin until completion.
+func drain(it *Interp) error {
+	for !it.Done() {
+		for _, tid := range it.Runnable() {
+			if _, _, err := it.Step(tid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/ideal"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+)
+
+const sbCondSrc = `
+program sb-cond
+thread P0 {
+  st x, #1
+  ld r0, y
+}
+thread P1 {
+  st y, #1
+  ld r0, x
+}
+exists P0:r0=0 & P1:r0=0
+`
+
+func TestParseExistsCondition(t *testing.T) {
+	p, err := Parse(sbCondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cond == nil || len(p.Cond.Terms) != 2 {
+		t.Fatalf("cond = %+v", p.Cond)
+	}
+	if p.Cond.Terms[0].Thread != 0 || p.Cond.Terms[0].Reg != program.R0 || p.Cond.Terms[0].Value != 0 {
+		t.Errorf("term 0 = %+v", p.Cond.Terms[0])
+	}
+	if got := p.Cond.String(); got != "exists P0:r0=0 & P1:r0=0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseExistsMemoryTerm(t *testing.T) {
+	src := "program m\nthread P0 {\n st x, #2\n}\nexists x=2\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cond == nil || p.Cond.Terms[0].Thread != -1 || p.Cond.Terms[0].Sym != "x" {
+		t.Fatalf("cond = %+v", p.Cond)
+	}
+	it, err := ideal.RunSeed(p, ideal.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.EvalCond(p.Cond) {
+		t.Error("x=2 must hold after the store")
+	}
+}
+
+func TestExistsErrors(t *testing.T) {
+	cases := []string{
+		"program x\nthread P0 {\n nop\n}\nexists\n",          // handled as unknown? actually "exists" without space
+		"program x\nthread P0 {\n nop\n}\nexists P0:r0\n",    // no value
+		"program x\nthread P0 {\n nop\n}\nexists Q0:r0=1\n",  // bad thread
+		"program x\nthread P0 {\n nop\n}\nexists P0:x=1\n",   // non-register after colon
+		"program x\nthread P0 {\n nop\n}\nexists 7seven=1\n", // bad ident
+		"program x\nthread P0 {\n nop\n}\nexists P0:r0=zz\n", // bad value
+		"program x\nthread P0 {\nexists P0:r0=0\n}\n",        // inside thread
+		"program x\nthread P0 {\n nop\n}\nexists P9:r0=0\n",  // thread out of range (Validate)
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCondFormatRoundTrip(t *testing.T) {
+	p, err := Parse(sbCondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	if !strings.Contains(text, "exists P0:r0=0 & P1:r0=0") {
+		t.Fatalf("formatted text missing condition:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cond == nil || back.Cond.String() != p.Cond.String() {
+		t.Error("condition lost in round trip")
+	}
+}
+
+func TestCondOnMachineRuns(t *testing.T) {
+	p, err := Parse(sbCondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SC machine: the condition never holds.
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := machine.Run(p, machine.Config{
+			Policy: policy.SC, Topology: machine.TopoBus, Caches: true,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CondHolds(p) {
+			t.Errorf("seed %d: SC machine satisfied the forbidden condition", seed)
+		}
+	}
+	// Unconstrained bus: it does.
+	hit := false
+	for seed := int64(0); seed < 5 && !hit; seed++ {
+		res, err := machine.Run(p, machine.Config{
+			Policy: policy.Unconstrained, Topology: machine.TopoBus, Caches: true,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit = res.CondHolds(p)
+	}
+	if !hit {
+		t.Error("unconstrained machine must satisfy the SB condition")
+	}
+}
+
+func TestCondForbiddenUnderSCEnumeration(t *testing.T) {
+	p, err := Parse(sbCondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := false
+	_, err = ideal.Enumerate(p, ideal.EnumConfig{}, func(it *ideal.Interp) error {
+		if it.EvalCond(p.Cond) {
+			allowed = true
+			return ideal.ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allowed {
+		t.Error("no SC execution may satisfy the SB condition")
+	}
+}
+
+func TestCondEvalDirect(t *testing.T) {
+	c := &program.Cond{Terms: []program.CondTerm{
+		{Thread: 0, Reg: program.R1, Value: 5},
+		{Thread: -1, Addr: 3, Value: 7},
+	}}
+	regs := make([]program.RegFile, 1)
+	regs[0][program.R1] = 5
+	final := map[mem.Addr]mem.Value{3: 7}
+	if !c.Eval(regs, final) {
+		t.Error("condition must hold")
+	}
+	final[3] = 0
+	if c.Eval(regs, final) {
+		t.Error("memory term must fail")
+	}
+	final[3] = 7
+	regs[0][program.R1] = 4
+	if c.Eval(regs, final) {
+		t.Error("register term must fail")
+	}
+	// Out-of-range thread.
+	c2 := &program.Cond{Terms: []program.CondTerm{{Thread: 5, Reg: 0, Value: 0}}}
+	if c2.Eval(regs, final) {
+		t.Error("missing thread must fail")
+	}
+}

@@ -1,0 +1,121 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Format renders a Program in the litmus text format accepted by Parse.
+// Branch targets are materialized as generated labels L<index>; variable
+// names come from the symbol table, falling back to v<addr>.
+func Format(p *program.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+
+	if len(p.Init) > 0 {
+		addrs := make([]mem.Addr, 0, len(p.Init))
+		for a := range p.Init {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		b.WriteString("init")
+		for _, a := range addrs {
+			fmt.Fprintf(&b, " %s=%d", varName(p, a), p.Init[a])
+		}
+		b.WriteByte('\n')
+	}
+
+	if p.Cond != nil {
+		fmt.Fprintf(&b, "%s\n", p.Cond.String())
+	}
+
+	for ti := range p.Threads {
+		t := &p.Threads[ti]
+		fmt.Fprintf(&b, "\nthread %s {\n", t.Name)
+		// Collect label positions.
+		labels := make(map[int]bool)
+		for _, in := range t.Instrs {
+			if in.Op.IsBranch() {
+				labels[in.Target] = true
+			}
+		}
+		for i, in := range t.Instrs {
+			if labels[i] {
+				fmt.Fprintf(&b, "L%d:\n", i)
+			}
+			fmt.Fprintf(&b, "  %s\n", formatInstr(p, in))
+		}
+		if labels[len(t.Instrs)] {
+			fmt.Fprintf(&b, "L%d:\n  nop\n", len(t.Instrs))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func varName(p *program.Program, a mem.Addr) string {
+	if s := p.SymbolFor(a); s != "" {
+		return s
+	}
+	return fmt.Sprintf("v%d", a)
+}
+
+func formatInstr(p *program.Program, in program.Instr) string {
+	v := func() string { return varName(p, in.Addr) }
+	src := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("#%d", in.Imm)
+		}
+		return in.Rs.String()
+	}
+	op2 := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("#%d", in.Imm)
+		}
+		return in.Rt.String()
+	}
+	switch in.Op {
+	case program.OpNop:
+		return "nop"
+	case program.OpHalt:
+		return "halt"
+	case program.OpFence:
+		return "fence"
+	case program.OpLoadImm:
+		return fmt.Sprintf("li %v, #%d", in.Rd, in.Imm)
+	case program.OpMov:
+		return fmt.Sprintf("mov %v, %v", in.Rd, in.Rs)
+	case program.OpAdd:
+		return fmt.Sprintf("add %v, %v, %v", in.Rd, in.Rs, in.Rt)
+	case program.OpAddImm:
+		return fmt.Sprintf("addi %v, %v, #%d", in.Rd, in.Rs, in.Imm)
+	case program.OpSub:
+		return fmt.Sprintf("sub %v, %v, %v", in.Rd, in.Rs, in.Rt)
+	case program.OpLoad:
+		return fmt.Sprintf("ld %v, %s", in.Rd, v())
+	case program.OpSyncLoad:
+		return fmt.Sprintf("sld %v, %s", in.Rd, v())
+	case program.OpStore:
+		return fmt.Sprintf("st %s, %s", v(), src())
+	case program.OpSyncStore:
+		return fmt.Sprintf("sst %s, %s", v(), src())
+	case program.OpTAS:
+		return fmt.Sprintf("tas %v, %s", in.Rd, v())
+	case program.OpSwap:
+		return fmt.Sprintf("swap %v, %s, %s", in.Rd, v(), src())
+	case program.OpBeq, program.OpBne, program.OpBlt, program.OpBge:
+		name := map[program.Opcode]string{
+			program.OpBeq: "beq", program.OpBne: "bne",
+			program.OpBlt: "blt", program.OpBge: "bge",
+		}[in.Op]
+		return fmt.Sprintf("%s %v, %s, L%d", name, in.Rs, op2(), in.Target)
+	case program.OpJmp:
+		return fmt.Sprintf("jmp L%d", in.Target)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,224 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/ideal"
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+const dekkerSrc = `
+# Dekker's store-buffering test
+program dekker
+thread P0 {
+  st x, #1
+  ld r0, y
+}
+thread P1 {
+  st y, #1
+  ld r0, x
+}
+`
+
+func TestParseDekker(t *testing.T) {
+	p, err := Parse(dekkerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "dekker" || p.NumThreads() != 2 {
+		t.Fatalf("name=%q threads=%d", p.Name, p.NumThreads())
+	}
+	if _, ok := p.AddrOf("x"); !ok {
+		t.Fatal("x not allocated")
+	}
+	// Behavior matches the programmatic Dekker: same SC outcome count.
+	mine, err := outcomes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := outcomes(litmus.Dekker())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mine) != len(ref) {
+		t.Fatalf("parsed Dekker has %d SC outcomes, reference has %d", len(mine), len(ref))
+	}
+}
+
+func outcomes(p *program.Program) (map[string]bool, error) {
+	out := make(map[string]bool)
+	_, err := ideal.Enumerate(p, ideal.EnumConfig{}, func(it *ideal.Interp) error {
+		out[mem.ResultOf(it.Execution()).Key()] = true
+		return nil
+	})
+	return out, err
+}
+
+func TestParseSpinLoopWithLabelsAndInit(t *testing.T) {
+	src := `
+program spin
+init lock=1 out=0
+thread P0 {
+  sst lock, #0
+}
+thread P1 {
+spin:
+  tas r0, lock
+  bne r0, #0, spin
+  st out, #7
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, _ := p.AddrOf("lock")
+	if p.Init[lock] != 1 {
+		t.Fatalf("init lock = %d, want 1", p.Init[lock])
+	}
+	it, err := ideal.RunSeed(p, ideal.Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := p.AddrOf("out")
+	if got := it.MemValue(out); got != 7 {
+		t.Fatalf("out = %d, want 7", got)
+	}
+}
+
+func TestParseAllMnemonics(t *testing.T) {
+	src := `
+program all
+thread P0 {
+  nop
+  fence
+  li r1, #5
+  mov r2, r1
+  add r3, r1, r2
+  addi r4, r3, #-1
+  sub r5, r3, r4
+  ld r0, x
+  st x, r1
+  st x, #2
+  sld r0, s
+  sst s, #1
+  sst s, r1
+  tas r6, s
+  swap r7, s, r1
+  swap r7, s, #3
+top:
+  beq r1, r2, top
+  bne r1, #9, next
+  blt r1, r2, top
+  bge r1, #0, next
+  jmp end
+next:
+  nop
+end:
+  halt
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no-thread", "program x\nld r0, y\n"},
+		{"bad-mnemonic", "program x\nthread P0 {\n frob r0\n}\n"},
+		{"bad-register", "program x\nthread P0 {\n ld r99, y\n}\n"},
+		{"bad-operand-count", "program x\nthread P0 {\n ld r0\n}\n"},
+		{"unterminated", "program x\nthread P0 {\n nop\n"},
+		{"nested-thread", "program x\nthread P0 {\nthread P1 {\n}\n}\n"},
+		{"unmatched-close", "program x\n}\n"},
+		{"bad-init", "program x\ninit q\nthread P0 {\n nop\n}\n"},
+		{"undefined-label", "program x\nthread P0 {\n jmp nowhere\n}\n"},
+		{"late-program", "thread P0 {\n nop\n}\nprogram x\n"},
+		{"bad-imm", "program x\nthread P0 {\n li r0, #zz\n}\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected a parse error", c.name)
+		}
+	}
+}
+
+func TestParseErrorCarriesLine(t *testing.T) {
+	_, err := Parse("program x\nthread P0 {\n frob\n}\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestFormatParsesBack(t *testing.T) {
+	// Round trip every litmus program through Format -> Parse and compare
+	// SC outcome sets.
+	for _, prog := range []*program.Program{
+		litmus.Dekker(),
+		litmus.DekkerSync(),
+		litmus.MessagePassingBounded(),
+		litmus.IRIW(),
+		litmus.CriticalSection(2, 1),
+		litmus.TestAndTAS(2, 1),
+	} {
+		text := Format(prog)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", prog.Name, err, text)
+		}
+		a, err := boundedOutcomes(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := boundedOutcomes(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("%s: outcome sets differ after round trip: %d vs %d", prog.Name, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Errorf("%s: outcome %q lost in round trip", prog.Name, k)
+			}
+		}
+	}
+}
+
+func boundedOutcomes(p *program.Program) (map[string]bool, error) {
+	out := make(map[string]bool)
+	cfg := ideal.EnumConfig{
+		Interp:        ideal.Config{MaxMemOpsPerThread: 10},
+		SkipTruncated: true,
+	}
+	_, err := ideal.Enumerate(p, cfg, func(it *ideal.Interp) error {
+		out[mem.ResultOf(it.Execution()).Key()] = true
+		return nil
+	})
+	return out, err
+}
+
+func TestCommentsAndSemicolons(t *testing.T) {
+	src := "program c\nthread P0 {\n nop ; trailing comment\n # full line\n halt\n}\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

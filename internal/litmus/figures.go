@@ -1,0 +1,165 @@
+package litmus
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Addresses used by the Figure 2 executions.
+const (
+	Fig2X mem.Addr = 0 // data location x
+	Fig2Y mem.Addr = 1 // data location y
+	Fig2Z mem.Addr = 2 // data location z
+	Fig2S mem.Addr = 3 // sync location s ("a" in the figure)
+	Fig2T mem.Addr = 4 // sync location t ("b" in the figure)
+	Fig2U mem.Addr = 5 // sync location u ("c" in the figure)
+	Fig2V mem.Addr = 6 // extra sync location
+)
+
+// op is a terse constructor for hand-coded figure executions.
+func op(proc, index int, kind mem.Kind, addr mem.Addr, data, got mem.Value, label string) mem.Op {
+	return mem.Op{Proc: proc, Index: index, Kind: kind, Addr: addr, Data: data, Got: got, Label: label}
+}
+
+// Figure2a returns an idealized execution in the style of the paper's
+// Figure 2(a): six processors whose conflicting accesses are all ordered
+// by happens-before through chains of synchronization operations, so the
+// execution obeys DRF0. Ops are listed in completion order (time flows
+// down the figure).
+//
+//	P0: W(x)=7  S(s)
+//	P1: S(s)    R(x)->7  W(y)=8  S(t)
+//	P2: S(t)    R(y)->8  S(u)
+//	P3: S(u)    W(x)=9
+//	P4: W(z)=5  S(v)
+//	P5: S(v)    R(z)->5
+//
+// Conflicts: {P0.W(x), P1.R(x), P3.W(x)} ordered via s then t then u;
+// {P1.W(y), P2.R(y)} via t; {P4.W(z), P5.R(z)} via v.
+func Figure2a() *mem.Execution {
+	return &mem.Execution{
+		Procs: 6,
+		Ops: []mem.Op{
+			op(0, 0, mem.Write, Fig2X, 7, 0, "x"),
+			op(4, 0, mem.Write, Fig2Z, 5, 0, "z"),
+			op(0, 1, mem.SyncRMW, Fig2S, 1, 0, "s"),
+			op(4, 1, mem.SyncRMW, Fig2V, 1, 0, "v"),
+			op(1, 0, mem.SyncRMW, Fig2S, 1, 1, "s"),
+			op(5, 0, mem.SyncRMW, Fig2V, 1, 1, "v"),
+			op(1, 1, mem.Read, Fig2X, 0, 7, "x"),
+			op(5, 1, mem.Read, Fig2Z, 0, 5, "z"),
+			op(1, 2, mem.Write, Fig2Y, 8, 0, "y"),
+			op(1, 3, mem.SyncRMW, Fig2T, 1, 0, "t"),
+			op(2, 0, mem.SyncRMW, Fig2T, 1, 1, "t"),
+			op(2, 1, mem.Read, Fig2Y, 0, 8, "y"),
+			op(2, 2, mem.SyncRMW, Fig2U, 1, 0, "u"),
+			op(3, 0, mem.SyncRMW, Fig2U, 1, 1, "u"),
+			op(3, 1, mem.Write, Fig2X, 9, 0, "x"),
+		},
+		Final: map[mem.Addr]mem.Value{
+			Fig2X: 9, Fig2Y: 8, Fig2Z: 5,
+			Fig2S: 1, Fig2T: 1, Fig2U: 1, Fig2V: 1,
+		},
+	}
+}
+
+// Figure2b returns an idealized execution in the style of the paper's
+// Figure 2(b): it violates DRF0 because P0's accesses to y conflict with
+// P1's write of y without any intervening synchronization, and the writes
+// of z by P2 and P4 likewise conflict unordered (P4 never synchronizes,
+// so its write also races with P3's read of z). P3 is ordered after P1
+// and P2 via synchronization, so the P2/P3 pair on z is not a race.
+//
+//	P0: R(y)->0  W(y)=1
+//	P1: W(y)=2   S(s)
+//	P2: W(z)=3   S(t)
+//	P3: S(s)     S(t)   R(z)->3
+//	P4: W(z)=4
+func Figure2b() *mem.Execution {
+	return &mem.Execution{
+		Procs: 5,
+		Ops: []mem.Op{
+			op(0, 0, mem.Read, Fig2Y, 0, 0, "y"),
+			op(1, 0, mem.Write, Fig2Y, 2, 0, "y"),
+			op(0, 1, mem.Write, Fig2Y, 1, 0, "y"),
+			op(2, 0, mem.Write, Fig2Z, 3, 0, "z"),
+			op(1, 1, mem.SyncRMW, Fig2S, 1, 0, "s"),
+			op(2, 1, mem.SyncRMW, Fig2T, 1, 0, "t"),
+			op(3, 0, mem.SyncRMW, Fig2S, 1, 1, "s"),
+			op(3, 1, mem.SyncRMW, Fig2T, 1, 1, "t"),
+			op(3, 2, mem.Read, Fig2Z, 0, 3, "z"),
+			op(4, 0, mem.Write, Fig2Z, 4, 0, "z"),
+		},
+		Final: map[mem.Addr]mem.Value{
+			Fig2Y: 1, Fig2Z: 4,
+			Fig2S: 1, Fig2T: 1,
+		},
+	}
+}
+
+// Fig3Work is the default number of independent data writes each side
+// performs as "other work" in the Figure 3 scenario.
+const Fig3Work = 4
+
+// Figure3 returns Figure3Work(Fig3Work).
+func Figure3() *program.Program { return Figure3Work(Fig3Work) }
+
+// Figure3Work returns the Figure 3 scenario as a program:
+//
+//	P1: R(x); Set(ready); then spin TestAndSet(s) until released;
+//	    <other work>; r = R(x)  — must observe 1.
+//	P0: spin Test(ready); W(x)=1; <other work>; Unset(s); <more work>.
+//
+// The prologue (P1 reads x cold, then signals through ready) serves the
+// figure's premise that "the write of x takes a long time to be globally
+// performed": P1 holds x shared, so P0's W(x) must invalidate P1's copy
+// and is globally performed only when the invalidation acknowledgement
+// round-trips through the directory — long after the Unset commits.
+//
+// In the paper P0 Unsets s (s initially 1, held from the start); P1 spins
+// TestAndSet(s) until TAS returns 0 (released), exactly the paper's
+// synchronization pattern.
+//
+// The program obeys DRF0: the prologue accesses to x are ordered by the
+// synchronization on ready, the epilogue accesses by the synchronization
+// on s, and on weakly ordered hardware P1 must read x == 1.
+func Figure3Work(work int) *program.Program {
+	b := program.NewBuilder("figure3")
+	x, s, ready := b.Var("x"), b.Var("s"), b.Var("ready")
+	b.InitVar("s", 1) // s initially held
+
+	p0 := b.Thread()
+	p0.Label("wait")
+	p0.SyncLoad(program.R0, ready)
+	p0.BeqImm(program.R0, 0, "wait") // wait for P1's prologue
+	p0.StoreImm(x, 1)                // the long-latency write W(x)
+	for i := 0; i < work; i++ {
+		p0.StoreImm(b.Var(fmt.Sprintf("w0_%d", i)), mem.Value(i)) // other work
+	}
+	p0.SyncStoreImm(s, 0) // Unset(s): the release
+	for i := 0; i < work; i++ {
+		p0.StoreImm(b.Var(fmt.Sprintf("w1_%d", i)), mem.Value(i)) // more work after the release
+	}
+
+	p1 := b.Thread()
+	p1.Load(program.R2, x)    // puts x shared in P1's cache (reads 0)
+	p1.SyncStoreImm(ready, 1) // publish the prologue
+	p1.Label("spin")
+	p1.TAS(program.R0, s)
+	p1.BneImm(program.R0, 0, "spin") // TAS returned 1: still held
+	for i := 0; i < work; i++ {
+		p1.StoreImm(b.Var(fmt.Sprintf("w2_%d", i)), mem.Value(i)) // other work
+	}
+	p1.Load(program.R1, x) // must observe 1
+	return b.MustBuild()
+}
+
+// Figure3ReadOfX returns the OpID of P1's final read of x in
+// Figure3Work(work) given the number of failed TAS spins. P1's memory
+// operations are: R(x), Set(ready), spins+1 TAS operations, work writes,
+// then the read of x.
+func Figure3ReadOfX(spins, work int) mem.OpID {
+	return mem.OpID{Proc: 1, Index: 2 + spins + 1 + work}
+}

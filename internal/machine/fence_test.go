@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"testing"
+
+	"weakorder/internal/cpu"
+	"weakorder/internal/ideal"
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+)
+
+// TestFenceRestoresSCOnStoreBuffering: SB with a fence between each
+// processor's write and read never exhibits the forbidden outcome, even
+// on the unconstrained machine — the RP3 fence option the paper's
+// related-work section describes.
+func TestFenceRestoresSCOnStoreBuffering(t *testing.T) {
+	p := litmus.SBFenced()
+	for _, pol := range policy.All() {
+		for _, topo := range []Topology{TopoBus, TopoNetwork} {
+			for _, caches := range []bool{false, true} {
+				cfg := Config{Policy: pol, Topology: topo, Caches: caches, NetJitter: 20}
+				if cfg.Validate() != nil {
+					continue
+				}
+				for seed := int64(0); seed < 10; seed++ {
+					res, err := Run(p, cfg, seed)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", cfg.Name(), seed, err)
+					}
+					if litmus.DekkerForbidden(res.Result) {
+						t.Errorf("%s seed %d: fence failed to forbid the SB outcome", cfg.Name(), seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFenceWithoutItStillViolates is the control: the same machine
+// without the fence does exhibit the outcome.
+func TestFenceWithoutItStillViolates(t *testing.T) {
+	cfg := Config{Policy: policy.Unconstrained, Topology: TopoBus, Caches: true}
+	saw := false
+	for seed := int64(0); seed < 10 && !saw; seed++ {
+		res, err := Run(litmus.SB(), cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if litmus.DekkerForbidden(res.Result) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("control: expected the violation without fences")
+	}
+}
+
+// TestFenceAccumulatesStall: the fence's drain shows up in the stall
+// accounting.
+func TestFenceAccumulatesStall(t *testing.T) {
+	b := program.NewBuilder("fence-stall")
+	x := b.Var("x")
+	th := b.Thread()
+	th.StoreImm(x, 1)
+	th.Fence()
+	th.StoreImm(b.Var("y"), 2)
+	p := b.MustBuild()
+
+	cfg := Config{Policy: policy.WODef2, Topology: TopoNetwork, Caches: true, NetBase: 30}
+	res, err := Run(p, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Procs[0].Stall[cpu.FenceWait] == 0 {
+		t.Error("fence must accumulate FenceWait stall cycles with a slow write outstanding")
+	}
+}
+
+// TestFenceIsNoOpOnIdealArchitecture: fences do not perturb idealized
+// semantics or the DRF0 status of a program (they are not sync ops).
+func TestFenceIsNoOpOnIdealArchitecture(t *testing.T) {
+	fenced := litmus.SBFenced()
+	plain := litmus.SB()
+	// Same number of SC outcomes.
+	of, err := outcomesOf(fenced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := outcomesOf(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(of) != len(op) {
+		t.Errorf("fenced SB has %d SC outcomes, plain has %d", len(of), len(op))
+	}
+}
+
+func outcomesOf(p *program.Program) (map[string]bool, error) {
+	out := make(map[string]bool)
+	_, err := ideal.Enumerate(p, ideal.EnumConfig{}, func(it *ideal.Interp) error {
+		out[mem.ResultOf(it.Execution()).Key()] = true
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"fmt"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/mem"
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+)
+
+// The no-cache configurations of Figure 1 (rows 1 and 2): processors talk
+// directly to memory modules. Every operation executes atomically at its
+// home module; an operation is committed and globally performed at the
+// module (single copy), with the reply carrying the read value or the
+// write acknowledgement.
+
+// flatReq asks a memory module to perform one operation.
+type flatReq struct {
+	Tag  int
+	Kind mem.Kind
+	Addr mem.Addr
+	Data mem.Value
+}
+
+// flatReply returns the result to the issuing processor.
+type flatReply struct {
+	Tag   int
+	Value mem.Value
+}
+
+// flatModule is one memory module.
+type flatModule struct {
+	k   *sim.Kernel
+	net network.Network
+	id  int
+	lat sim.Time
+	mem map[mem.Addr]mem.Value
+}
+
+func newFlatModule(k *sim.Kernel, net network.Network, id int, lat sim.Time) *flatModule {
+	m := &flatModule{k: k, net: net, id: id, lat: lat, mem: make(map[mem.Addr]mem.Value)}
+	net.Attach(id, m.handle)
+	return m
+}
+
+func (m *flatModule) handle(src int, msg network.Msg) {
+	req, ok := msg.(flatReq)
+	if !ok {
+		panic(fmt.Sprintf("flat module %d: unexpected message %T", m.id, msg))
+	}
+	m.k.After(m.lat, func() {
+		var v mem.Value
+		switch req.Kind {
+		case mem.Read, mem.SyncRead:
+			v = m.mem[req.Addr]
+		case mem.Write, mem.SyncWrite:
+			m.mem[req.Addr] = req.Data
+			v = req.Data
+		case mem.SyncRMW:
+			v = m.mem[req.Addr]
+			m.mem[req.Addr] = req.Data
+		}
+		m.net.Send(m.id, src, flatReply{Tag: req.Tag, Value: v})
+	})
+}
+
+// flatPort adapts the module protocol to the processor's MemPort.
+type flatPort struct {
+	k       *sim.Kernel
+	net     network.Network
+	id      int
+	home    func(mem.Addr) int
+	nextTag int
+	pending map[int]*cache.Req
+}
+
+func newFlatPort(k *sim.Kernel, net network.Network, id int, home func(mem.Addr) int) *flatPort {
+	p := &flatPort{k: k, net: net, id: id, home: home, pending: make(map[int]*cache.Req)}
+	net.Attach(id, p.handle)
+	return p
+}
+
+// Issue implements cpu.MemPort.
+func (p *flatPort) Issue(r *cache.Req) {
+	tag := p.nextTag
+	p.nextTag++
+	p.pending[tag] = r
+	p.net.Send(p.id, p.home(r.Addr), flatReq{Tag: tag, Kind: r.Kind, Addr: r.Addr, Data: r.Data})
+}
+
+// Counter implements cpu.MemPort: every outstanding operation counts.
+func (p *flatPort) Counter() int { return len(p.pending) }
+
+// Busy implements cpu.MemPort.
+func (p *flatPort) Busy() bool { return len(p.pending) > 0 }
+
+func (p *flatPort) handle(src int, msg network.Msg) {
+	rep, ok := msg.(flatReply)
+	if !ok {
+		panic(fmt.Sprintf("flat port %d: unexpected message %T", p.id, msg))
+	}
+	r, ok := p.pending[rep.Tag]
+	if !ok {
+		panic(fmt.Sprintf("flat port %d: stray reply tag %d", p.id, rep.Tag))
+	}
+	delete(p.pending, rep.Tag)
+	if r.OnCommit != nil {
+		r.OnCommit(rep.Value)
+	}
+	if r.OnGlobal != nil {
+		r.OnGlobal()
+	}
+}

@@ -1,0 +1,598 @@
+// Package machine assembles full multiprocessor configurations — the four
+// system classes of the paper's Figure 1 (shared bus or general network,
+// with or without coherent caches) under each consistency policy — and
+// runs programs on them, producing executions (in commit order), results
+// (read values plus final memory), and detailed stall statistics.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/cpu"
+	"weakorder/internal/mem"
+	"weakorder/internal/network"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/snoop"
+)
+
+// Topology selects the interconnect class.
+type Topology int
+
+// Interconnect classes of Figure 1.
+const (
+	// TopoBus: shared bus — transactions globally serialized.
+	TopoBus Topology = iota
+	// TopoNetwork: general interconnection network — independent routing
+	// with variable latency.
+	TopoNetwork
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopoBus:
+		return "bus"
+	case TopoNetwork:
+		return "network"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	// Policy selects the consistency enforcement rules.
+	Policy policy.Kind
+	// Topology selects the interconnect.
+	Topology Topology
+	// Caches enables the coherent cache hierarchy; false gives the
+	// no-cache rows of Figure 1 (processors talk to memory modules
+	// directly). Weak-ordering policies require caches.
+	Caches bool
+	// Snoop selects the snoopy-bus MSI protocol (package snoop) instead
+	// of the directory protocol; requires Caches and TopoBus. Reserved
+	// lines NACK (bus-retry) other processors' transactions.
+	Snoop bool
+	// MemModules is the number of memory/directory modules (default: 2
+	// for TopoNetwork, 1 for TopoBus). Addresses interleave modulo this.
+	MemModules int
+	// BusLatency is the per-message bus occupancy (default 3).
+	BusLatency sim.Time
+	// NetBase/NetJitter parameterize the general network (defaults 6/4).
+	// Any positive jitter permits message reordering between endpoint
+	// pairs; with caches the coherence protocol requires point-to-point
+	// ordering, so jitter then varies latency while each (src,dst) pair
+	// stays FIFO.
+	NetBase   sim.Time
+	NetJitter sim.Time
+	// MemLatency is the directory/memory access time (default 4).
+	MemLatency sim.Time
+	// CacheHit is the cache hit latency (default 1).
+	CacheHit sim.Time
+	// CacheCapacity bounds resident lines per cache (0 = unbounded).
+	CacheCapacity int
+	// WriteBuffer is the per-processor write buffer depth (default 8).
+	WriteBuffer int
+	// MaxOutstandingWrites bounds each processor's in-flight writes — the
+	// lockup-free write parallelism (default 8).
+	MaxOutstandingWrites int
+	// MaxCycles is the deadlock watchdog (default 2,000,000).
+	MaxCycles uint64
+	// ROUncachedTest switches WO-Def2+RO's read-only synchronization
+	// reads from cached-shared copies to uncached remote value reads (an
+	// ablation; see cache.Config.ROSyncUncached).
+	ROUncachedTest bool
+	// ExtraProcs adds idle processors beyond the program's threads —
+	// migration targets (Section 5.1's process re-scheduling).
+	ExtraProcs int
+	// Migrations schedules process re-scheduling: at (or after) the given
+	// cycle, the thread running on processor From drains (write buffer
+	// empty, counter zero — "all previous reads returned and all previous
+	// writes globally performed") and resumes on the idle processor To.
+	Migrations []Migration
+}
+
+// Migration re-schedules a thread onto another processor.
+type Migration struct {
+	// AtCycle is the earliest cycle the context switch may begin.
+	AtCycle uint64
+	// From is the processor currently running the thread.
+	From int
+	// To is the idle destination processor.
+	To int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MemModules == 0 {
+		if c.Topology == TopoNetwork {
+			c.MemModules = 2
+		} else {
+			c.MemModules = 1
+		}
+	}
+	if c.BusLatency == 0 {
+		c.BusLatency = 3
+	}
+	if c.NetBase == 0 {
+		c.NetBase = 6
+	}
+	if c.NetJitter == 0 {
+		c.NetJitter = 4
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 4
+	}
+	if c.CacheHit == 0 {
+		c.CacheHit = 1
+	}
+	if c.WriteBuffer == 0 {
+		c.WriteBuffer = 8
+	}
+	if c.MaxOutstandingWrites == 0 {
+		c.MaxOutstandingWrites = 8
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Snoop {
+		if !c.Caches {
+			return fmt.Errorf("machine: Snoop requires Caches")
+		}
+		if c.Topology != TopoBus {
+			return fmt.Errorf("machine: the snoopy protocol requires the bus topology")
+		}
+	}
+	switch c.Policy {
+	case policy.WODef1, policy.WODef2, policy.WODef2RO:
+		if !c.Caches {
+			return fmt.Errorf("machine: policy %v requires caches (reserve bits and counters live in the cache hierarchy)", c.Policy)
+		}
+	case policy.SC, policy.Unconstrained:
+	default:
+		return fmt.Errorf("machine: unknown policy %v", c.Policy)
+	}
+	return nil
+}
+
+// Name renders the configuration compactly, e.g. "bus+caches/WO-Def2".
+func (c Config) Name() string {
+	cc := "nocache"
+	if c.Caches {
+		cc = "caches"
+	}
+	if c.Snoop {
+		cc = "snoop"
+	}
+	return fmt.Sprintf("%v+%s/%v", c.Topology, cc, c.Policy)
+}
+
+// Stats aggregates a run's measurements.
+type Stats struct {
+	// Cycles is the total simulated time until full drain.
+	Cycles uint64
+	// Procs holds per-processor statistics.
+	Procs []cpu.Stats
+	// Caches holds per-cache statistics (nil without caches).
+	Caches []cache.Stats
+	// Dirs holds per-directory statistics (nil without caches).
+	Dirs []cache.DirStats
+	// Net holds interconnect statistics (zero under the snoopy protocol,
+	// which uses the atomic bus in Snoop).
+	Net network.Stats
+	// Snoop holds snoopy-bus statistics (nil under the directory
+	// protocol).
+	Snoop *snoop.Stats
+	// SnoopCaches holds per-cache snoopy statistics.
+	SnoopCaches []snoop.CacheStats
+}
+
+// MaxSyncStall returns the largest per-processor synchronization stall.
+func (s *Stats) MaxSyncStall() uint64 {
+	var m uint64
+	for i := range s.Procs {
+		if v := s.Procs[i].SyncStall(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TotalStall sums all processors' stall cycles.
+func (s *Stats) TotalStall() uint64 {
+	var t uint64
+	for i := range s.Procs {
+		t += s.Procs[i].TotalStall()
+	}
+	return t
+}
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	// Exec lists the committed memory operations in commit order plus the
+	// final memory state.
+	Exec *mem.Execution
+	// Result is the observable outcome (Definition 2's "result").
+	Result mem.Result
+	// Regs holds each logical thread's final register file (indexed by
+	// thread id), for litmus postcondition evaluation.
+	Regs []program.RegFile
+	// Stats holds the measurements.
+	Stats Stats
+}
+
+// CondHolds evaluates the program's postcondition (if any) against this
+// run's final registers and memory; programs without a condition report
+// false.
+func (r *RunResult) CondHolds(p *program.Program) bool {
+	if p.Cond == nil {
+		return false
+	}
+	return p.Cond.Eval(r.Regs, r.Exec.Final)
+}
+
+// Machine is one assembled multiprocessor.
+type Machine struct {
+	cfg         Config
+	prog        *program.Program
+	kernel      *sim.Kernel
+	rng         *rand.Rand
+	net         network.Network
+	procs       []*cpu.Proc
+	caches      []*cache.Cache
+	dirs        []*cache.Directory
+	snoopBus    *snoop.Bus
+	snoopCaches []*snoop.Cache
+	flats       []*flatModule
+	ports       []cpu.MemPort
+	trace       []mem.Op
+	// pendingMigrations is consumed front-to-back as cycles pass.
+	pendingMigrations []Migration
+	suspending        bool
+}
+
+// New assembles a machine for prog under cfg, seeding all randomized
+// latencies from seed.
+func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	nProcs := prog.NumThreads() + cfg.ExtraProcs
+	m := &Machine{
+		cfg:    cfg,
+		prog:   prog,
+		kernel: &sim.Kernel{},
+		rng:    rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+
+	if cfg.Snoop {
+		m.snoopBus = snoop.NewBus(m.kernel, snoop.BusConfig{
+			TransferLatency: cfg.BusLatency,
+			MemLatency:      cfg.MemLatency,
+		})
+		for a, v := range prog.Init {
+			m.snoopBus.SetInit(a, v)
+		}
+		for i := 0; i < nProcs; i++ {
+			sc := snoop.NewCache(m.kernel, m.snoopBus, snoop.Config{
+				HitLatency:   cfg.CacheHit,
+				Capacity:     cfg.CacheCapacity,
+				UseReserve:   cfg.Policy.UsesReserve(),
+				ROSyncBypass: cfg.Policy.ROSyncBypass(),
+			})
+			m.snoopCaches = append(m.snoopCaches, sc)
+			m.ports = append(m.ports, sc)
+		}
+		return m.finishProcs(prog, nProcs)
+	}
+
+	switch cfg.Topology {
+	case TopoBus:
+		m.net = network.NewBus(m.kernel, network.BusConfig{TransferLatency: cfg.BusLatency})
+	case TopoNetwork:
+		m.net = network.NewGeneral(m.kernel, network.GeneralConfig{
+			BaseLatency: cfg.NetBase,
+			Jitter:      cfg.NetJitter,
+			// The directory protocol requires point-to-point FIFO; the
+			// raw (no-cache) configuration exhibits Lamport's reordering.
+			OrderedPairs: cfg.Caches,
+		}, seed)
+	default:
+		return nil, fmt.Errorf("machine: unknown topology %v", cfg.Topology)
+	}
+
+	home := func(a mem.Addr) int { return nProcs + int(a)%cfg.MemModules }
+
+	if cfg.Caches {
+		for i := 0; i < cfg.MemModules; i++ {
+			d := cache.NewDirectory(m.kernel, m.net, cache.DirConfig{
+				ID:       nProcs + i,
+				NumProcs: nProcs,
+				Latency:  cfg.MemLatency,
+			})
+			for a, v := range prog.Init {
+				if home(a) == nProcs+i {
+					d.SetInit(a, v)
+				}
+			}
+			m.dirs = append(m.dirs, d)
+		}
+		for i := 0; i < nProcs; i++ {
+			c := cache.New(m.kernel, m.net, cache.Config{
+				ID:             i,
+				Home:           home,
+				HitLatency:     cfg.CacheHit,
+				Capacity:       cfg.CacheCapacity,
+				UseReserve:     cfg.Policy.UsesReserve(),
+				ROSyncBypass:   cfg.Policy.ROSyncBypass(),
+				ROSyncUncached: cfg.ROUncachedTest,
+			})
+			m.caches = append(m.caches, c)
+			m.ports = append(m.ports, c)
+		}
+	} else {
+		for i := 0; i < cfg.MemModules; i++ {
+			mod := newFlatModule(m.kernel, m.net, nProcs+i, cfg.MemLatency)
+			for a, v := range prog.Init {
+				if home(a) == nProcs+i {
+					mod.mem[a] = v
+				}
+			}
+			m.flats = append(m.flats, mod)
+		}
+		for i := 0; i < nProcs; i++ {
+			m.ports = append(m.ports, newFlatPort(m.kernel, m.net, i, home))
+		}
+	}
+
+	return m.finishProcs(prog, nProcs)
+}
+
+// finishProcs builds the processors over the assembled ports and
+// validates migrations.
+func (m *Machine) finishProcs(prog *program.Program, nProcs int) (*Machine, error) {
+	cfg := m.cfg
+	for i := 0; i < nProcs; i++ {
+		var th program.Thread
+		if i < prog.NumThreads() {
+			th = prog.Threads[i]
+		} else {
+			th = program.Thread{Name: fmt.Sprintf("idle%d", i)}
+		}
+		p := cpu.New(m.kernel, cpu.Config{
+			ID:                   i,
+			ThreadID:             i,
+			Policy:               cfg.Policy,
+			WriteBufferSize:      cfg.WriteBuffer,
+			MaxOutstandingWrites: cfg.MaxOutstandingWrites,
+		}, th, m.ports[i], func(op mem.Op) { m.trace = append(m.trace, op) })
+		m.procs = append(m.procs, p)
+	}
+	for _, mg := range cfg.Migrations {
+		if mg.From < 0 || mg.From >= nProcs || mg.To < 0 || mg.To >= nProcs || mg.From == mg.To {
+			return nil, fmt.Errorf("machine: invalid migration %+v (have %d processors)", mg, nProcs)
+		}
+	}
+	return m, nil
+}
+
+// done reports whether all processors halted and every component drained.
+func (m *Machine) done() bool {
+	if len(m.pendingMigrations) > 0 {
+		return false
+	}
+	for _, p := range m.procs {
+		if !p.Halted() {
+			return false
+		}
+	}
+	for _, port := range m.ports {
+		if port.Busy() {
+			return false
+		}
+	}
+	for _, d := range m.dirs {
+		if !d.Idle() {
+			return false
+		}
+	}
+	if m.snoopBus != nil && !m.snoopBus.Idle() {
+		return false
+	}
+	return m.kernel.Pending() == 0
+}
+
+// Run simulates to completion (or the watchdog) and returns the outcome.
+// Each cycle, every front end ticks (in a seeded arbitration order), then
+// every write buffer drains: reads dispatched this cycle reach the
+// interconnect ahead of older buffered writes.
+func (m *Machine) Run() (*RunResult, error) {
+	m.pendingMigrations = append([]Migration(nil), m.cfg.Migrations...)
+	order := make([]int, len(m.procs))
+	for i := range order {
+		order[i] = i
+	}
+	for cycle := uint64(1); ; cycle++ {
+		if m.done() {
+			break
+		}
+		if cycle > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine %s: watchdog after %d cycles (deadlock or livelock)\n%s",
+				m.cfg.Name(), m.cfg.MaxCycles, m.diagnose())
+		}
+		m.kernel.AdvanceTo(sim.Time(cycle))
+		m.stepMigrations(cycle)
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			m.procs[i].Tick()
+			if err := m.procs[i].Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, i := range order {
+			m.procs[i].Drain()
+		}
+	}
+
+	exec := &mem.Execution{
+		Ops:   m.trace,
+		Final: m.finalState(),
+		Procs: len(m.procs),
+	}
+	res := &RunResult{
+		Exec:   exec,
+		Result: mem.ResultOf(exec),
+		Regs:   make([]program.RegFile, m.prog.NumThreads()),
+	}
+	for _, p := range m.procs {
+		if fr, ok := p.FinalRegs(); ok && p.ThreadID() < len(res.Regs) {
+			res.Regs[p.ThreadID()] = fr
+		}
+	}
+	res.Stats.Cycles = uint64(m.kernel.Now())
+	for _, p := range m.procs {
+		res.Stats.Procs = append(res.Stats.Procs, p.Stats())
+	}
+	for _, c := range m.caches {
+		res.Stats.Caches = append(res.Stats.Caches, c.Stats())
+	}
+	for _, d := range m.dirs {
+		res.Stats.Dirs = append(res.Stats.Dirs, d.Stats())
+	}
+	if m.net != nil {
+		res.Stats.Net = m.net.Stats()
+	}
+	if m.snoopBus != nil {
+		st := m.snoopBus.Stats()
+		res.Stats.Snoop = &st
+		for _, sc := range m.snoopCaches {
+			res.Stats.SnoopCaches = append(res.Stats.SnoopCaches, sc.Stats())
+		}
+	}
+	return res, nil
+}
+
+// finalState reads the final value of every program-visible address:
+// a dirty cached copy wins over memory.
+func (m *Machine) finalState() map[mem.Addr]mem.Value {
+	out := make(map[mem.Addr]mem.Value)
+	nProcs := len(m.procs)
+	for _, a := range m.prog.Addresses() {
+		if m.snoopBus != nil {
+			v := m.snoopBus.MemValue(a)
+			for _, sc := range m.snoopCaches {
+				if dv, dirty := sc.Snoop(a); dirty {
+					v = dv
+					break
+				}
+			}
+			out[a] = v
+			continue
+		}
+		if m.cfg.Caches {
+			v := m.dirs[int(a)%m.cfg.MemModules].MemValue(a)
+			for _, c := range m.caches {
+				if dv, dirty := c.Snoop(a); dirty {
+					v = dv
+					break
+				}
+			}
+			out[a] = v
+		} else {
+			out[a] = m.flats[(nProcs+int(a)%m.cfg.MemModules)-nProcs].mem[a]
+		}
+	}
+	return out
+}
+
+// stepMigrations drives the paper's context-switch protocol for the
+// head pending migration: request suspension, wait until the source has
+// drained (parked, counter zero, no outstanding transactions), then move
+// the thread state to the destination.
+func (m *Machine) stepMigrations(cycle uint64) {
+	if len(m.pendingMigrations) == 0 {
+		return
+	}
+	mg := m.pendingMigrations[0]
+	if cycle < mg.AtCycle {
+		return
+	}
+	src := m.procs[mg.From]
+	if !m.suspending {
+		src.RequestSuspend()
+		m.suspending = true
+	}
+	drained := (src.Suspended() || src.Halted()) &&
+		m.ports[mg.From].Counter() == 0 && !m.ports[mg.From].Busy()
+	if !drained {
+		return
+	}
+	if src.Halted() {
+		// The thread finished before the switch: nothing to move.
+		m.pendingMigrations = m.pendingMigrations[1:]
+		m.suspending = false
+		return
+	}
+	st := src.Export()
+	src.Retire()
+	if err := m.procs[mg.To].Install(st); err != nil {
+		// The destination is busy: drop the migration rather than wedge
+		// the machine (validated configurations do not hit this).
+		panic(err)
+	}
+	m.pendingMigrations = m.pendingMigrations[1:]
+	m.suspending = false
+}
+
+// diagnose renders a deadlock report: stalled processors, counters,
+// blocked directory lines.
+func (m *Machine) diagnose() string {
+	var b strings.Builder
+	for i, p := range m.procs {
+		if p.Halted() {
+			continue
+		}
+		r, stalled := p.StallReason()
+		state := "running"
+		if stalled {
+			state = "stalled: " + r.String()
+		}
+		fmt.Fprintf(&b, "  P%d %s", i, state)
+		if m.caches != nil {
+			fmt.Fprintf(&b, " counter=%d reserved=%v", m.caches[i].Counter(), m.caches[i].ReservedLines())
+		}
+		if m.snoopCaches != nil {
+			fmt.Fprintf(&b, " counter=%d reserved=%v", m.snoopCaches[i].Counter(), m.snoopCaches[i].ReservedLines())
+		}
+		b.WriteByte('\n')
+	}
+	for i, d := range m.dirs {
+		if lines := d.PendingLines(); len(lines) > 0 {
+			fmt.Fprintf(&b, "  dir%d blocked lines: %v\n", i, lines)
+		}
+	}
+	return b.String()
+}
+
+// Run is the convenience one-shot: assemble and run.
+func Run(prog *program.Program, cfg Config, seed int64) (*RunResult, error) {
+	m, err := New(prog, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,196 @@
+package machine
+
+import (
+	"testing"
+
+	"weakorder/internal/gen"
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/scmatch"
+	"weakorder/internal/trace"
+)
+
+func snoopCfg(pol policy.Kind) Config {
+	return Config{Policy: pol, Topology: TopoBus, Caches: true, Snoop: true}
+}
+
+func TestSnoopValidation(t *testing.T) {
+	bad := Config{Policy: policy.SC, Topology: TopoNetwork, Caches: true, Snoop: true}
+	if bad.Validate() == nil {
+		t.Error("snoop on a network topology must be rejected")
+	}
+	bad2 := Config{Policy: policy.SC, Topology: TopoBus, Caches: false, Snoop: true}
+	if bad2.Validate() == nil {
+		t.Error("snoop without caches must be rejected")
+	}
+	if got := snoopCfg(policy.WODef2).Name(); got != "bus+snoop/WO-Def2" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestSnoopSequentialSemantics(t *testing.T) {
+	res := mustRun(t, litmus.CriticalSection(3, 2), snoopCfg(policy.WODef2), 3)
+	p := litmus.CriticalSection(3, 2)
+	counter, _ := p.AddrOf("counter")
+	if got := res.Exec.Final[counter]; got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if res.Stats.Snoop == nil || res.Stats.Snoop.Transactions == 0 {
+		t.Error("snoop statistics missing")
+	}
+	if len(res.Stats.SnoopCaches) != 3 {
+		t.Error("per-cache snoop statistics missing")
+	}
+}
+
+func TestSnoopCoherenceInvariants(t *testing.T) {
+	progs := []*progAlias{
+		litmus.CriticalSection(3, 2),
+		litmus.TestAndTAS(2, 2),
+		litmus.Coherence(),
+		litmus.Dekker(),
+	}
+	for _, p := range progs {
+		for _, pol := range policy.All() {
+			cfg := snoopCfg(pol)
+			if cfg.Validate() != nil {
+				continue
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				res, err := Run(p, cfg, seed)
+				if err != nil {
+					t.Fatalf("%s %v: %v", p.Name, pol, err)
+				}
+				if err := trace.CheckAll(res.Exec, p.Init); err != nil {
+					t.Errorf("%s %v seed %d: %v", p.Name, pol, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSnoopSCAlwaysAppearsSC(t *testing.T) {
+	progs := []*progAlias{
+		litmus.Dekker(), litmus.MessagePassingRacy(), litmus.IRIW(), litmus.Coherence(),
+	}
+	for _, p := range progs {
+		for seed := int64(0); seed < 5; seed++ {
+			res := mustRun(t, p, snoopCfg(policy.SC), seed)
+			if !appearsSC(t, p, res.Result) {
+				t.Errorf("%s seed %d: SC snoopy machine produced a non-SC result", p.Name, seed)
+			}
+		}
+	}
+}
+
+func TestSnoopWeaklyOrderedAppearsSCForDRF0(t *testing.T) {
+	progs := []*progAlias{
+		litmus.DekkerSync(),
+		litmus.MessagePassing(),
+		litmus.CriticalSection(2, 2),
+		litmus.TestAndTAS(2, 2),
+		litmus.Barrier(3),
+		litmus.Figure3(),
+	}
+	for _, pol := range []policy.Kind{policy.WODef1, policy.WODef2, policy.WODef2RO} {
+		for _, p := range progs {
+			for seed := int64(0); seed < 4; seed++ {
+				res := mustRun(t, p, snoopCfg(pol), seed)
+				if !appearsSC(t, p, res.Result) {
+					t.Errorf("%s on %v seed %d: DRF0 program must appear SC on the snoopy machine",
+						p.Name, pol, seed)
+				}
+			}
+		}
+	}
+}
+
+func TestSnoopDefinition2OnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := gen.RaceFree(gen.RaceFreeConfig{Procs: 2, Sections: 2}, seed)
+		for _, pol := range []policy.Kind{policy.WODef1, policy.WODef2, policy.WODef2RO} {
+			res, err := Run(p, snoopCfg(pol), seed*3+1)
+			if err != nil {
+				t.Fatalf("%s %v: %v", p.Name, pol, err)
+			}
+			m, err := scmatch.Matches(p, res.Result, scmatch.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.OK {
+				t.Errorf("%s on snoopy %v: result does not appear SC", p.Name, pol)
+			}
+		}
+	}
+}
+
+func TestSnoopUnconstrainedViolatesDekker(t *testing.T) {
+	saw := false
+	for seed := int64(0); seed < 10 && !saw; seed++ {
+		res := mustRun(t, litmus.Dekker(), snoopCfg(policy.Unconstrained), seed)
+		if litmus.DekkerForbidden(res.Result) {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("unconstrained snoopy machine must exhibit the Figure 1 violation")
+	}
+}
+
+func TestSnoopReserveRetries(t *testing.T) {
+	// Figure 3 on the snoopy machine: the releaser's reserve bit forces
+	// bus retries of the acquirer's TAS until the counter drains.
+	p := litmus.Figure3()
+	cfg := snoopCfg(policy.WODef2)
+	cfg.BusLatency = 8 // writes queue long enough for the reserve to be set
+	sawRetry := false
+	for seed := int64(0); seed < 6 && !sawRetry; seed++ {
+		res := mustRun(t, p, cfg, seed)
+		if res.Stats.Snoop.Retries > 0 {
+			sawRetry = true
+		}
+		if !appearsSC(t, p, res.Result) {
+			t.Fatalf("seed %d: Figure 3 must appear SC", seed)
+		}
+	}
+	if !sawRetry {
+		t.Log("note: no reserve retries observed (timing-dependent); correctness still verified")
+	}
+}
+
+func TestSnoopSmallCache(t *testing.T) {
+	cfg := snoopCfg(policy.WODef2)
+	cfg.CacheCapacity = 2
+	// Touch more lines than the cache holds.
+	b := program.NewBuilder("snoop-evict")
+	th := b.Thread()
+	const n = 6
+	for i := 0; i < n; i++ {
+		th.StoreImm(b.Var(string(rune('a'+i))), weakValue(i+1))
+	}
+	for i := 0; i < n; i++ {
+		th.Load(0, b.Var(string(rune('a'+i))))
+	}
+	p := b.MustBuild()
+	res := mustRun(t, p, cfg, 7)
+	for i := 0; i < n; i++ {
+		a, _ := p.AddrOf(string(rune('a' + i)))
+		if got := res.Exec.Final[a]; got != weakValue(i+1) {
+			t.Errorf("final [%c] = %d, want %d", 'a'+i, got, i+1)
+		}
+	}
+	evicted := uint64(0)
+	for _, cs := range res.Stats.SnoopCaches {
+		evicted += cs.Evicted
+	}
+	if evicted == 0 {
+		t.Error("expected evictions with a 2-line cache")
+	}
+}
+
+func weakValue(i int) mem.Value { return mem.Value(i) }
+
+// progAlias keeps the test tables tidy.
+type progAlias = program.Program

@@ -1,0 +1,215 @@
+// Package network models the two interconnect classes of the paper's
+// Figure 1: a shared bus (transactions serialized globally, delivered in
+// a single total order) and a general interconnection network (messages
+// routed independently with variable latency, so two messages — even
+// between the same endpoints — may be reordered).
+//
+// Endpoints are small integers: processors/caches first, then memory
+// modules/directories; the machine assembles the numbering. A component
+// attaches a handler and sends opaque messages; delivery is scheduled on
+// the shared simulation kernel.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/sim"
+)
+
+// Msg is an opaque network payload.
+type Msg interface{}
+
+// Handler receives a delivered message and the sender's endpoint id.
+type Handler func(src int, m Msg)
+
+// Network is the common interconnect interface.
+type Network interface {
+	// Attach registers the handler for endpoint id. Attaching twice
+	// replaces the handler.
+	Attach(id int, h Handler)
+	// Send schedules delivery of m from src to dst. Sending to an
+	// unattached endpoint panics at delivery time.
+	Send(src, dst int, m Msg)
+	// Stats returns cumulative traffic statistics.
+	Stats() Stats
+}
+
+// Stats summarizes interconnect traffic.
+type Stats struct {
+	// Messages is the number of messages sent.
+	Messages uint64
+	// TotalLatency is the sum of per-message delivery latencies in cycles.
+	TotalLatency uint64
+	// MaxQueued is the peak number of undelivered messages (bus: waiting
+	// for the medium; net: in flight).
+	MaxQueued int
+}
+
+// AvgLatency returns the mean delivery latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Messages)
+}
+
+// ---------------------------------------------------------------------------
+// General interconnection network.
+
+// GeneralConfig parameterizes a general network.
+type GeneralConfig struct {
+	// BaseLatency is the minimum delivery latency in cycles (>= 1).
+	BaseLatency sim.Time
+	// Jitter adds a uniform random 0..Jitter cycles per message; any
+	// positive jitter permits reordering between all endpoint pairs.
+	Jitter sim.Time
+	// OrderedPairs forces FIFO delivery per (src, dst) pair even with
+	// jitter, modeling a network with point-to-point ordering.
+	OrderedPairs bool
+}
+
+// General is a general interconnection network: every message travels
+// independently with randomized latency.
+type General struct {
+	k        *sim.Kernel
+	cfg      GeneralConfig
+	rng      *rand.Rand
+	handlers map[int]Handler
+	stats    Stats
+	inFlight int
+	// lastArrival tracks, per (src,dst), the latest scheduled arrival so
+	// OrderedPairs can enforce FIFO delivery.
+	lastArrival map[[2]int]sim.Time
+}
+
+// NewGeneral returns a general network on kernel k seeded deterministically.
+func NewGeneral(k *sim.Kernel, cfg GeneralConfig, seed int64) *General {
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = 1
+	}
+	return &General{
+		k:           k,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		handlers:    make(map[int]Handler),
+		lastArrival: make(map[[2]int]sim.Time),
+	}
+}
+
+// Attach implements Network.
+func (g *General) Attach(id int, h Handler) { g.handlers[id] = h }
+
+// Send implements Network.
+func (g *General) Send(src, dst int, m Msg) {
+	lat := g.cfg.BaseLatency
+	if g.cfg.Jitter > 0 {
+		lat += sim.Time(g.rng.Int63n(int64(g.cfg.Jitter) + 1))
+	}
+	arrive := g.k.Now() + lat
+	if g.cfg.OrderedPairs {
+		key := [2]int{src, dst}
+		if prev := g.lastArrival[key]; arrive <= prev {
+			arrive = prev + 1
+		}
+		g.lastArrival[key] = arrive
+	}
+	g.stats.Messages++
+	g.stats.TotalLatency += uint64(arrive - g.k.Now())
+	g.inFlight++
+	if g.inFlight > g.stats.MaxQueued {
+		g.stats.MaxQueued = g.inFlight
+	}
+	g.k.At(arrive, func() {
+		g.inFlight--
+		h, ok := g.handlers[dst]
+		if !ok {
+			panic(fmt.Sprintf("network: no handler attached at endpoint %d", dst))
+		}
+		h(src, m)
+	})
+}
+
+// Stats implements Network.
+func (g *General) Stats() Stats { return g.stats }
+
+// ---------------------------------------------------------------------------
+// Shared bus.
+
+// BusConfig parameterizes a shared bus.
+type BusConfig struct {
+	// TransferLatency is the number of cycles one message occupies the
+	// bus (>= 1).
+	TransferLatency sim.Time
+}
+
+// Bus is a shared-bus interconnect: one message at a time, FIFO
+// arbitration, globally serialized delivery. All endpoints observe
+// transactions in the same total order — the property Figure 1's
+// bus-based rows rely on.
+type Bus struct {
+	k        *sim.Kernel
+	cfg      BusConfig
+	handlers map[int]Handler
+	stats    Stats
+	queue    []busMsg
+	busy     bool
+}
+
+type busMsg struct {
+	src, dst int
+	m        Msg
+	enq      sim.Time
+}
+
+// NewBus returns a bus on kernel k.
+func NewBus(k *sim.Kernel, cfg BusConfig) *Bus {
+	if cfg.TransferLatency == 0 {
+		cfg.TransferLatency = 1
+	}
+	return &Bus{k: k, cfg: cfg, handlers: make(map[int]Handler)}
+}
+
+// Attach implements Network.
+func (b *Bus) Attach(id int, h Handler) { b.handlers[id] = h }
+
+// Send implements Network.
+func (b *Bus) Send(src, dst int, m Msg) {
+	b.stats.Messages++
+	b.queue = append(b.queue, busMsg{src: src, dst: dst, m: m, enq: b.k.Now()})
+	if len(b.queue) > b.stats.MaxQueued {
+		b.stats.MaxQueued = len(b.queue)
+	}
+	if !b.busy {
+		b.grant()
+	}
+}
+
+// grant starts transferring the head of the queue.
+func (b *Bus) grant() {
+	if len(b.queue) == 0 {
+		b.busy = false
+		return
+	}
+	b.busy = true
+	head := b.queue[0]
+	b.queue = b.queue[1:]
+	b.k.After(b.cfg.TransferLatency, func() {
+		b.stats.TotalLatency += uint64(b.k.Now() - head.enq)
+		h, ok := b.handlers[head.dst]
+		if !ok {
+			panic(fmt.Sprintf("network: no handler attached at endpoint %d", head.dst))
+		}
+		h(head.src, head.m)
+		b.grant()
+	})
+}
+
+// Stats implements Network.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Compile-time interface checks.
+var (
+	_ Network = (*General)(nil)
+	_ Network = (*Bus)(nil)
+)

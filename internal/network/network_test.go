@@ -1,0 +1,152 @@
+package network
+
+import (
+	"testing"
+
+	"weakorder/internal/sim"
+)
+
+type delivery struct {
+	src int
+	m   Msg
+	at  sim.Time
+}
+
+func collector(k *sim.Kernel, out *[]delivery) Handler {
+	return func(src int, m Msg) {
+		*out = append(*out, delivery{src: src, m: m, at: k.Now()})
+	}
+}
+
+func TestGeneralDeliversWithBaseLatency(t *testing.T) {
+	k := &sim.Kernel{}
+	g := NewGeneral(k, GeneralConfig{BaseLatency: 7}, 1)
+	var got []delivery
+	g.Attach(1, collector(k, &got))
+	g.Send(0, 1, "hello")
+	k.AdvanceTo(100)
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(got))
+	}
+	if got[0].at != 7 || got[0].m != "hello" || got[0].src != 0 {
+		t.Fatalf("delivery %+v, want at=7 m=hello src=0", got[0])
+	}
+	if s := g.Stats(); s.Messages != 1 || s.TotalLatency != 7 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestGeneralJitterCanReorder(t *testing.T) {
+	// With jitter, some seed must reorder two back-to-back messages.
+	reordered := false
+	for seed := int64(0); seed < 50 && !reordered; seed++ {
+		k := &sim.Kernel{}
+		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8}, seed)
+		var got []delivery
+		g.Attach(1, collector(k, &got))
+		g.Send(0, 1, "first")
+		g.Send(0, 1, "second")
+		k.AdvanceTo(100)
+		if len(got) == 2 && got[0].m == "second" {
+			reordered = true
+		}
+	}
+	if !reordered {
+		t.Error("expected at least one reordering across 50 seeds")
+	}
+}
+
+func TestGeneralOrderedPairsFIFO(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		k := &sim.Kernel{}
+		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true}, seed)
+		var got []delivery
+		g.Attach(1, collector(k, &got))
+		for i := 0; i < 10; i++ {
+			g.Send(0, 1, i)
+		}
+		k.AdvanceTo(1000)
+		for i, d := range got {
+			if d.m != i {
+				t.Fatalf("seed %d: delivery %d carried %v (FIFO violated)", seed, i, d.m)
+			}
+		}
+	}
+}
+
+func TestGeneralOrderedPairsIndependentAcrossPairs(t *testing.T) {
+	// Ordering is per (src,dst): messages from different sources may
+	// still interleave arbitrarily.
+	k := &sim.Kernel{}
+	g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true}, 3)
+	var got []delivery
+	g.Attach(2, collector(k, &got))
+	g.Send(0, 2, "a")
+	g.Send(1, 2, "b")
+	k.AdvanceTo(100)
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(got))
+	}
+}
+
+func TestBusSerializesGlobally(t *testing.T) {
+	k := &sim.Kernel{}
+	b := NewBus(k, BusConfig{TransferLatency: 3})
+	var got []delivery
+	b.Attach(2, collector(k, &got))
+	b.Attach(3, collector(k, &got))
+	b.Send(0, 2, "m1")
+	b.Send(1, 3, "m2")
+	b.Send(0, 3, "m3")
+	k.AdvanceTo(100)
+	if len(got) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(got))
+	}
+	// One transaction at a time: deliveries at 3, 6, 9 in send order.
+	wantAt := []sim.Time{3, 6, 9}
+	wantMsg := []string{"m1", "m2", "m3"}
+	for i, d := range got {
+		if d.at != wantAt[i] || d.m != wantMsg[i] {
+			t.Errorf("delivery %d: %+v, want at=%d m=%s", i, d, wantAt[i], wantMsg[i])
+		}
+	}
+}
+
+func TestBusQueuesWhileBusy(t *testing.T) {
+	k := &sim.Kernel{}
+	b := NewBus(k, BusConfig{TransferLatency: 5})
+	var got []delivery
+	b.Attach(1, collector(k, &got))
+	b.Send(0, 1, "x")
+	k.AdvanceTo(2) // bus busy with "x"
+	b.Send(0, 1, "y")
+	k.AdvanceTo(100)
+	if len(got) != 2 || got[0].at != 5 || got[1].at != 10 {
+		t.Fatalf("deliveries %+v, want at 5 and 10", got)
+	}
+	if s := b.Stats(); s.Messages != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestUnattachedEndpointPanics(t *testing.T) {
+	k := &sim.Kernel{}
+	g := NewGeneral(k, GeneralConfig{}, 1)
+	g.Send(0, 9, "lost")
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to unattached endpoint must panic")
+		}
+	}()
+	k.AdvanceTo(100)
+}
+
+func TestAvgLatency(t *testing.T) {
+	s := Stats{Messages: 4, TotalLatency: 20}
+	if got := s.AvgLatency(); got != 5 {
+		t.Errorf("AvgLatency = %v, want 5", got)
+	}
+	if got := (Stats{}).AvgLatency(); got != 0 {
+		t.Errorf("empty AvgLatency = %v, want 0", got)
+	}
+}

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"testing"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/machine"
+	"weakorder/internal/policy"
+)
+
+func TestRunnerReport(t *testing.T) {
+	tc := litmus.Classic()[0] // SB
+	rep, err := RunOn(tc.Prog, machine.Config{
+		Policy: policy.Unconstrained, Topology: machine.TopoBus, Caches: true,
+	}, Config{Seeds: 10, Forbidden: tc.Forbidden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 10 {
+		t.Fatalf("runs = %d", rep.Runs)
+	}
+	if rep.ForbiddenRuns == 0 || rep.NonSCRuns == 0 {
+		t.Errorf("unconstrained bus SB must show forbidden outcomes: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+
+	repSC, err := RunOn(tc.Prog, machine.Config{
+		Policy: policy.SC, Topology: machine.TopoBus, Caches: true,
+	}, Config{Seeds: 10, Forbidden: tc.Forbidden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSC.NonSCRuns != 0 || repSC.ForbiddenRuns != 0 {
+		t.Errorf("SC machine must be clean: %+v", repSC)
+	}
+}

@@ -1,0 +1,71 @@
+package scmatch
+
+import (
+	"testing"
+
+	"weakorder/internal/gen"
+	"weakorder/internal/ideal"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+)
+
+// TestOracleAgreesWithOutcomeEnumeration cross-validates the two
+// independent appears-SC implementations: the memoized result-directed
+// search (Matches) and membership in the exhaustively enumerated outcome
+// set (Outcomes). Machine results from weak hardware on racy generated
+// programs exercise both SC and non-SC results.
+func TestOracleAgreesWithOutcomeEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		prog := gen.Racy(gen.RacyConfig{Procs: 2, Vars: 2, OpsPerProc: 4}, seed)
+		outcomes, err := Outcomes(prog, ideal.EnumConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pol := range []policy.Kind{policy.Unconstrained, policy.WODef2} {
+			cfg := machine.Config{Policy: pol, Topology: machine.TopoNetwork, Caches: true, NetJitter: 20}
+			for ms := int64(0); ms < 4; ms++ {
+				res, err := machine.Run(prog, cfg, ms)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				m, err := Matches(prog, res.Result, Config{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				_, inSet := outcomes[res.Result.Key()]
+				if m.OK != inSet {
+					t.Errorf("prog seed %d, %v machine seed %d: Matches=%v but enumeration membership=%v\nresult: %v",
+						seed, pol, ms, m.OK, inSet, res.Result)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleAgreesOnIdealResults: the same cross-validation with results
+// the idealized architecture itself produced (always SC by construction).
+func TestOracleAgreesOnIdealResults(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog := gen.Racy(gen.RacyConfig{Procs: 3, Vars: 2, OpsPerProc: 3}, seed+100)
+		outcomes, err := Outcomes(prog, ideal.EnumConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := ideal.RunSeed(prog, ideal.Config{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mem.ResultOf(it.Execution())
+		if _, in := outcomes[r.Key()]; !in {
+			t.Fatalf("seed %d: idealized result missing from its own outcome set", seed)
+		}
+		m, err := Matches(prog, r, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.OK {
+			t.Errorf("seed %d: Matches rejected an idealized result", seed)
+		}
+	}
+}

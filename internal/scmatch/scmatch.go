@@ -1,0 +1,166 @@
+// Package scmatch decides whether an observed hardware result "appears
+// sequentially consistent": whether some execution of the program on the
+// idealized architecture (atomic memory operations, program order)
+// produces the identical result — the same value for every dynamic read
+// and the same final memory state. This is the executable form of the
+// right-hand side of Definition 2 and of the condition in Lemma 1.
+//
+// The search interleaves the program at memory-operation granularity,
+// pruning any branch whose next read returns a value different from the
+// observed one, and memoizes failed interpreter states: two paths that
+// reach the same full machine state have the same possible futures, so a
+// state that once failed to extend to a matching completion always fails.
+package scmatch
+
+import (
+	"errors"
+	"fmt"
+
+	"weakorder/internal/ideal"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Config bounds the search.
+type Config struct {
+	// Interp bounds each interpreted path.
+	Interp ideal.Config
+	// MaxStates aborts the search after visiting this many states
+	// (0 = DefaultMaxStates).
+	MaxStates int
+}
+
+// DefaultMaxStates bounds the memoized search.
+const DefaultMaxStates = 2_000_000
+
+func (c Config) maxStates() int {
+	if c.MaxStates > 0 {
+		return c.MaxStates
+	}
+	return DefaultMaxStates
+}
+
+// ErrBudget reports that the search exceeded MaxStates.
+var ErrBudget = errors.New("scmatch: state budget exceeded")
+
+// Match is the outcome of an appears-SC query.
+type Match struct {
+	// OK reports whether some sequentially consistent execution produces
+	// the observed result.
+	OK bool
+	// Witness is one such execution when OK.
+	Witness *mem.Execution
+	// States is the number of interpreter states visited.
+	States int
+}
+
+// Matches reports whether result r of program p appears sequentially
+// consistent.
+func Matches(p *program.Program, r mem.Result, cfg Config) (Match, error) {
+	s := &searcher{
+		result: r,
+		cfg:    cfg,
+		memo:   make(map[string]bool),
+	}
+	root := ideal.New(p, cfg.Interp)
+	ok, err := s.search(root, 0)
+	m := Match{OK: ok, Witness: s.witness, States: s.states}
+	if err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+type searcher struct {
+	result  mem.Result
+	cfg     Config
+	memo    map[string]bool // state key -> known failure (only failures stored)
+	states  int
+	witness *mem.Execution
+}
+
+// search explores completions of it that match the remaining observations;
+// matched counts the read observations consumed so far.
+func (s *searcher) search(it *ideal.Interp, matched int) (bool, error) {
+	s.states++
+	if s.states > s.cfg.maxStates() {
+		return false, ErrBudget
+	}
+	if it.Done() {
+		if matched != len(s.result.Reads) {
+			return false, nil
+		}
+		exec := it.Execution()
+		if !finalEqual(exec.Final, s.result.Final) {
+			return false, nil
+		}
+		s.witness = exec
+		return true, nil
+	}
+	key := it.StateKey()
+	if s.memo[key] {
+		return false, nil
+	}
+	for _, tid := range it.Runnable() {
+		child := it.Clone()
+		op, ok, err := child.Step(tid)
+		if errors.Is(err, ideal.ErrTruncated) {
+			continue
+		}
+		if err != nil {
+			return false, err
+		}
+		m := matched
+		if ok && op.HasReadComponent() {
+			obs, present := s.result.Reads[op.ID()]
+			if !present || obs.Value != op.Got || obs.Addr != op.Addr {
+				continue // this interleaving contradicts the observation
+			}
+			m++
+		}
+		found, err := s.search(child, m)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	s.memo[key] = true
+	return false, nil
+}
+
+// finalEqual compares final memory states treating absent entries as zero.
+func finalEqual(a, b map[mem.Addr]mem.Value) bool {
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcomes enumerates every distinct sequentially consistent result of p,
+// keyed by mem.Result.Key, with one witness execution each. It is useful
+// for classifying many observed hardware outcomes against a single
+// enumeration.
+func Outcomes(p *program.Program, cfg ideal.EnumConfig) (map[string]*mem.Execution, error) {
+	out := make(map[string]*mem.Execution)
+	_, err := ideal.Enumerate(p, cfg, func(it *ideal.Interp) error {
+		exec := it.Execution()
+		key := mem.ResultOf(exec).Key()
+		if _, dup := out[key]; !dup {
+			out[key] = exec
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scmatch: enumerating outcomes: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Package sim provides the discrete-event simulation kernel underlying
+// the multiprocessor models: a deterministic time-ordered event queue with
+// cycle-granular execution. All hardware components (processors, caches,
+// directories, interconnects) schedule work through one Kernel, so a
+// simulation is a single-threaded, fully reproducible event program.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a cycle count.
+type Time uint64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event queue. The zero value is ready to use at time 0.
+type Kernel struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// At schedules fn to run at time t. Scheduling in the past panics: events
+// must never rewind time.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.heap, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Time, fn func()) { k.At(k.now+delay, fn) }
+
+// Step advances time to the next event's timestamp and runs every event
+// scheduled for that timestamp (including events those events schedule for
+// the same timestamp, in schedule order). It reports whether any event ran.
+func (k *Kernel) Step() bool {
+	if len(k.heap) == 0 {
+		return false
+	}
+	k.now = k.heap[0].at
+	for len(k.heap) > 0 && k.heap[0].at == k.now {
+		e := heap.Pop(&k.heap).(event)
+		e.fn()
+	}
+	return true
+}
+
+// AdvanceTo runs all events with timestamps <= t and sets the clock to t.
+func (k *Kernel) AdvanceTo(t Time) {
+	for len(k.heap) > 0 && k.heap[0].at <= t {
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// Tick advances the clock by one cycle, running all events due at the new
+// time.
+func (k *Kernel) Tick() { k.AdvanceTo(k.now + 1) }
+
+// Drain runs events until the queue is empty or the clock would exceed
+// maxTime; it returns the number of events run and whether the queue
+// drained fully.
+func (k *Kernel) Drain(maxTime Time) (ran int, drained bool) {
+	for len(k.heap) > 0 {
+		if k.heap[0].at > maxTime {
+			return ran, false
+		}
+		before := len(k.heap)
+		k.Step()
+		ran += before - len(k.heap) + 1 // approximate: events may reschedule
+	}
+	return ran, true
+}

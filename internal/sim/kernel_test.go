@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+func TestAfterAndOrdering(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.After(5, func() { got = append(got, 2) })
+	k.After(3, func() { got = append(got, 1) })
+	k.After(5, func() { got = append(got, 3) }) // same time: schedule order
+	for k.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", got)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", k.Now())
+	}
+}
+
+func TestStepRunsSameTimestampCascades(t *testing.T) {
+	var k Kernel
+	n := 0
+	k.After(2, func() {
+		n++
+		k.After(0, func() { n++ }) // same-time cascade
+	})
+	if !k.Step() {
+		t.Fatal("Step must report an event ran")
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2 (cascade at same timestamp)", n)
+	}
+	if k.Step() {
+		t.Fatal("queue must be empty")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var k Kernel
+	ran := []Time{}
+	for _, d := range []Time{1, 4, 9} {
+		d := d
+		k.After(d, func() { ran = append(ran, d) })
+	}
+	k.AdvanceTo(4)
+	if len(ran) != 2 {
+		t.Fatalf("AdvanceTo(4) ran %d events, want 2", len(ran))
+	}
+	if k.Now() != 4 {
+		t.Fatalf("Now = %d, want 4", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	k.AdvanceTo(100)
+	if k.Now() != 100 || k.Pending() != 0 {
+		t.Fatalf("Now=%d Pending=%d, want 100/0", k.Now(), k.Pending())
+	}
+}
+
+func TestTick(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.After(1, func() { fired = true })
+	k.Tick()
+	if !fired || k.Now() != 1 {
+		t.Fatalf("fired=%v Now=%d, want true/1", fired, k.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var k Kernel
+	k.After(10, func() {})
+	k.AdvanceTo(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestDrain(t *testing.T) {
+	var k Kernel
+	for i := Time(1); i <= 5; i++ {
+		k.After(i, func() {})
+	}
+	_, drained := k.Drain(3)
+	if drained {
+		t.Error("Drain(3) must not drain events at t>3")
+	}
+	_, drained = k.Drain(10)
+	if !drained {
+		t.Error("Drain(10) must drain everything")
+	}
+}

@@ -1,0 +1,349 @@
+package snoop
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+	"weakorder/internal/trace"
+)
+
+type rig struct {
+	k      *sim.Kernel
+	bus    *Bus
+	caches []*Cache
+}
+
+func newRig(n int, cfgFn func(*Config)) *rig {
+	k := &sim.Kernel{}
+	bus := NewBus(k, BusConfig{TransferLatency: 3, MemLatency: 4})
+	r := &rig{k: k, bus: bus}
+	for i := 0; i < n; i++ {
+		cfg := Config{}
+		if cfgFn != nil {
+			cfgFn(&cfg)
+		}
+		r.caches = append(r.caches, NewCache(k, bus, cfg))
+	}
+	return r
+}
+
+func (r *rig) settle(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		if r.k.Pending() == 0 && r.bus.Idle() {
+			return
+		}
+		r.k.Tick()
+	}
+	t.Fatal("rig did not settle")
+}
+
+func (r *rig) doOp(t *testing.T, c int, kind mem.Kind, addr mem.Addr, data mem.Value) mem.Value {
+	t.Helper()
+	var got mem.Value
+	done := false
+	r.caches[c].Issue(&cache.Req{Kind: kind, Addr: addr, Data: data,
+		OnCommit: func(v mem.Value) { got = v; done = true }})
+	r.settle(t)
+	if !done {
+		t.Fatalf("cache %d: %v on %d did not commit", c, kind, addr)
+	}
+	return got
+}
+
+func TestReadMissFromMemory(t *testing.T) {
+	r := newRig(2, nil)
+	r.bus.SetInit(5, 42)
+	if v := r.doOp(t, 0, mem.Read, 5, 0); v != 42 {
+		t.Fatalf("read = %d, want 42", v)
+	}
+	if st, _ := r.caches[0].LineInfo(5); st != LineShared {
+		t.Fatalf("state %v, want Shared", st)
+	}
+	if r.bus.Stats().MemSupplied != 1 {
+		t.Error("memory must supply the first fill")
+	}
+}
+
+func TestWriteTakesExclusiveAndInvalidates(t *testing.T) {
+	r := newRig(3, nil)
+	r.bus.SetInit(1, 7)
+	r.doOp(t, 1, mem.Read, 1, 0)
+	r.doOp(t, 2, mem.Read, 1, 0)
+	if v := r.doOp(t, 0, mem.Write, 1, 9); v != 9 {
+		t.Fatal("write value")
+	}
+	for _, c := range []int{1, 2} {
+		if st, _ := r.caches[c].LineInfo(1); st != LineInvalid {
+			t.Errorf("cache %d not invalidated (%v)", c, st)
+		}
+	}
+	if v := r.doOp(t, 1, mem.Read, 1, 0); v != 9 {
+		t.Fatalf("re-read = %d, want 9 (cache supplied)", v)
+	}
+	if r.bus.Stats().CacheSupplied == 0 {
+		t.Error("the dirty owner must supply the re-read")
+	}
+	// The downgrade flushed memory.
+	if r.bus.MemValue(1) != 9 {
+		t.Errorf("memory = %d after flush, want 9", r.bus.MemValue(1))
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(2, nil)
+	r.bus.SetInit(2, 3)
+	r.doOp(t, 0, mem.Read, 2, 0)
+	r.doOp(t, 1, mem.Read, 2, 0)
+	if v := r.doOp(t, 0, mem.Write, 2, 8); v != 8 {
+		t.Fatal("upgrade write")
+	}
+	if st, _ := r.caches[1].LineInfo(2); st != LineInvalid {
+		t.Error("other sharer must invalidate on BusUpgr")
+	}
+	if r.caches[0].Stats().Upgrades == 0 {
+		t.Error("upgrade not counted")
+	}
+}
+
+func TestRacingUpgrades(t *testing.T) {
+	// Both caches shared, both upgrade simultaneously: the loser's copy is
+	// invalidated and its BusUpgr degenerates to a refetch; both writes
+	// serialize correctly.
+	r := newRig(2, nil)
+	r.bus.SetInit(4, 0)
+	r.doOp(t, 0, mem.Read, 4, 0)
+	r.doOp(t, 1, mem.Read, 4, 0)
+	var order []mem.Value
+	done := 0
+	for i := 0; i < 2; i++ {
+		val := mem.Value(i + 1)
+		r.caches[i].Issue(&cache.Req{Kind: mem.Write, Addr: 4, Data: val,
+			OnCommit: func(v mem.Value) { order = append(order, v); done++ }})
+	}
+	r.settle(t)
+	if done != 2 {
+		t.Fatalf("only %d writes committed", done)
+	}
+	// Exactly one exclusive copy remains, holding one of the values.
+	owners := 0
+	for _, c := range r.caches {
+		if _, dirty := c.Snoop(4); dirty {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("%d exclusive owners, want 1", owners)
+	}
+}
+
+func TestTASMutualExclusion(t *testing.T) {
+	r := newRig(3, nil)
+	wins := 0
+	done := 0
+	for i := 0; i < 3; i++ {
+		r.caches[i].Issue(&cache.Req{Kind: mem.SyncRMW, Addr: 9, Data: 1,
+			OnCommit: func(v mem.Value) {
+				if v == 0 {
+					wins++
+				}
+				done++
+			}})
+	}
+	r.settle(t)
+	if done != 3 || wins != 1 {
+		t.Fatalf("done=%d wins=%d, want 3/1", done, wins)
+	}
+}
+
+func TestReserveRetriesSyncTransactions(t *testing.T) {
+	r := newRig(2, func(c *Config) { c.UseReserve = true })
+	// c0 owns s; a data write holds the counter up; the release commits
+	// as a local hit (reserving s); c1's TAS then lands on the bus AHEAD
+	// of c0's remaining data writes (FIFO), so it executes while the
+	// counter is still positive and must retry.
+	r.doOp(t, 0, mem.SyncRMW, 9, 1) // own s
+	c0 := r.caches[0]
+	c0.Issue(&cache.Req{Kind: mem.Write, Addr: 0, Data: 1})
+	released := false
+	c0.Issue(&cache.Req{Kind: mem.SyncWrite, Addr: 9, Data: 0,
+		OnCommit: func(v mem.Value) { released = true }})
+	gotLock := mem.Value(-1)
+	r.caches[1].Issue(&cache.Req{Kind: mem.SyncRMW, Addr: 9, Data: 1,
+		OnCommit: func(v mem.Value) { gotLock = v }})
+	// Post-release data writes keep the counter up past the TAS's first
+	// bus grant.
+	for i := 1; i < 4; i++ {
+		c0.Issue(&cache.Req{Kind: mem.Write, Addr: mem.Addr(i), Data: 1})
+	}
+	for i := 0; i < 3 && !released; i++ {
+		r.k.Tick()
+	}
+	if !released {
+		t.Fatal("release did not commit promptly (local hit expected)")
+	}
+	if len(c0.ReservedLines()) != 1 {
+		t.Fatalf("reserved lines %v, want [9]", c0.ReservedLines())
+	}
+	r.settle(t)
+	if gotLock != 0 {
+		t.Fatalf("acquirer read %d, want 0 (post-release)", gotLock)
+	}
+	if r.bus.Stats().Retries == 0 {
+		t.Error("expected bus retries against the reserved line")
+	}
+	if len(c0.ReservedLines()) != 0 {
+		t.Error("reserve must clear at counter zero")
+	}
+}
+
+func TestROSyncBypassSharesLine(t *testing.T) {
+	r := newRig(2, func(c *Config) { c.ROSyncBypass = true })
+	r.doOp(t, 0, mem.SyncRMW, 9, 1) // c0 exclusive, val 1
+	if v := r.doOp(t, 1, mem.SyncRead, 9, 0); v != 1 {
+		t.Fatalf("Test read %d, want 1", v)
+	}
+	if st, _ := r.caches[0].LineInfo(9); st != LineShared {
+		t.Error("owner must downgrade on a cached Test")
+	}
+	if st, _ := r.caches[1].LineInfo(9); st != LineShared {
+		t.Error("tester must cache a shared copy")
+	}
+	// The second Test hits locally.
+	before := r.caches[1].Stats().Hits
+	r.doOp(t, 1, mem.SyncRead, 9, 0)
+	if r.caches[1].Stats().Hits != before+1 {
+		t.Error("second Test must hit locally")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	r := newRig(1, func(c *Config) { c.Capacity = 2 })
+	r.doOp(t, 0, mem.Write, 1, 11)
+	r.doOp(t, 0, mem.Write, 2, 22)
+	r.doOp(t, 0, mem.Write, 3, 33)
+	if r.caches[0].Stats().Evicted == 0 {
+		t.Fatal("expected an eviction")
+	}
+	if r.bus.MemValue(1) != 11 {
+		t.Fatalf("memory[1] = %d, want 11", r.bus.MemValue(1))
+	}
+	if v := r.doOp(t, 0, mem.Read, 1, 0); v != 11 {
+		t.Fatalf("re-read = %d", v)
+	}
+}
+
+func TestLineStateStrings(t *testing.T) {
+	for _, s := range []LineState{LineInvalid, LineShared, LineExclusive} {
+		if s.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+	for _, k := range []txKind{busRd, busRdX, busUpgr} {
+		if k.String() == "" {
+			t.Error("empty tx name")
+		}
+	}
+}
+
+// TestSnoopFuzz mirrors the directory fuzzer: random overlapping storms
+// checked against coherence and RMW atomicity.
+func TestSnoopFuzz(t *testing.T) {
+	configs := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"plain", nil},
+		{"reserve", func(c *Config) { c.UseReserve = true }},
+		{"reserve+ro", func(c *Config) { c.UseReserve = true; c.ROSyncBypass = true }},
+		{"tiny", func(c *Config) { c.Capacity = 2 }},
+	}
+	for _, cc := range configs {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				snoopFuzzOnce(t, cc.fn, seed)
+			}
+		})
+	}
+}
+
+func snoopFuzzOnce(t *testing.T, cfgFn func(*Config), seed int64) {
+	t.Helper()
+	const (
+		nCaches = 3
+		nAddrs  = 4
+		nOps    = 40
+	)
+	r := newRig(nCaches, cfgFn)
+	rng := rand.New(rand.NewSource(seed))
+	syncAddr := mem.Addr(nAddrs - 1)
+
+	counters := make([]int, nCaches)
+	pendingSync := make([]bool, nCaches)
+	var committed []mem.Op
+	issued := 0
+	for i := 0; i < nOps*nCaches; i++ {
+		c := rng.Intn(nCaches)
+		if pendingSync[c] {
+			r.k.Tick()
+			continue
+		}
+		var kind mem.Kind
+		var addr mem.Addr
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			kind, addr = mem.Read, mem.Addr(rng.Intn(nAddrs-1))
+		case 4, 5, 6:
+			kind, addr = mem.Write, mem.Addr(rng.Intn(nAddrs-1))
+		case 7:
+			kind, addr = mem.SyncRMW, syncAddr
+		case 8:
+			kind, addr = mem.SyncWrite, syncAddr
+		default:
+			kind, addr = mem.SyncRead, syncAddr
+		}
+		data := mem.Value(rng.Intn(50) + 1)
+		op := mem.Op{Proc: c, Index: counters[c], Kind: kind, Addr: addr, Data: data}
+		if kind == mem.SyncRead {
+			op.Data = 0
+		}
+		counters[c]++
+		issued++
+		cIdx := c
+		if kind.IsSync() {
+			pendingSync[c] = true
+		}
+		r.caches[c].Issue(&cache.Req{Kind: kind, Addr: addr, Data: op.Data,
+			OnCommit: func(v mem.Value) {
+				done := op
+				done.Got = v
+				committed = append(committed, done)
+				if done.Kind.IsSync() {
+					pendingSync[cIdx] = false
+				}
+			}})
+		for g := rng.Intn(3); g > 0; g-- {
+			r.k.Tick()
+		}
+	}
+	r.settle(t)
+	if len(committed) != issued {
+		t.Fatalf("seed %d: %d of %d committed", seed, len(committed), issued)
+	}
+	for i, c := range r.caches {
+		if c.Busy() || c.Counter() != 0 || len(c.ReservedLines()) != 0 {
+			t.Fatalf("seed %d: cache %d not drained", seed, i)
+		}
+	}
+	exec := &mem.Execution{Ops: committed, Procs: nCaches}
+	if err := trace.CheckCoherence(exec, nil); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := trace.CheckRMWAtomicity(exec, nil); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}

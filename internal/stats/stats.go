@@ -1,0 +1,129 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, standard deviations, extrema, medians, and simple
+// normal-approximation confidence intervals over repeated simulation
+// runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations. The zero value is an empty sample.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddUint appends an unsigned observation.
+func (s *Sample) AddUint(x uint64) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var t float64
+	for _, x := range s.xs {
+		d := x - m
+		t += d * d
+	}
+	return t / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median (0 for an empty sample).
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// under a normal approximation (1.96 · sd / sqrt(n)); 0 for n < 2.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev() / math.Sqrt(float64(n))
+}
+
+// String renders "mean ± sd (n)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean(), s.Stddev(), s.N())
+}
+
+// MeanSD renders "mean±sd" compactly for table cells.
+func (s *Sample) MeanSD() string {
+	if s.N() < 2 || s.Stddev() == 0 {
+		return fmt.Sprintf("%.1f", s.Mean())
+	}
+	return fmt.Sprintf("%.1f±%.1f", s.Mean(), s.Stddev())
+}
+
+// Ratio returns a.Mean()/b.Mean() (0 when b's mean is 0) — the speedup
+// presentation used in the experiment tables.
+func Ratio(a, b *Sample) float64 {
+	if b.Mean() == 0 {
+		return 0
+	}
+	return a.Mean() / b.Mean()
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if !almost(s.Var(), 32.0/7.0) {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almost(s.Median(), 4.5) {
+		t.Errorf("Median = %v, want 4.5", s.Median())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.CI95() != 0 {
+		t.Error("empty sample must report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Median() != 3 {
+		t.Error("singleton sample")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5} {
+		s.Add(x)
+	}
+	if s.Median() != 5 {
+		t.Errorf("Median = %v, want 5", s.Median())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mk := func(n int) *Sample {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(float64(i % 10))
+		}
+		return &s
+	}
+	if mk(100).CI95() >= mk(10).CI95() {
+		t.Error("confidence interval must shrink with more observations")
+	}
+}
+
+func TestAddUintAndStrings(t *testing.T) {
+	var s Sample
+	s.AddUint(10)
+	s.AddUint(20)
+	if s.Mean() != 15 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.String() == "" || s.MeanSD() == "" {
+		t.Error("empty renderings")
+	}
+	var single Sample
+	single.Add(4)
+	if single.MeanSD() != "4.0" {
+		t.Errorf("MeanSD singleton = %q", single.MeanSD())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var a, b Sample
+	a.Add(10)
+	b.Add(4)
+	if Ratio(&a, &b) != 2.5 {
+		t.Errorf("Ratio = %v", Ratio(&a, &b))
+	}
+	var zero Sample
+	if Ratio(&a, &zero) != 0 {
+		t.Error("ratio with zero denominator must be 0")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		var s Sample
+		ok := true
+		for _, x := range raw {
+			s.Add(float64(x)) // bounded inputs: avoid float overflow artifacts
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		ok = ok && m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+		ok = ok && s.Median() >= s.Min()-1e-6 && s.Median() <= s.Max()+1e-6
+		ok = ok && s.Var() >= 0
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

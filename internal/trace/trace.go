@@ -1,0 +1,279 @@
+// Package trace analyzes machine executions (commit-ordered operation
+// traces): it verifies the per-location ordering invariants the paper's
+// Section 5.1 conditions promise — write serialization (condition 2),
+// synchronization atomicity (condition 3) — and renders executions in
+// the paper's figure style (one column per processor, time flowing down).
+//
+// The checkers run on *any* execution, so tests apply them to every
+// simulator run: a protocol bug that breaks coherence fails these checks
+// even when the end-to-end result happens to look plausible.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// WriteOrder returns, per location, the writes (operations with a write
+// component) in commit order — the total order per location that
+// condition 2 of Section 5.1 requires all processors to observe.
+func WriteOrder(e *mem.Execution) map[mem.Addr][]mem.Op {
+	out := make(map[mem.Addr][]mem.Op)
+	for _, op := range e.Ops {
+		if op.HasWriteComponent() {
+			out[op.Addr] = append(out[op.Addr], op)
+		}
+	}
+	return out
+}
+
+// CheckCoherence verifies per-location write serialization against the
+// values reads observed: for each processor and location, the reads (in
+// commit order) must observe values at non-decreasing positions of the
+// location's write order, starting from the initial value. init supplies
+// initial memory contents (absent entries are zero).
+//
+// The check is the executable form of condition 2: "all writes to the
+// same location can be totally ordered based on their commit times, and
+// this is the order in which they are observed by all processors".
+func CheckCoherence(e *mem.Execution, init map[mem.Addr]mem.Value) error {
+	writes := WriteOrder(e)
+	// pointer[proc][addr] = index into writes[addr] of the last write the
+	// processor observed; -1 = still at the initial value.
+	type key struct {
+		proc int
+		addr mem.Addr
+	}
+	pointer := make(map[key]int)
+
+	valueAt := func(addr mem.Addr, pos int) mem.Value {
+		if pos < 0 {
+			return init[addr]
+		}
+		return writes[addr][pos].Data
+	}
+
+	for _, op := range e.Ops {
+		if !op.HasReadComponent() || op.Proc < 0 {
+			continue
+		}
+		k := key{proc: op.Proc, addr: op.Addr}
+		cur, ok := pointer[k]
+		if !ok {
+			cur = -1
+		}
+		// The read may re-observe the current position or any later one.
+		found := false
+		if valueAt(op.Addr, cur) == op.Got {
+			found = true
+		} else {
+			for pos := cur + 1; pos < len(writes[op.Addr]); pos++ {
+				if writes[op.Addr][pos].Data == op.Got {
+					pointer[k] = pos
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace: coherence violation: %v observed %d, but no write at or after position %d of the serialization %v supplies it",
+				op, op.Got, cur, summarizeWrites(writes[op.Addr]))
+		}
+		// An RMW observes and immediately succeeds its predecessor: its
+		// own write is the next position.
+		if op.Kind == mem.SyncRMW {
+			if pos, err := findOwnWrite(writes[op.Addr], op); err == nil {
+				pointer[k] = pos
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRMWAtomicity verifies condition 3's atomicity consequence: each
+// read-modify-write's read component returns exactly the value of the
+// immediately preceding write in the location's serialization (or the
+// initial value when it is the first write).
+func CheckRMWAtomicity(e *mem.Execution, init map[mem.Addr]mem.Value) error {
+	writes := WriteOrder(e)
+	for addr, ws := range writes {
+		for i, w := range ws {
+			if w.Kind != mem.SyncRMW {
+				continue
+			}
+			want := init[addr]
+			if i > 0 {
+				want = ws[i-1].Data
+			}
+			if w.Got != want {
+				return fmt.Errorf("trace: RMW atomicity violation: %v read %d but the preceding write in the serialization supplies %d",
+					w, w.Got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func findOwnWrite(ws []mem.Op, op mem.Op) (int, error) {
+	for i, w := range ws {
+		if w.ID() == op.ID() {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: op %v not in write order", op)
+}
+
+// CheckIndices verifies the trace is well formed: per-processor indices
+// are unique and, within each processor, commit order respects program
+// order for operations the processor completed in order... indices must
+// simply be unique and non-negative per processor; gaps are allowed
+// (reads forwarded from the write buffer commit before the write).
+func CheckIndices(e *mem.Execution) error {
+	seen := make(map[mem.OpID]bool)
+	for _, op := range e.Ops {
+		if op.Proc < 0 {
+			continue
+		}
+		if op.Index < 0 {
+			return fmt.Errorf("trace: negative index on %v", op)
+		}
+		id := op.ID()
+		if seen[id] {
+			return fmt.Errorf("trace: duplicate dynamic operation %v", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// CheckAll runs every invariant checker.
+func CheckAll(e *mem.Execution, init map[mem.Addr]mem.Value) error {
+	if err := CheckIndices(e); err != nil {
+		return err
+	}
+	if err := CheckCoherence(e, init); err != nil {
+		return err
+	}
+	return CheckRMWAtomicity(e, init)
+}
+
+func summarizeWrites(ws []mem.Op) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = fmt.Sprintf("%s=%d", w.ID(), w.Data)
+	}
+	return out
+}
+
+// Timeline renders an execution in the paper's figure style: one column
+// per processor, operations in commit order flowing down. Boundary
+// (augmentation) operations are skipped. maxRows truncates long traces
+// (0 = unlimited).
+func Timeline(e *mem.Execution, maxRows int) string {
+	procs := e.Procs
+	if procs == 0 {
+		for _, op := range e.Ops {
+			if op.Proc >= procs {
+				procs = op.Proc + 1
+			}
+		}
+	}
+	const colWidth = 14
+	var b strings.Builder
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, fmt.Sprintf("P%d", p))
+	}
+	b.WriteByte('\n')
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, strings.Repeat("-", colWidth-2))
+	}
+	b.WriteByte('\n')
+	rows := 0
+	for _, op := range e.Ops {
+		if op.Proc < 0 || op.Proc >= procs {
+			continue
+		}
+		if maxRows > 0 && rows >= maxRows {
+			fmt.Fprintf(&b, "... (%d more operations)\n", len(e.Ops)-rows)
+			break
+		}
+		rows++
+		cell := cellFor(op)
+		for p := 0; p < procs; p++ {
+			if p == op.Proc {
+				fmt.Fprintf(&b, "%-*s", colWidth, cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", colWidth, "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// cellFor renders one op compactly, figure style: W(x)=1, R(y)->0, S(s).
+func cellFor(op mem.Op) string {
+	loc := op.Label
+	if loc == "" {
+		loc = fmt.Sprintf("%d", op.Addr)
+	}
+	switch op.Kind {
+	case mem.Read:
+		return fmt.Sprintf("R(%s)->%d", loc, op.Got)
+	case mem.Write:
+		return fmt.Sprintf("W(%s)=%d", loc, op.Data)
+	case mem.SyncRead:
+		return fmt.Sprintf("Test(%s)->%d", loc, op.Got)
+	case mem.SyncWrite:
+		return fmt.Sprintf("Set(%s)=%d", loc, op.Data)
+	case mem.SyncRMW:
+		return fmt.Sprintf("TAS(%s)->%d", loc, op.Got)
+	default:
+		return op.String()
+	}
+}
+
+// Summary aggregates an execution: operation counts by kind and by
+// processor, touched locations.
+type Summary struct {
+	Ops       int
+	ByKind    map[mem.Kind]int
+	ByProc    map[int]int
+	Locations []mem.Addr
+}
+
+// Summarize computes a Summary.
+func Summarize(e *mem.Execution) Summary {
+	s := Summary{ByKind: make(map[mem.Kind]int), ByProc: make(map[int]int)}
+	locs := make(map[mem.Addr]bool)
+	for _, op := range e.Ops {
+		if op.Proc < 0 {
+			continue
+		}
+		s.Ops++
+		s.ByKind[op.Kind]++
+		s.ByProc[op.Proc]++
+		locs[op.Addr] = true
+	}
+	for a := range locs {
+		s.Locations = append(s.Locations, a)
+	}
+	sort.Slice(s.Locations, func(i, j int) bool { return s.Locations[i] < s.Locations[j] })
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d operations over %d locations;", s.Ops, len(s.Locations))
+	kinds := []mem.Kind{mem.Read, mem.Write, mem.SyncRead, mem.SyncWrite, mem.SyncRMW}
+	for _, k := range kinds {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(&b, " %v=%d", k, n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+// Package weakorder is a library-scale reproduction of Adve & Hill,
+// "Weak Ordering — A New Definition" (ISCA 1990): the DRF0
+// synchronization model, weak ordering as a software/hardware contract
+// (Definition 2), and cycle-level models of the hardware designs the
+// paper discusses — sequentially consistent baselines, weak ordering per
+// Dubois/Scheurich/Briggs (Definition 1), and the paper's new
+// reserve-bit/counter implementation (Section 5.3) with the Section 6
+// read-only-synchronization refinement.
+//
+// The package offers four layers:
+//
+//   - Programs: a small parallel IR with data and synchronization
+//     operations, built fluently (NewProgram) or parsed from litmus text
+//     (ParseProgram).
+//   - The idealized architecture: exhaustive enumeration of sequentially
+//     consistent executions (EnumerateSC, SCOutcomes) — the semantic
+//     yardstick of Definition 2.
+//   - Checkers: DRF0 verdicts via exhaustive happens-before analysis
+//     (CheckDRF0) and scalable vector-clock race detection (DetectRaces);
+//     an appears-sequentially-consistent oracle for observed hardware
+//     results (AppearsSC).
+//   - Machines: assembled multiprocessor simulations (Simulate) across
+//     the paper's Figure 1 system classes and consistency policies, with
+//     per-processor stall accounting.
+//
+// Quickstart:
+//
+//	b := weakorder.NewProgram("mp")
+//	data, flag := b.Var("data"), b.Var("flag")
+//	p0 := b.Thread()
+//	p0.StoreImm(data, 42)
+//	p0.SyncStoreImm(flag, 1)
+//	p1 := b.Thread()
+//	p1.Label("spin")
+//	p1.SyncLoad(weakorder.R1, flag)
+//	p1.BeqImm(weakorder.R1, 0, "spin")
+//	p1.Load(weakorder.R0, data)
+//	prog := b.MustBuild()
+//
+//	verdict, _ := weakorder.CheckDRF0(prog)      // DRF0: yes
+//	res, _ := weakorder.Simulate(prog, weakorder.MachineConfig{
+//		Policy:   weakorder.WODef2,
+//		Topology: weakorder.Network,
+//		Caches:   true,
+//	}, 1)
+//	ok, _, _ := weakorder.AppearsSC(prog, res.Result) // true: Definition 2
+package weakorder
+
+import (
+	"weakorder/internal/drf"
+	"weakorder/internal/hb"
+	"weakorder/internal/ideal"
+	"weakorder/internal/lang"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/scmatch"
+	"weakorder/internal/vclock"
+)
+
+// Core vocabulary (see the internal packages for full documentation).
+type (
+	// Addr is a word-granular memory address.
+	Addr = mem.Addr
+	// Value is the contents of one memory word.
+	Value = mem.Value
+	// OpKind classifies memory operations (Read, Write, SyncRead,
+	// SyncWrite, SyncRMW).
+	OpKind = mem.Kind
+	// Op is one dynamic memory operation.
+	Op = mem.Op
+	// OpID identifies a dynamic operation (processor, program index).
+	OpID = mem.OpID
+	// Execution is a completed run: operations in completion order plus
+	// final memory.
+	Execution = mem.Execution
+	// Result is an execution's observable outcome: every read's value
+	// plus the final memory state.
+	Result = mem.Result
+
+	// Program is a multi-threaded program in the IR.
+	Program = program.Program
+	// ProgramBuilder assembles programs fluently.
+	ProgramBuilder = program.Builder
+	// ThreadBuilder assembles one thread's instructions.
+	ThreadBuilder = program.ThreadBuilder
+	// Reg names a thread register (R0..R15).
+	Reg = program.Reg
+
+	// SyncMode selects the synchronization model: DRF0 or the Section 6
+	// refined model.
+	SyncMode = hb.SyncMode
+	// Race is a pair of conflicting, happens-before-unordered operations.
+	Race = hb.Race
+	// Verdict is a DRF0 check outcome.
+	Verdict = drf.Verdict
+	// DynamicRace is an online vector-clock race report.
+	DynamicRace = vclock.Race
+
+	// Policy selects the consistency enforcement hardware.
+	Policy = policy.Kind
+	// Topology selects the interconnect class.
+	Topology = machine.Topology
+	// MachineConfig parameterizes a simulated multiprocessor.
+	MachineConfig = machine.Config
+	// Migration schedules a thread's re-scheduling onto another processor
+	// (MachineConfig.Migrations; requires ExtraProcs).
+	Migration = machine.Migration
+	// RunResult is a simulation outcome: execution, result, statistics.
+	RunResult = machine.RunResult
+	// MachineStats aggregates a run's measurements.
+	MachineStats = machine.Stats
+)
+
+// Operation kinds.
+const (
+	Read      = mem.Read
+	Write     = mem.Write
+	SyncRead  = mem.SyncRead
+	SyncWrite = mem.SyncWrite
+	SyncRMW   = mem.SyncRMW
+)
+
+// Registers.
+const (
+	R0 = program.R0
+	R1 = program.R1
+	R2 = program.R2
+	R3 = program.R3
+	R4 = program.R4
+	R5 = program.R5
+	R6 = program.R6
+	R7 = program.R7
+)
+
+// Synchronization models.
+const (
+	// DRF0 is Definition 3: every synchronization operation orders.
+	DRF0 = hb.SyncAll
+	// DRF0RO is the Section 6 refinement: read-only synchronization
+	// operations carry no release duty.
+	DRF0RO = hb.SyncWriterOrdered
+	// DRF0RA is the Section 7 exploration that became release
+	// consistency: ordering flows only through release→acquire pairs
+	// (writing sync op, then a later reading sync op on the same
+	// location); two releases order nothing between their issuers.
+	DRF0RA = hb.SyncPairedRA
+)
+
+// Consistency policies.
+const (
+	// SC is the Scheurich-Dubois sequentially consistent baseline.
+	SC = policy.SC
+	// Unconstrained is write-buffered hardware with no ordering
+	// enforcement (the Figure 1 strawman).
+	Unconstrained = policy.Unconstrained
+	// WODef1 is weak ordering per Dubois/Scheurich/Briggs.
+	WODef1 = policy.WODef1
+	// WODef2 is the paper's Section 5.3 implementation of Definition 2.
+	WODef2 = policy.WODef2
+	// WODef2RO adds the Section 6 read-only-synchronization refinement.
+	WODef2RO = policy.WODef2RO
+)
+
+// Interconnects.
+const (
+	// Bus is a shared bus (globally serialized transactions).
+	Bus = machine.TopoBus
+	// Network is a general interconnection network (independent routing,
+	// variable latency).
+	Network = machine.TopoNetwork
+)
+
+// NewProgram returns a builder for a program with the given name.
+func NewProgram(name string) *ProgramBuilder { return program.NewBuilder(name) }
+
+// ParseProgram parses the litmus text format (see internal/lang for the
+// grammar).
+func ParseProgram(src string) (*Program, error) { return lang.Parse(src) }
+
+// FormatProgram renders a program in the litmus text format.
+func FormatProgram(p *Program) string { return lang.Format(p) }
+
+// CheckDRF0 decides whether p obeys DRF0 (Definition 3) by exhaustively
+// enumerating its idealized executions with sane default budgets:
+// spinning paths are bounded at 16 dynamic memory operations per thread
+// and abandoned rather than failing the check (the Verdict reports how
+// many). For deeper or custom budgets use internal/drf via a fork, or
+// split the program.
+func CheckDRF0(p *Program) (Verdict, error) { return CheckModel(p, DRF0) }
+
+// CheckModel is CheckDRF0 under an explicit synchronization model.
+func CheckModel(p *Program, mode SyncMode) (Verdict, error) {
+	return drf.Check(p, mode, drf.CheckConfig{Enum: boundedEnum()})
+}
+
+// CheckModelAll is CheckModel but collects distinct race witnesses from
+// every racy idealized execution instead of stopping at the first.
+func CheckModelAll(p *Program, mode SyncMode) (Verdict, error) {
+	return drf.Check(p, mode, drf.CheckConfig{Enum: boundedEnum(), AllRaces: true})
+}
+
+// DetectRaces runs the online vector-clock detector over one execution
+// (linear time; the scalable alternative to CheckDRF0 for long traces).
+func DetectRaces(e *Execution, mode SyncMode) []DynamicRace {
+	return vclock.CheckExecution(e, mode)
+}
+
+// EnumerateSC visits every sequentially consistent execution of p at
+// memory-operation granularity. The visitor's error stops enumeration
+// (use StopEnumeration for a non-error stop).
+func EnumerateSC(p *Program, visit func(*Execution) error) error {
+	_, err := ideal.Enumerate(p, boundedEnum(), func(it *ideal.Interp) error {
+		return visit(it.Execution())
+	})
+	return err
+}
+
+// StopEnumeration stops EnumerateSC early without reporting an error.
+var StopEnumeration = ideal.ErrStop
+
+// SCOutcomes returns every distinct sequentially consistent result of p,
+// keyed by Result.Key, with one witness execution each.
+func SCOutcomes(p *Program) (map[string]*Execution, error) {
+	return scmatch.Outcomes(p, boundedEnum())
+}
+
+// RunSC executes p once on the idealized architecture under a fair
+// pseudo-random interleaving derived from seed.
+func RunSC(p *Program, seed int64) (*Execution, error) {
+	it, err := ideal.RunSeed(p, ideal.Config{}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return it.Execution(), nil
+}
+
+// AppearsSC reports whether result r of p appears sequentially
+// consistent — whether some idealized execution produces the identical
+// result (Definition 2's obligation, Lemma 1's condition). On success the
+// witness execution is returned.
+func AppearsSC(p *Program, r Result) (bool, *Execution, error) {
+	m, err := scmatch.Matches(p, r, scmatch.Config{})
+	return m.OK, m.Witness, err
+}
+
+// Simulate assembles the machine described by cfg and runs p to
+// completion, with all randomized latencies derived from seed.
+func Simulate(p *Program, cfg MachineConfig, seed int64) (*RunResult, error) {
+	return machine.Run(p, cfg, seed)
+}
+
+// ParsePolicy resolves a policy name ("SC", "Unconstrained", "WO-Def1",
+// "WO-Def2", "WO-Def2+RO").
+func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
+
+// Policies lists every policy in presentation order.
+func Policies() []Policy { return policy.All() }
+
+func boundedEnum() ideal.EnumConfig {
+	return ideal.EnumConfig{
+		Interp:        ideal.Config{MaxMemOpsPerThread: 16},
+		SkipTruncated: true,
+		MaxPaths:      5_000_000,
+	}
+}
