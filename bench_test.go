@@ -138,6 +138,37 @@ func BenchmarkTable6LitmusMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckCampaign measures differential-campaign throughput (see
+// internal/check): generation, the machine matrix, and the cached SC
+// oracle together. Workers sub-benchmarks expose pool scaling; the
+// summary must be identical across them (pinned by the package's own
+// determinism test), so the only thing varying is wall-clock.
+func BenchmarkCheckCampaign(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			sims := 0
+			for i := 0; i < b.N; i++ {
+				s, err := weakorder.Check(weakorder.CampaignConfig{
+					Seed:           1,
+					Programs:       4,
+					Policies:       []weakorder.Policy{policy.SC, policy.WODef2},
+					Topologies:     []weakorder.Topology{machine.TopoBus},
+					SeedsPerConfig: 1,
+					Workers:        workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.Violations) != 0 {
+					b.Fatalf("clean campaign produced %d violations", len(s.Violations))
+				}
+				sims += s.Sims
+			}
+			b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+		})
+	}
+}
+
 // BenchmarkSnoopMachine measures the snoopy-bus substrate on the
 // critical-section workload.
 func BenchmarkSnoopMachine(b *testing.B) {

@@ -1,0 +1,137 @@
+// Command wofuzz runs a differential model-checking campaign
+// (internal/check): generated programs are simulated across a
+// policy × topology × caches matrix and every outcome is adjudicated
+// against the idealized-architecture SC oracles. The deterministic JSON
+// summary goes to stdout; progress, throughput, and the coverage table
+// go to stderr.
+//
+// Usage:
+//
+//	wofuzz -seed 1 -n 200 -policies all
+//	wofuzz -seed 7 -n 50 -policies WO-Def2,SC -topos bus -corpus out/
+//	wofuzz -seed 1 -n 2 -policies WO-Def2 -topos bus -fault WO-Def2 -corpus out/
+//
+// The same seed and flags always produce a byte-identical summary,
+// regardless of -workers. The -fault flag deliberately corrupts one read
+// per run on the named policy, exercising the violation pipeline
+// (detection, shrinking, corpus emission) end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"weakorder/internal/check"
+	"weakorder/internal/machine"
+	"weakorder/internal/policy"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "campaign seed (derives every random stream)")
+		n        = flag.Int("n", 100, "number of generated programs")
+		policies = flag.String("policies", "all", "comma-separated policies, or all")
+		topos    = flag.String("topos", "all", "comma-separated topologies (bus, network), or all")
+		runs     = flag.Int("runs", 2, "machine seeds per (program, config) pair")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		corpus   = flag.String("corpus", "", "directory receiving .litmus+.json reproducers for violations")
+		table    = flag.Bool("table", true, "print the coverage table to stderr")
+		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
+		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
+	)
+	flag.Parse()
+
+	pols, err := parsePolicies(*policies)
+	if err != nil {
+		fatal(err)
+	}
+	tps, err := parseTopos(*topos)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := check.CampaignConfig{
+		Seed:           *seed,
+		Programs:       *n,
+		Policies:       pols,
+		Topologies:     tps,
+		SeedsPerConfig: *runs,
+		Workers:        *workers,
+		CorpusDir:      *corpus,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "wofuzz: "+format+"\n", args...)
+		}
+	}
+	if *fault != "" {
+		pol, err := policy.Parse(*fault)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault = check.CorruptReadFault(pol)
+	}
+
+	sum, err := check.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	b, err := sum.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(b)
+
+	if *table {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, sum.CoverageTable())
+	}
+	if sum.Perf != nil && !*quiet {
+		fmt.Fprintln(os.Stderr, "wofuzz:", sum.Perf)
+	}
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "wofuzz: %d contract violation(s) found\n", len(sum.Violations))
+		os.Exit(1)
+	}
+}
+
+func parsePolicies(s string) ([]policy.Kind, error) {
+	if s == "" || s == "all" {
+		return policy.All(), nil
+	}
+	var out []policy.Kind
+	for _, name := range strings.Split(s, ",") {
+		pol, err := policy.Parse(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pol)
+	}
+	return out, nil
+}
+
+func parseTopos(s string) ([]machine.Topology, error) {
+	if s == "" || s == "all" {
+		return []machine.Topology{machine.TopoBus, machine.TopoNetwork}, nil
+	}
+	var out []machine.Topology
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "bus":
+			out = append(out, machine.TopoBus)
+		case "network":
+			out = append(out, machine.TopoNetwork)
+		default:
+			return nil, fmt.Errorf("unknown topology %q (want bus or network)", name)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wofuzz:", err)
+	os.Exit(1)
+}

@@ -54,6 +54,7 @@ func main() {
 		list       = flag.Bool("list", false, "list built-in programs and exit")
 		verbose    = flag.Bool("v", false, "print the committed-operation trace")
 		timeline   = flag.Bool("timeline", false, "print the last run as a figure-style timeline")
+		traceFirst = flag.Bool("trace", false, "print the first seed's full timeline (inspecting shrunk reproducers)")
 		checkSC    = flag.Bool("check-sc", true, "check each result against the SC oracle")
 		suite      = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
 	)
@@ -121,6 +122,9 @@ func main() {
 		}
 		if res.CondHolds(prog) {
 			condHits++
+		}
+		if s == 0 && *traceFirst {
+			fmt.Println(trace.Timeline(res.Exec, 0))
 		}
 		if s == *seeds-1 {
 			if *timeline {

@@ -1,0 +1,419 @@
+// Package check is the differential model-checking and fuzzing
+// subsystem: it continuously adjudicates the paper's Definition 2
+// contract at scale. A deterministic seeded campaign generates programs
+// (race-free and racy, via internal/gen), runs each across a
+// policy × topology × caches matrix on internal/machine, and classifies
+// every (program, config, outcome) against the idealized-architecture
+// oracles:
+//
+//   - runs under the SC policy must appear sequentially consistent;
+//   - DRF0 programs must appear sequentially consistent on every weakly
+//     ordered policy (Definition 2 — violations are simulator or policy
+//     bugs);
+//   - racy programs (and the Unconstrained policy) feed a coverage table
+//     of observed non-SC outcomes per policy.
+//
+// On any violation an automatic shrinker (shrink.go) delta-debugs the
+// program IR to a minimal reproducer, which is emitted as round-tripped
+// litmus text plus a JSON report into a corpus directory (corpus.go);
+// the committed corpus replays as a regression suite.
+//
+// The expensive appears-SC oracle is cached per program hash: the full
+// SC outcome set is enumerated once per distinct program and shared
+// across every config and machine seed, with a result-directed search as
+// fallback when enumeration exceeds its budget.
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"weakorder/internal/drf"
+	"weakorder/internal/gen"
+	"weakorder/internal/ideal"
+	"weakorder/internal/lang"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/scmatch"
+	"weakorder/internal/sim"
+)
+
+// Program classes.
+const (
+	// ClassDRF: the program obeys DRF0 (by construction or by bounded
+	// exhaustive check) and is covered by the Definition 2 oracle.
+	ClassDRF = "drf"
+	// ClassRacy: the program races (or its DRF check exceeded budget);
+	// its outcomes feed the coverage table only.
+	ClassRacy = "racy"
+)
+
+// FaultHook mutates a simulation result after the machine runs — a
+// test-only knob for deliberately breaking a policy so the violation
+// pipeline (detection, shrinking, corpus emission) can be exercised and
+// its acceptance criteria pinned. Production campaigns leave it nil.
+type FaultHook func(cfg machine.Config, p *program.Program, res *machine.RunResult)
+
+// CampaignConfig parameterizes a campaign. The zero value of every field
+// has a usable default except Programs, which must be positive.
+type CampaignConfig struct {
+	// Seed derives every random stream in the campaign: generator seeds
+	// and machine seeds are mixed from (Seed, program index, config
+	// index, run index), never from worker identity, so the campaign's
+	// Summary is identical for any Workers value.
+	Seed int64
+	// Programs is the number of generated programs.
+	Programs int
+	// Policies selects the policy axis (default policy.All()).
+	Policies []policy.Kind
+	// Topologies selects the interconnect axis (default bus + network).
+	Topologies []machine.Topology
+	// SeedsPerConfig is the number of machine seeds each (program,
+	// config) pair runs under (default 2).
+	SeedsPerConfig int
+	// Workers bounds the worker pool (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// CorpusDir, when non-empty, receives a .litmus + .json reproducer
+	// pair for every violation.
+	CorpusDir string
+	// MaxShrinkTries bounds the shrinker's candidate evaluations per
+	// violation (default 400).
+	MaxShrinkTries int
+	// Fault is the test-only fault hook; see FaultHook.
+	Fault FaultHook
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if len(c.Policies) == 0 {
+		c.Policies = policy.All()
+	}
+	if len(c.Topologies) == 0 {
+		c.Topologies = []machine.Topology{machine.TopoBus, machine.TopoNetwork}
+	}
+	if c.SeedsPerConfig == 0 {
+		c.SeedsPerConfig = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxShrinkTries == 0 {
+		c.MaxShrinkTries = 400
+	}
+	return c
+}
+
+// Search budgets. The oracle enumerates small generated programs
+// completely well inside these; spin-loop programs truncate and fall
+// back to the result-directed search.
+const (
+	oracleMemOpsPerThread = 16
+	oracleEnumMaxPaths    = 200_000
+	oracleMatchMaxStates  = 300_000
+	drfCheckMaxPaths      = 100_000
+	campaignMaxCycles     = 500_000
+	shrinkMaxCycles       = 200_000
+)
+
+func oracleEnumConfig() ideal.EnumConfig {
+	return ideal.EnumConfig{
+		Interp:        ideal.Config{MaxMemOpsPerThread: oracleMemOpsPerThread},
+		SkipTruncated: true,
+		MaxPaths:      oracleEnumMaxPaths,
+	}
+}
+
+func boundedDRFConfig() drf.CheckConfig {
+	return drf.CheckConfig{Enum: ideal.EnumConfig{
+		Interp:        ideal.Config{MaxMemOpsPerThread: oracleMemOpsPerThread},
+		SkipTruncated: true,
+		MaxPaths:      drfCheckMaxPaths,
+	}}
+}
+
+// genSpec is one entry of the generator catalog. Shapes are kept small
+// enough that the oracle usually enumerates the full SC outcome set.
+type genSpec struct {
+	name  string
+	class string // ClassDRF for by-construction generators, "" to decide by checking
+	make  func(seed int64) *program.Program
+}
+
+func generators() []genSpec {
+	return []genSpec{
+		{"racefree", ClassDRF, func(s int64) *program.Program {
+			return gen.RaceFree(gen.RaceFreeConfig{
+				Procs: 2, Locks: 1, SharedPerLock: 2, PrivatePerProc: 1,
+				Sections: 1, OpsPerSection: 2, PrivateOps: 1,
+			}, s)
+		}},
+		{"racefree-ttas", ClassDRF, func(s int64) *program.Program {
+			return gen.RaceFree(gen.RaceFreeConfig{
+				Procs: 2, Locks: 1, SharedPerLock: 1, PrivatePerProc: 1,
+				Sections: 1, OpsPerSection: 1, PrivateOps: 1, TTAS: true,
+			}, s)
+		}},
+		{"handoff", ClassDRF, func(s int64) *program.Program {
+			return gen.Handoff(gen.HandoffConfig{Stages: 2, Items: 2, Work: 1}, s)
+		}},
+		{"racy", "", func(s int64) *program.Program {
+			return gen.Racy(gen.RacyConfig{Procs: 2, Vars: 3, OpsPerProc: 5, SyncFraction: 4}, s)
+		}},
+	}
+}
+
+// Matrix expands the policy and topology axes into concrete machine
+// configurations: weakly ordered policies require caches, SC and
+// Unconstrained run both with and without them. The network rows get
+// high jitter, which is what surfaces weak behavior (message
+// reordering) in practice.
+func Matrix(policies []policy.Kind, topos []machine.Topology) []machine.Config {
+	var out []machine.Config
+	for _, topo := range topos {
+		for _, pol := range policies {
+			cacheModes := []bool{true}
+			if pol == policy.SC || pol == policy.Unconstrained {
+				cacheModes = []bool{false, true}
+			}
+			for _, caches := range cacheModes {
+				cfg := machine.Config{
+					Policy:    pol,
+					Topology:  topo,
+					Caches:    caches,
+					MaxCycles: campaignMaxCycles,
+				}
+				if topo == machine.TopoNetwork {
+					cfg.NetJitter = 20
+				}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed hash used
+// to derive independent deterministic seed streams from (Seed, indices).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func deriveSeed(campaign int64, parts ...uint64) int64 {
+	x := mix64(uint64(campaign))
+	for _, p := range parts {
+		x = mix64(x ^ p)
+	}
+	return int64(x >> 1) // non-negative
+}
+
+func simTime(v int64) sim.Time { return sim.Time(v) }
+
+// oracleEntry caches the SC oracle for one distinct program: the
+// enumerated outcome-key set (complete or budget-truncated) plus a memo
+// of result-directed searches for keys outside an incomplete set.
+type oracleEntry struct {
+	once     sync.Once
+	outcomes map[string]bool
+	complete bool
+
+	mu    sync.Mutex
+	memo  map[string]bool // result key -> appears SC (fallback searches)
+	stats entryStats
+}
+
+type entryStats struct {
+	queries, enumHits, fallbacks, memoHits, budget int
+}
+
+// oracle is the campaign-wide appears-SC cache, keyed by program hash.
+type oracle struct {
+	mu      sync.Mutex
+	entries map[string]*oracleEntry
+}
+
+func newOracle() *oracle { return &oracle{entries: make(map[string]*oracleEntry)} }
+
+func (o *oracle) entry(hash string) *oracleEntry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.entries[hash]
+	if !ok {
+		e = &oracleEntry{memo: make(map[string]bool)}
+		o.entries[hash] = e
+	}
+	return e
+}
+
+func (e *oracleEntry) enumerate(p *program.Program) {
+	e.once.Do(func() {
+		e.outcomes = make(map[string]bool)
+		stats, err := ideal.Enumerate(p, oracleEnumConfig(), func(it *ideal.Interp) error {
+			e.outcomes[mem.ResultOf(it.Execution()).Key()] = true
+			return nil
+		})
+		// The set decides non-membership only when enumeration visited
+		// every execution: no budget error AND no truncated path (spin
+		// loops exceed the per-thread op budget and are silently skipped,
+		// so a "successful" truncated enumeration is still partial).
+		// Membership proves appears-SC either way; absence from a partial
+		// set falls back to the result-directed search.
+		e.complete = err == nil && stats.Truncated == 0
+	})
+}
+
+// appearsSC is the per-entry oracle decision for one observed result:
+// the first call enumerates the program's SC outcome set once; later
+// calls are set lookups, with a memoized result-directed search when the
+// set is incomplete.
+func (e *oracleEntry) appearsSC(p *program.Program, res mem.Result) (bool, error) {
+	e.enumerate(p)
+	key := res.Key()
+	e.mu.Lock()
+	e.stats.queries++
+	if e.outcomes[key] {
+		e.stats.enumHits++
+		e.mu.Unlock()
+		return true, nil
+	}
+	if e.complete {
+		e.stats.enumHits++
+		e.mu.Unlock()
+		return false, nil
+	}
+	if ok, seen := e.memo[key]; seen {
+		e.stats.memoHits++
+		e.mu.Unlock()
+		return ok, nil
+	}
+	e.stats.fallbacks++
+	e.mu.Unlock()
+
+	// The directed search runs with an unbounded interpreter: the observed
+	// result may contain more dynamic memory operations per thread (spin
+	// retries) than any enumeration budget, and pruning against the
+	// observation keeps the search tractable regardless.
+	m, err := scmatch.Matches(p, res, scmatch.Config{MaxStates: oracleMatchMaxStates})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, scmatch.ErrBudget) {
+			// Cannot disprove SC appearance within budget: conservatively
+			// treat as appearing SC (no false violations).
+			e.stats.budget++
+			e.memo[key] = true
+			return true, nil
+		}
+		return false, err
+	}
+	e.memo[key] = m.OK
+	return m.OK, nil
+}
+
+func (o *oracle) stats() OracleStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var s OracleStats
+	for _, e := range o.entries {
+		e.mu.Lock()
+		s.Enumerations++
+		if !e.complete {
+			s.Incomplete++
+		}
+		s.Queries += e.stats.queries
+		s.EnumHits += e.stats.enumHits
+		s.Fallbacks += e.stats.fallbacks
+		s.FallbackMemoHits += e.stats.memoHits
+		s.BudgetExceeded += e.stats.budget
+		e.mu.Unlock()
+	}
+	return s
+}
+
+func hashProgram(p *program.Program) string {
+	sum := sha256.Sum256([]byte(lang.Format(p)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Run executes a campaign and returns its deterministic summary.
+func Run(cfg CampaignConfig) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Programs <= 0 {
+		return nil, fmt.Errorf("check: CampaignConfig.Programs must be positive")
+	}
+	matrix := Matrix(cfg.Policies, cfg.Topologies)
+	if len(matrix) == 0 {
+		return nil, fmt.Errorf("check: empty config matrix")
+	}
+	c := &campaign{cfg: cfg, matrix: matrix, oracle: newOracle()}
+
+	start := time.Now()
+	outs, err := c.runPool()
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		Seed:       cfg.Seed,
+		Programs:   cfg.Programs,
+		Configs:    len(matrix),
+		ByClass:    make(map[string]int),
+		Violations: []ViolationReport{},
+	}
+	covSims := make(map[CoverageRow]int)
+	covNonSC := make(map[CoverageRow]int)
+	covKeys := make(map[CoverageRow]map[string]bool)
+	for _, out := range outs {
+		s.ByClass[out.class]++
+		s.Sims += len(out.sims)
+		for _, rec := range out.sims {
+			cell := CoverageRow{Policy: rec.policy, Class: out.class}
+			covSims[cell]++
+			if !rec.appearsSC {
+				covNonSC[cell]++
+				if covKeys[cell] == nil {
+					covKeys[cell] = make(map[string]bool)
+				}
+				covKeys[cell][rec.key] = true
+			}
+		}
+		s.Violations = append(s.Violations, out.violations...)
+	}
+	for cell, sims := range covSims {
+		s.Coverage = append(s.Coverage, CoverageRow{
+			Policy:        cell.Policy,
+			Class:         cell.Class,
+			Sims:          sims,
+			NonSC:         covNonSC[cell],
+			DistinctNonSC: len(covKeys[cell]),
+		})
+	}
+	s.Oracle = c.oracle.stats()
+	sortSummary(s)
+
+	elapsed := time.Since(start).Seconds()
+	hit := 0.0
+	if s.Oracle.Queries > 0 {
+		hit = float64(s.Oracle.EnumHits+s.Oracle.FallbackMemoHits) / float64(s.Oracle.Queries)
+	}
+	s.Perf = &Perf{
+		Elapsed:        elapsed,
+		ProgramsPerSec: float64(s.Programs) / elapsed,
+		SimsPerSec:     float64(s.Sims) / elapsed,
+		OracleHitRate:  hit,
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("campaign done: %d programs, %d sims, %d violations (%s)",
+			s.Programs, s.Sims, len(s.Violations), s.Perf)
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+package check
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"weakorder/internal/drf"
+	"weakorder/internal/hb"
+	"weakorder/internal/ideal"
+	"weakorder/internal/lang"
+	"weakorder/internal/machine"
+	"weakorder/internal/program"
+	"weakorder/internal/scmatch"
+)
+
+// formatProgram renders a program as corpus litmus text.
+func formatProgram(p *program.Program) string { return lang.Format(p) }
+
+// corpusName derives the entry's file stem from its report.
+func corpusName(rep ViolationReport) string {
+	pol := strings.NewReplacer("+", "", "/", "-").Replace(rep.Config.Policy)
+	return fmt.Sprintf("%s-p%04d-%s", rep.Kind, rep.ProgramIndex, pol)
+}
+
+// WriteViolation stores a reproducer pair <name>.litmus + <name>.json in
+// dir, creating it if needed.
+func WriteViolation(dir string, rep ViolationReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := corpusName(rep)
+	if err := os.WriteFile(filepath.Join(dir, name+".litmus"), []byte(rep.Litmus), 0o644); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".json"), append(b, '\n'), 0o644)
+}
+
+// CorpusEntry is one loaded reproducer.
+type CorpusEntry struct {
+	// Name is the file stem.
+	Name string
+	// Report is the recorded violation.
+	Report ViolationReport
+	// Prog is the parsed litmus program.
+	Prog *program.Program
+}
+
+// LoadCorpus reads every .json/.litmus reproducer pair in dir, sorted by
+// name. A missing or empty directory yields an empty corpus.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var out []CorpusEntry
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var rep ViolationReport
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", f, err)
+		}
+		litmusPath := strings.TrimSuffix(f, ".json") + ".litmus"
+		lb, err := os.ReadFile(litmusPath)
+		if err != nil {
+			return nil, err
+		}
+		if string(lb) != rep.Litmus {
+			return nil, fmt.Errorf("corpus %s: .litmus file diverged from the report's recorded text", f)
+		}
+		p, err := lang.Parse(string(lb))
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", litmusPath, err)
+		}
+		out = append(out, CorpusEntry{
+			Name:   strings.TrimSuffix(filepath.Base(f), ".json"),
+			Report: rep,
+			Prog:   p,
+		})
+	}
+	return out, nil
+}
+
+// Replay re-runs a corpus entry against today's simulator: the recorded
+// machine seed plus extraSeeds more, asserting the recorded contract now
+// holds — the entry was minimized from a violation, so replay passing
+// means the bug it captured stays fixed. Definition 2 entries are also
+// re-checked to still obey DRF0 (otherwise the appears-SC assertion
+// would be vacuous).
+func Replay(e CorpusEntry, extraSeeds int) error {
+	mcfg, err := e.Report.Config.Machine()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.Name, err)
+	}
+	mcfg.MaxCycles = campaignMaxCycles
+	if e.Report.Kind == KindDefinition2 {
+		v, err := drf.Check(e.Prog, hb.SyncAll, boundedDRFConfig())
+		switch {
+		case err != nil && !errors.Is(err, ideal.ErrBudget):
+			return fmt.Errorf("%s: DRF check: %w", e.Name, err)
+		case !v.DRF:
+			return fmt.Errorf("%s: corpus program no longer obeys DRF0 (%d races)", e.Name, len(v.Races))
+		}
+		// A budget overrun with no race found is tolerated: entries from
+		// DRF-by-construction generators (spin loops) can exceed any
+		// exhaustive-check budget, and every shrink-accepted candidate
+		// already passed this bounded check during the campaign.
+	}
+	seeds := []int64{e.Report.MachineSeed}
+	for i := 0; i < extraSeeds; i++ {
+		seeds = append(seeds, deriveSeed(e.Report.MachineSeed, uint64(i)))
+	}
+	for _, seed := range seeds {
+		res, err := machine.Run(e.Prog, mcfg, seed)
+		if err != nil {
+			return fmt.Errorf("%s (seed %d): %w", e.Name, seed, err)
+		}
+		m, err := scmatch.Matches(e.Prog, res.Result, scmatch.Config{MaxStates: oracleMatchMaxStates})
+		if err != nil {
+			return fmt.Errorf("%s (seed %d): scmatch: %w", e.Name, seed, err)
+		}
+		if !m.OK {
+			return fmt.Errorf("%s (seed %d): result does not appear SC — the recorded %s violation has regressed:\n%s",
+				e.Name, seed, e.Report.Kind, res.Result)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/exp"
+	"weakorder/internal/machine"
+	"weakorder/internal/policy"
+)
+
+// Violation kinds.
+const (
+	// KindSCPolicy: a run under the SC policy did not appear sequentially
+	// consistent — the SC enforcement itself is broken.
+	KindSCPolicy = "sc-policy"
+	// KindDefinition2: a DRF0 program on a weakly ordered policy did not
+	// appear sequentially consistent — the Definition 2 contract is
+	// broken (a bug in the policy, the caches, or the interconnect).
+	KindDefinition2 = "definition2"
+)
+
+// ConfigDesc is the JSON-stable description of a machine configuration,
+// sufficient to rebuild it for replay.
+type ConfigDesc struct {
+	Policy    string `json:"policy"`
+	Topology  string `json:"topology"`
+	Caches    bool   `json:"caches"`
+	NetJitter int64  `json:"netJitter,omitempty"`
+}
+
+// describeConfig projects the fields replay needs out of a machine.Config.
+func describeConfig(cfg machine.Config) ConfigDesc {
+	return ConfigDesc{
+		Policy:    cfg.Policy.String(),
+		Topology:  cfg.Topology.String(),
+		Caches:    cfg.Caches,
+		NetJitter: int64(cfg.NetJitter),
+	}
+}
+
+// Machine rebuilds the machine configuration the description names.
+func (d ConfigDesc) Machine() (machine.Config, error) {
+	pol, err := policy.Parse(d.Policy)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	var topo machine.Topology
+	switch d.Topology {
+	case machine.TopoBus.String():
+		topo = machine.TopoBus
+	case machine.TopoNetwork.String():
+		topo = machine.TopoNetwork
+	default:
+		return machine.Config{}, fmt.Errorf("check: unknown topology %q", d.Topology)
+	}
+	return machine.Config{
+		Policy:    pol,
+		Topology:  topo,
+		Caches:    d.Caches,
+		NetJitter: simTime(d.NetJitter),
+	}, nil
+}
+
+// ViolationReport records one contract violation: where it was found,
+// how to reproduce it, and the minimal program the shrinker reached.
+type ViolationReport struct {
+	// Kind classifies the broken oracle (KindSCPolicy or KindDefinition2).
+	Kind string `json:"kind"`
+	// Program is the (shrunk) program's name.
+	Program string `json:"program"`
+	// Generator and GenSeed name the generator call that produced the
+	// original program.
+	Generator string `json:"generator"`
+	GenSeed   int64  `json:"genSeed"`
+	// ProgramIndex is the campaign slot the program occupied.
+	ProgramIndex int `json:"programIndex"`
+	// Config is the machine configuration the violation occurred on.
+	Config ConfigDesc `json:"config"`
+	// MachineSeed seeds the machine's randomized latencies.
+	MachineSeed int64 `json:"machineSeed"`
+	// Outcome is the violating result's canonical key, observed on the
+	// original (unshrunk) program.
+	Outcome string `json:"outcome"`
+	// Instructions counts the shrunk program's instructions.
+	Instructions int `json:"instructions"`
+	// ShrinkSteps logs each accepted reduction, in order.
+	ShrinkSteps []string `json:"shrinkSteps"`
+	// Litmus is the shrunk program's round-tripped litmus text.
+	Litmus string `json:"litmus"`
+}
+
+// CoverageRow aggregates one (policy, program class) cell of the
+// campaign: how many simulations ran, how many produced results no
+// idealized execution produces, and how many distinct such results were
+// seen. Non-SC outcomes are expected (and interesting) for racy programs
+// on weak policies; for DRF programs on weakly ordered policies they are
+// violations and appear in Violations instead.
+type CoverageRow struct {
+	Policy        string `json:"policy"`
+	Class         string `json:"class"`
+	Sims          int    `json:"sims"`
+	NonSC         int    `json:"nonSC"`
+	DistinctNonSC int    `json:"distinctNonSC"`
+}
+
+// OracleStats counts the SC-oracle cache's work. All fields are
+// deterministic for a fixed campaign configuration.
+type OracleStats struct {
+	// Queries is the number of appears-SC decisions requested.
+	Queries int `json:"queries"`
+	// Enumerations is the number of full outcome enumerations performed
+	// (once per distinct program).
+	Enumerations int `json:"enumerations"`
+	// Incomplete counts enumerations that exceeded their budget and
+	// produced only a partial outcome set.
+	Incomplete int `json:"incomplete"`
+	// EnumHits counts queries answered from an enumerated outcome set.
+	EnumHits int `json:"enumHits"`
+	// Fallbacks counts queries that ran a result-directed search because
+	// the outcome set was incomplete and did not contain the result.
+	Fallbacks int `json:"fallbacks"`
+	// FallbackMemoHits counts fallback queries answered from the
+	// per-program result memo without a new search.
+	FallbackMemoHits int `json:"fallbackMemoHits"`
+	// BudgetExceeded counts fallback searches that exceeded MaxStates;
+	// such results are conservatively treated as appearing SC.
+	BudgetExceeded int `json:"budgetExceeded"`
+}
+
+// Summary is a campaign's deterministic outcome: for a fixed
+// CampaignConfig it is byte-identical across runs, worker counts, and
+// schedules. Wall-clock measurements live in Perf, which is excluded
+// from the JSON encoding.
+type Summary struct {
+	Seed     int64 `json:"seed"`
+	Programs int   `json:"programs"`
+	// Configs is the size of the policy × topology × caches matrix.
+	Configs int `json:"configs"`
+	// Sims is the total number of machine simulations.
+	Sims int `json:"sims"`
+	// ByClass counts programs per class ("drf", "racy").
+	ByClass map[string]int `json:"byClass"`
+	// Coverage has one row per (policy, class), sorted.
+	Coverage []CoverageRow `json:"coverage"`
+	// Violations lists every contract violation found, shrunk, sorted by
+	// (program index, config name, machine seed). Empty (non-nil) when
+	// the campaign is clean.
+	Violations []ViolationReport `json:"violations"`
+	// Oracle counts the SC-oracle cache's work.
+	Oracle OracleStats `json:"oracle"`
+
+	// Perf holds wall-clock throughput; excluded from JSON so summaries
+	// compare byte-identical across runs.
+	Perf *Perf `json:"-"`
+}
+
+// Perf reports campaign throughput.
+type Perf struct {
+	// Elapsed is the campaign wall time in seconds.
+	Elapsed float64
+	// ProgramsPerSec and SimsPerSec are throughput over Elapsed.
+	ProgramsPerSec float64
+	SimsPerSec     float64
+	// OracleHitRate is the fraction of appears-SC queries answered
+	// without a fresh search (enumerated set or memo).
+	OracleHitRate float64
+}
+
+// String renders the perf line for logs.
+func (p *Perf) String() string {
+	return fmt.Sprintf("elapsed %.2fs, %.1f programs/s, %.1f sims/s, oracle hit rate %.1f%%",
+		p.Elapsed, p.ProgramsPerSec, p.SimsPerSec, 100*p.OracleHitRate)
+}
+
+// JSON encodes the summary deterministically (map keys sorted, Perf
+// excluded), with a trailing newline.
+func (s *Summary) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CoverageTable renders the coverage rows in the repository's standard
+// experiment-table format.
+func (s *Summary) CoverageTable() *exp.Table {
+	t := &exp.Table{
+		ID:      "Campaign",
+		Title:   fmt.Sprintf("Differential campaign coverage (seed %d, %d programs, %d configs)", s.Seed, s.Programs, s.Configs),
+		Headers: []string{"policy", "class", "sims", "non-SC", "distinct non-SC"},
+		Notes: []string{
+			"non-SC counts results no idealized execution produces",
+			"DRF rows on SC/WO policies must show 0 (Definition 2); racy rows may not",
+		},
+	}
+	for _, r := range s.Coverage {
+		t.AddRow(r.Policy, r.Class, r.Sims, r.NonSC, r.DistinctNonSC)
+	}
+	return t
+}
+
+// sortSummary puts the aggregate slices in canonical order.
+func sortSummary(s *Summary) {
+	sort.Slice(s.Coverage, func(i, j int) bool {
+		a, b := s.Coverage[i], s.Coverage[j]
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Class < b.Class
+	})
+	sort.Slice(s.Violations, func(i, j int) bool {
+		a, b := s.Violations[i], s.Violations[j]
+		if a.ProgramIndex != b.ProgramIndex {
+			return a.ProgramIndex < b.ProgramIndex
+		}
+		if c := strings.Compare(configKey(a.Config), configKey(b.Config)); c != 0 {
+			return c < 0
+		}
+		return a.MachineSeed < b.MachineSeed
+	})
+}
+
+func configKey(d ConfigDesc) string {
+	return fmt.Sprintf("%s/%s/caches=%t/jitter=%d", d.Policy, d.Topology, d.Caches, d.NetJitter)
+}

@@ -1,0 +1,249 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/lang"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Shrink greedily delta-debugs p down to a minimal program still
+// satisfying pred (typically "still violates the oracle"). Passes, in
+// order: drop whole threads, drop single instructions (retargeting
+// branches), demote synchronization operations to data operations,
+// zero/halve immediates, and zero initial values. The passes repeat
+// until a full sweep accepts nothing or maxTries candidate evaluations
+// are spent.
+//
+// Every accepted candidate is normalized through the litmus round trip
+// (lang.Format then lang.Parse) and pred is evaluated on the normalized
+// form. This guarantees the returned program *is* the parse of its own
+// text — dropping instructions can orphan variables, which re-parsing
+// renumbers, and machine behavior depends on raw addresses — so the
+// emitted corpus entry reproduces exactly.
+//
+// The second return value logs each accepted reduction.
+func Shrink(p *program.Program, pred func(*program.Program) bool, maxTries int) (*program.Program, []string) {
+	cur := p
+	if n, err := normalize(p); err == nil {
+		cur = n
+	}
+	var steps []string
+	tries := 0
+	// try evaluates one candidate; acceptance replaces cur.
+	try := func(cand *program.Program, step string) bool {
+		if tries >= maxTries {
+			return false
+		}
+		tries++
+		norm, err := normalize(cand)
+		if err != nil {
+			return false
+		}
+		if !pred(norm) {
+			return false
+		}
+		cur = norm
+		steps = append(steps, step)
+		return true
+	}
+
+	for changed := true; changed && tries < maxTries; {
+		changed = false
+		changed = dropThreads(&cur, try) || changed
+		changed = dropInstrs(&cur, try) || changed
+		changed = demoteSyncOps(&cur, try) || changed
+		changed = shrinkImmediates(&cur, try) || changed
+		changed = zeroInits(&cur, try) || changed
+	}
+	return cur, steps
+}
+
+// normalize round-trips p through the litmus text format so raw
+// addresses match what re-parsing the emitted text will produce.
+func normalize(p *program.Program) (*program.Program, error) {
+	n, err := lang.Parse(lang.Format(p))
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type tryFunc func(cand *program.Program, step string) bool
+
+// dropThreads attempts to remove each thread, last to first (later
+// threads are cheaper to remove: no postcondition index shifts).
+func dropThreads(cur **program.Program, try tryFunc) bool {
+	changed := false
+	for ti := (*cur).NumThreads() - 1; ti >= 0; ti-- {
+		if (*cur).NumThreads() <= 1 {
+			break
+		}
+		if condMentionsThreadAtOrAfter(*cur, ti) {
+			continue
+		}
+		cand := clone(*cur)
+		cand.Threads = append(cand.Threads[:ti:ti], cand.Threads[ti+1:]...)
+		if try(cand, fmt.Sprintf("drop thread %s", (*cur).Threads[ti].Name)) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// condMentionsThreadAtOrAfter reports whether the postcondition names a
+// register of thread ti or any later thread — dropping ti would shift
+// or invalidate those indices.
+func condMentionsThreadAtOrAfter(p *program.Program, ti int) bool {
+	if p.Cond == nil {
+		return false
+	}
+	for _, t := range p.Cond.Terms {
+		if t.Thread >= ti {
+			return true
+		}
+	}
+	return false
+}
+
+// dropInstrs attempts to remove each instruction, last to first within
+// each thread, retargeting branches across the gap.
+func dropInstrs(cur **program.Program, try tryFunc) bool {
+	changed := false
+	for ti := 0; ti < (*cur).NumThreads(); ti++ {
+		for i := len((*cur).Threads[ti].Instrs) - 1; i >= 0; i-- {
+			cand := clone(*cur)
+			th := &cand.Threads[ti]
+			th.Instrs = append(th.Instrs[:i:i], th.Instrs[i+1:]...)
+			for j := range th.Instrs {
+				if th.Instrs[j].Op.IsBranch() && th.Instrs[j].Target > i {
+					th.Instrs[j].Target--
+				}
+			}
+			if try(cand, fmt.Sprintf("drop %s@%d", (*cur).Threads[ti].Name, i)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// demoteSyncOps attempts to replace each synchronization operation with
+// its data counterpart (sld→ld, sst→st, tas/swap→ld), isolating whether
+// the violation needs the synchronization semantics at all.
+func demoteSyncOps(cur **program.Program, try tryFunc) bool {
+	changed := false
+	for ti := 0; ti < (*cur).NumThreads(); ti++ {
+		for i := range (*cur).Threads[ti].Instrs {
+			in := (*cur).Threads[ti].Instrs[i]
+			var demoted program.Instr
+			switch in.Op {
+			case program.OpSyncLoad:
+				demoted = program.Instr{Op: program.OpLoad, Rd: in.Rd, Addr: in.Addr, Sym: in.Sym}
+			case program.OpSyncStore:
+				demoted = program.Instr{Op: program.OpStore, Rs: in.Rs, Imm: in.Imm, UseImm: in.UseImm, Addr: in.Addr, Sym: in.Sym}
+			case program.OpTAS, program.OpSwap:
+				demoted = program.Instr{Op: program.OpLoad, Rd: in.Rd, Addr: in.Addr, Sym: in.Sym}
+			default:
+				continue
+			}
+			cand := clone(*cur)
+			cand.Threads[ti].Instrs[i] = demoted
+			if try(cand, fmt.Sprintf("demote %s@%d %v->%v", (*cur).Threads[ti].Name, i, in.Op, demoted.Op)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// shrinkImmediates attempts to zero, then halve, each nonzero immediate.
+func shrinkImmediates(cur **program.Program, try tryFunc) bool {
+	changed := false
+	for ti := 0; ti < (*cur).NumThreads(); ti++ {
+		for i := range (*cur).Threads[ti].Instrs {
+			in := (*cur).Threads[ti].Instrs[i]
+			usesImm := in.UseImm || in.Op == program.OpLoadImm || in.Op == program.OpAddImm
+			if !usesImm || in.Imm == 0 {
+				continue
+			}
+			cand := clone(*cur)
+			cand.Threads[ti].Instrs[i].Imm = 0
+			if try(cand, fmt.Sprintf("imm %s@%d ->0", (*cur).Threads[ti].Name, i)) {
+				changed = true
+				continue
+			}
+			if in.Imm > 1 || in.Imm < -1 {
+				cand = clone(*cur)
+				cand.Threads[ti].Instrs[i].Imm = in.Imm / 2
+				if try(cand, fmt.Sprintf("imm %s@%d ->%d", (*cur).Threads[ti].Name, i, in.Imm/2)) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// zeroInits attempts to drop each nonzero initial value.
+func zeroInits(cur **program.Program, try tryFunc) bool {
+	changed := false
+	for _, a := range initAddrs(*cur) {
+		if (*cur).Init[mem.Addr(a)] == 0 {
+			continue
+		}
+		cand := clone(*cur)
+		delete(cand.Init, mem.Addr(a))
+		if try(cand, fmt.Sprintf("init %s ->0", symOr(*cur, a))) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func initAddrs(p *program.Program) []int {
+	addrs := make([]int, 0, len(p.Init))
+	for a := range p.Init {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs) // deterministic shrink-step logs
+	return addrs
+}
+
+func symOr(p *program.Program, a int) string {
+	if s := p.SymbolFor(mem.Addr(a)); s != "" {
+		return s
+	}
+	return fmt.Sprintf("v%d", a)
+}
+
+// clone deep-copies a program so shrink candidates never alias the
+// current best.
+func clone(p *program.Program) *program.Program {
+	out := &program.Program{Name: p.Name}
+	out.Threads = make([]program.Thread, len(p.Threads))
+	for i, t := range p.Threads {
+		out.Threads[i] = program.Thread{Name: t.Name, Instrs: append([]program.Instr(nil), t.Instrs...)}
+	}
+	if p.Init != nil {
+		out.Init = make(map[mem.Addr]mem.Value, len(p.Init))
+		for a, v := range p.Init {
+			out.Init[a] = v
+		}
+	}
+	if p.Symbols != nil {
+		out.Symbols = make(map[string]mem.Addr, len(p.Symbols))
+		for s, a := range p.Symbols {
+			out.Symbols[s] = a
+		}
+	}
+	if p.Cond != nil {
+		out.Cond = &program.Cond{Terms: append([]program.CondTerm(nil), p.Cond.Terms...)}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"weakorder/internal/drf"
+	"weakorder/internal/hb"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+	"weakorder/internal/scmatch"
+)
+
+// campaign carries the shared state of one running campaign.
+type campaign struct {
+	cfg    CampaignConfig
+	matrix []machine.Config
+	oracle *oracle
+}
+
+// simRecord is one simulation's classification input.
+type simRecord struct {
+	policy    string
+	key       string
+	appearsSC bool
+}
+
+// progOutcome is everything one program contributes to the summary.
+type progOutcome struct {
+	class      string
+	sims       []simRecord
+	violations []ViolationReport
+}
+
+// runPool fans the program indices over a bounded worker pool. Each
+// worker writes only its own slots of the results slice, so the
+// collector's aggregation order — and therefore the Summary — is
+// independent of scheduling. All randomness is derived from (Seed,
+// indices), never from worker identity, which is what makes the campaign
+// deterministic for any worker count.
+func (c *campaign) runPool() ([]progOutcome, error) {
+	outs := make([]progOutcome, c.cfg.Programs)
+	errs := make([]error, c.cfg.Programs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				outs[idx], errs[idx] = c.runProgram(idx)
+			}
+		}()
+	}
+	for i := 0; i < c.cfg.Programs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("check: program %d: %w", i, err)
+		}
+	}
+	return outs, nil
+}
+
+// runProgram generates program idx, classifies it, simulates it across
+// the whole config matrix, and shrinks any violation it finds.
+func (c *campaign) runProgram(idx int) (progOutcome, error) {
+	specs := generators()
+	spec := specs[idx%len(specs)]
+	genSeed := deriveSeed(c.cfg.Seed, uint64(idx), 0x67656e) // "gen" stream
+	prog := spec.make(genSeed)
+	hash := hashProgram(prog)
+	entry := c.oracle.entry(hash)
+
+	class := spec.class
+	if class == "" {
+		class = c.classify(prog)
+	}
+
+	out := progOutcome{class: class}
+	for cfgIdx, mcfg := range c.matrix {
+		for s := 0; s < c.cfg.SeedsPerConfig; s++ {
+			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
+			res, err := machine.Run(prog, mcfg, machineSeed)
+			if err != nil {
+				return out, fmt.Errorf("%s on %s (seed %d): %w", prog.Name, mcfg.Name(), machineSeed, err)
+			}
+			if c.cfg.Fault != nil {
+				c.cfg.Fault(mcfg, prog, res)
+			}
+			sc, err := entry.appearsSC(prog, res.Result)
+			if err != nil {
+				return out, fmt.Errorf("%s on %s: oracle: %w", prog.Name, mcfg.Name(), err)
+			}
+			out.sims = append(out.sims, simRecord{
+				policy:    mcfg.Policy.String(),
+				key:       res.Result.Key(),
+				appearsSC: sc,
+			})
+			kind := violationKind(class, mcfg.Policy, sc)
+			if kind == "" {
+				continue
+			}
+			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result)
+			if err != nil {
+				return out, err
+			}
+			out.violations = append(out.violations, rep)
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
+					kind, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
+			}
+		}
+	}
+	return out, nil
+}
+
+// violationKind maps a classification to the oracle it breaks ("" when
+// the outcome is coverage only).
+func violationKind(class string, pol policy.Kind, appearsSC bool) string {
+	if appearsSC {
+		return ""
+	}
+	switch {
+	case pol == policy.SC:
+		return KindSCPolicy
+	case class == ClassDRF && isWeaklyOrdered(pol):
+		return KindDefinition2
+	default:
+		return ""
+	}
+}
+
+func isWeaklyOrdered(pol policy.Kind) bool {
+	switch pol {
+	case policy.WODef1, policy.WODef2, policy.WODef2RO:
+		return true
+	}
+	return false
+}
+
+// classify decides whether a generated program obeys DRF0 by bounded
+// exhaustive check; budget overruns conservatively classify as racy
+// (coverage only, no violation oracle).
+func (c *campaign) classify(p *program.Program) string {
+	v, err := drf.Check(p, hb.SyncAll, boundedDRFConfig())
+	if err != nil || !v.DRF {
+		return ClassRacy
+	}
+	return ClassDRF
+}
+
+// report shrinks a violating program and assembles its ViolationReport,
+// writing the reproducer into the corpus directory when configured.
+func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
+	prog *program.Program, mcfg machine.Config, machineSeed int64, observed mem.Result) (ViolationReport, error) {
+
+	pred := c.violates(kind, mcfg, machineSeed)
+	shrunk, steps := Shrink(prog, pred, c.cfg.MaxShrinkTries)
+	rep := ViolationReport{
+		Kind:         kind,
+		Program:      shrunk.Name,
+		Generator:    spec.name,
+		GenSeed:      genSeed,
+		ProgramIndex: idx,
+		Config:       describeConfig(mcfg),
+		MachineSeed:  machineSeed,
+		Outcome:      observed.Key(),
+		Instructions: instructionCount(shrunk),
+		ShrinkSteps:  steps,
+		Litmus:       formatProgram(shrunk),
+	}
+	if c.cfg.CorpusDir != "" {
+		if err := WriteViolation(c.cfg.CorpusDir, rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// violates builds the shrinker predicate: does the candidate program
+// still exhibit the violation under the same config and machine seed?
+// Definition 2 candidates must additionally stay DRF0 — otherwise
+// shrinking could land on a legitimately-racy program whose non-SC
+// outcome is no bug, making the corpus entry spurious.
+func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64) func(*program.Program) bool {
+	shrinkCfg := mcfg
+	shrinkCfg.MaxCycles = shrinkMaxCycles
+	return func(cand *program.Program) bool {
+		if kind == KindDefinition2 {
+			v, err := drf.Check(cand, hb.SyncAll, boundedDRFConfig())
+			if err != nil || !v.DRF {
+				return false
+			}
+		}
+		res, err := machine.Run(cand, shrinkCfg, machineSeed)
+		if err != nil {
+			return false
+		}
+		if c.cfg.Fault != nil {
+			c.cfg.Fault(mcfg, cand, res)
+		}
+		m, err := scmatch.Matches(cand, res.Result, scmatch.Config{MaxStates: oracleMatchMaxStates})
+		if err != nil {
+			return false
+		}
+		return !m.OK
+	}
+}
+
+func instructionCount(p *program.Program) int {
+	n := 0
+	for i := range p.Threads {
+		n += len(p.Threads[i].Instrs)
+	}
+	return n
+}
+
+// CorruptReadFault is the standard test fault: on the given policy it
+// bumps the first (lowest-OpID) read observation by 1000, producing a
+// result no idealized execution can match. It deliberately breaks the
+// policy's contract so the detection → shrink → corpus pipeline can be
+// exercised end to end.
+func CorruptReadFault(pol policy.Kind) FaultHook {
+	return func(cfg machine.Config, p *program.Program, res *machine.RunResult) {
+		if cfg.Policy != pol || len(res.Result.Reads) == 0 {
+			return
+		}
+		ids := make([]mem.OpID, 0, len(res.Result.Reads))
+		for id := range res.Result.Reads {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		obs := res.Result.Reads[ids[0]]
+		obs.Value += 1000
+		res.Result.Reads[ids[0]] = obs
+	}
+}

@@ -1,0 +1,78 @@
+package gen_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"weakorder/internal/gen"
+	"weakorder/internal/lang"
+	"weakorder/internal/program"
+)
+
+// TestGeneratorsDeterministic checks the package's determinism contract:
+// the same (config, seed) yields a byte-identical program, independent of
+// call order and repetition.
+func TestGeneratorsDeterministic(t *testing.T) {
+	kinds := []struct {
+		name string
+		gen  func(seed int64) *program.Program
+	}{
+		{"racefree", func(s int64) *program.Program { return gen.RaceFree(gen.RaceFreeConfig{}, s) }},
+		{"racefree-ttas", func(s int64) *program.Program {
+			return gen.RaceFree(gen.RaceFreeConfig{Procs: 3, Locks: 1, TTAS: true}, s)
+		}},
+		{"handoff", func(s int64) *program.Program { return gen.Handoff(gen.HandoffConfig{}, s) }},
+		{"handoff-wide", func(s int64) *program.Program {
+			return gen.Handoff(gen.HandoffConfig{Stages: 4, Items: 3, Work: 2}, s)
+		}},
+		{"racy", func(s int64) *program.Program { return gen.Racy(gen.RacyConfig{}, s) }},
+		{"racy-sync", func(s int64) *program.Program {
+			return gen.Racy(gen.RacyConfig{Procs: 3, Vars: 2, SyncFraction: 2}, s)
+		}},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				a, b := k.gen(seed), k.gen(seed)
+				fa, fb := lang.Format(a), lang.Format(b)
+				if fa != fb {
+					t.Fatalf("seed %d: two calls rendered differently:\n--- first\n%s\n--- second\n%s", seed, fa, fb)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("seed %d: two calls built structurally different programs", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorGoldenHashes pins the exact output of each generator for a
+// few (config, seed) pairs. These hashes are part of the corpus-replay
+// stability contract: a change here means every committed violation
+// report's (generator, seed) no longer regenerates the program it names.
+// If a generator change is intentional, regenerate the corpus under
+// internal/check/testdata and update the hashes together.
+func TestGeneratorGoldenHashes(t *testing.T) {
+	h := func(p *program.Program) string {
+		sum := sha256.Sum256([]byte(lang.Format(p)))
+		return hex.EncodeToString(sum[:8])
+	}
+	cases := []struct {
+		name string
+		prog *program.Program
+		want string
+	}{
+		{"racefree-seed1", gen.RaceFree(gen.RaceFreeConfig{}, 1), "d49e154050ce3737"},
+		{"racefree-ttas-seed7", gen.RaceFree(gen.RaceFreeConfig{Procs: 3, TTAS: true}, 7), "a1d211a0119b4289"},
+		{"handoff-seed1", gen.Handoff(gen.HandoffConfig{}, 1), "960e0dfa56683fc1"},
+		{"racy-seed1", gen.Racy(gen.RacyConfig{}, 1), "df4b2135cd18ee8d"},
+		{"racy-seed42", gen.Racy(gen.RacyConfig{Procs: 3, SyncFraction: 2}, 42), "da54018fef3bb9a8"},
+	}
+	for _, c := range cases {
+		if got := h(c.prog); got != c.want {
+			t.Errorf("%s: hash %s, want %s\n%s", c.name, got, c.want, lang.Format(c.prog))
+		}
+	}
+}

@@ -8,6 +8,19 @@
 // validation: for every generated program and every seed, results from
 // the weakly ordered machines must appear sequentially consistent
 // (Definition 2), and the DRF0 checker must accept the program.
+//
+// # Determinism
+//
+// Every generator is a pure function of (config, seed): the same inputs
+// produce a byte-identical program — same thread order, instruction
+// streams, variable addresses, and litmus text rendering — on every call,
+// platform, and process. All randomness flows through a private
+// math/rand.Rand seeded from the seed argument, and no iteration order
+// of any map reaches the output. The fuzzing campaign in internal/check
+// and its committed reproducer corpus rely on this: a (config, seed)
+// pair recorded in a violation report must regenerate the exact program
+// that failed. TestGeneratorsDeterministic and
+// TestGeneratorGoldenHashes pin the guarantee.
 package gen
 
 import (

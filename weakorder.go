@@ -22,6 +22,10 @@
 //   - Machines: assembled multiprocessor simulations (Simulate) across
 //     the paper's Figure 1 system classes and consistency policies, with
 //     per-processor stall accounting.
+//   - Campaigns: differential model checking at scale (Check) — generated
+//     programs fuzzed across the machine matrix with every outcome
+//     adjudicated against the Definition 2 oracles, and violations
+//     shrunk to minimal litmus reproducers.
 //
 // Quickstart:
 //
@@ -47,6 +51,7 @@
 package weakorder
 
 import (
+	"weakorder/internal/check"
 	"weakorder/internal/drf"
 	"weakorder/internal/hb"
 	"weakorder/internal/ideal"
@@ -111,6 +116,16 @@ type (
 	RunResult = machine.RunResult
 	// MachineStats aggregates a run's measurements.
 	MachineStats = machine.Stats
+
+	// CampaignConfig parameterizes a differential model-checking campaign
+	// (see internal/check).
+	CampaignConfig = check.CampaignConfig
+	// CampaignSummary is a campaign's deterministic outcome: coverage,
+	// violations with shrunk reproducers, oracle statistics.
+	CampaignSummary = check.Summary
+	// CampaignViolation records one contract violation and its minimal
+	// reproducer.
+	CampaignViolation = check.ViolationReport
 )
 
 // Operation kinds.
@@ -250,6 +265,16 @@ func AppearsSC(p *Program, r Result) (bool, *Execution, error) {
 func Simulate(p *Program, cfg MachineConfig, seed int64) (*RunResult, error) {
 	return machine.Run(p, cfg, seed)
 }
+
+// Check runs a differential model-checking campaign: generated programs
+// are simulated across a policy × topology × caches matrix and every
+// outcome is adjudicated against the SC oracles — runs under the SC
+// policy must appear sequentially consistent, and DRF0 programs must
+// appear sequentially consistent on every weakly ordered policy
+// (Definition 2). Violations are shrunk to minimal reproducers. The
+// summary is byte-identical for a fixed config, regardless of worker
+// count.
+func Check(cfg CampaignConfig) (*CampaignSummary, error) { return check.Run(cfg) }
 
 // ParsePolicy resolves a policy name ("SC", "Unconstrained", "WO-Def1",
 // "WO-Def2", "WO-Def2+RO").
