@@ -169,6 +169,39 @@ func BenchmarkCheckCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultMatrix measures the fault injector's overhead and the
+// retry protocol's cost across the preset plans on the critical-section
+// workload: "none" is the baseline (injector unarmed), mild/severe add
+// drops, duplicates, and delays that the hardened protocol must absorb.
+func BenchmarkFaultMatrix(b *testing.B) {
+	prog := litmus.CriticalSection(3, 2)
+	for _, preset := range []string{"none", "mild", "severe"} {
+		b.Run(preset, func(b *testing.B) {
+			plan, err := weakorder.ParseFaultPlan(preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := machine.Config{Policy: policy.WODef2, Topology: machine.TopoNetwork, Caches: true}
+			if plan.Enabled() {
+				cfg.Faults = &plan
+			}
+			var cycles, retries uint64
+			for i := 0; i < b.N; i++ {
+				res, err := machine.Run(prog, cfg, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+				for j := range res.Stats.Caches {
+					retries += res.Stats.Caches[j].Retries
+				}
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
+		})
+	}
+}
+
 // BenchmarkSnoopMachine measures the snoopy-bus substrate on the
 // critical-section workload.
 func BenchmarkSnoopMachine(b *testing.B) {

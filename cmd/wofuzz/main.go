@@ -10,11 +10,16 @@
 //	wofuzz -seed 1 -n 200 -policies all
 //	wofuzz -seed 7 -n 50 -policies WO-Def2,SC -topos bus -corpus out/
 //	wofuzz -seed 1 -n 2 -policies WO-Def2 -topos bus -fault WO-Def2 -corpus out/
+//	wofuzz -seed 1 -n 200 -faults severe
 //
 // The same seed and flags always produce a byte-identical summary,
 // regardless of -workers. The -fault flag deliberately corrupts one read
 // per run on the named policy, exercising the violation pipeline
-// (detection, shrinking, corpus emission) end to end.
+// (detection, shrinking, corpus emission) end to end. The -faults flag
+// arms the deterministic interconnect fault injector (none, mild,
+// severe) on every cached matrix row: the hardened protocol must still
+// satisfy every oracle, and any watchdog death becomes a shrunk
+// liveness reproducer.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"strings"
 
 	"weakorder/internal/check"
+	"weakorder/internal/faults"
 	"weakorder/internal/machine"
 	"weakorder/internal/policy"
 )
@@ -39,6 +45,7 @@ func main() {
 		corpus   = flag.String("corpus", "", "directory receiving .litmus+.json reproducers for violations")
 		table    = flag.Bool("table", true, "print the coverage table to stderr")
 		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
+		faultsIn = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
 	)
 	flag.Parse()
@@ -73,6 +80,13 @@ func main() {
 		}
 		cfg.Fault = check.CorruptReadFault(pol)
 	}
+	plan, err := faults.Parse(*faultsIn)
+	if err != nil {
+		fatal(err)
+	}
+	if plan.Enabled() {
+		cfg.Faults = &plan
+	}
 
 	sum, err := check.Run(cfg)
 	if err != nil {
@@ -91,6 +105,9 @@ func main() {
 	}
 	if sum.Perf != nil && !*quiet {
 		fmt.Fprintln(os.Stderr, "wofuzz:", sum.Perf)
+	}
+	if sum.WatchdogDeaths > 0 && !*quiet {
+		fmt.Fprintf(os.Stderr, "wofuzz: %d watchdog death(s)\n", sum.WatchdogDeaths)
 	}
 	if len(sum.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "wofuzz: %d contract violation(s) found\n", len(sum.Violations))

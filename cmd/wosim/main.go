@@ -55,6 +55,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the committed-operation trace")
 		timeline   = flag.Bool("timeline", false, "print the last run as a figure-style timeline")
 		traceFirst = flag.Bool("trace", false, "print the first seed's full timeline (inspecting shrunk reproducers)")
+		faultsIn   = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe (requires -caches)")
 		checkSC    = flag.Bool("check-sc", true, "check each result against the SC oracle")
 		suite      = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
 	)
@@ -94,6 +95,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown topology %q (want bus or network)", *topo))
 	}
+	plan, err := weakorder.ParseFaultPlan(*faultsIn)
+	if err != nil {
+		fatal(err)
+	}
+	if plan.Enabled() {
+		cfg.Faults = &plan
+		// Tracing wants the DROP/DUP/DELAY/RETRY events in the timeline.
+		cfg.RecordFaultEvents = *traceFirst || *timeline
+	}
 
 	fmt.Printf("program %s on %s\n\n", prog.Name, cfg.Name())
 	outcomes := make(map[string]int)
@@ -124,11 +134,11 @@ func main() {
 			condHits++
 		}
 		if s == 0 && *traceFirst {
-			fmt.Println(trace.Timeline(res.Exec, 0))
+			fmt.Println(renderTimeline(res, 0))
 		}
 		if s == *seeds-1 {
 			if *timeline {
-				fmt.Println(trace.Timeline(res.Exec, 60))
+				fmt.Println(renderTimeline(res, 60))
 			}
 			printStats(res)
 		}
@@ -201,9 +211,22 @@ func loadProgram(builtin, path string) (*program.Program, error) {
 	return weakorder.ParseProgram(string(src))
 }
 
+// renderTimeline picks the fault-interleaved rendering when the run
+// recorded injector events, the plain one otherwise.
+func renderTimeline(res *weakorder.RunResult, maxRows int) string {
+	if len(res.FaultEvents) > 0 {
+		return trace.TimelineEvents(res.Exec, res.OpCycles, res.FaultEvents, maxRows)
+	}
+	return trace.Timeline(res.Exec, maxRows)
+}
+
 func printStats(res *weakorder.RunResult) {
 	fmt.Printf("\nlast run: %d cycles, %d messages (avg latency %.1f)\n",
 		res.Stats.Cycles, res.Stats.Net.Messages, res.Stats.Net.AvgLatency())
+	if fs := res.FaultStats; fs != nil {
+		fmt.Printf("faults: %d faultable msgs, %d dropped, %d duplicated, %d delayed (+%d cycles total), %d retries\n",
+			fs.Faultable, fs.Drops, fs.Dups, fs.Delays, fs.ExtraDelayCycles, fs.Retries)
+	}
 	for i := range res.Stats.Procs {
 		p := &res.Stats.Procs[i]
 		fmt.Printf("  P%d: %d mem ops (%d sync), stalls:", i, p.MemOps, p.SyncOps)

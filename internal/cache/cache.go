@@ -85,6 +85,26 @@ type Config struct {
 	// an ablation showing why the cached-shared variant is the right
 	// reading of Section 6 under contention.
 	ROSyncUncached bool
+	// RetryTimeout arms the request-retry protocol: a request-class
+	// message (GetS, GetX, SyncRead, PutX) unanswered after this many
+	// cycles is re-sent with the same transaction id, with exponential
+	// backoff between attempts. Zero disables retry. Required when the
+	// interconnect may drop requests (fault injection); harmless
+	// otherwise — a spurious retry of a request queued at a busy
+	// directory line is absorbed by the directory's dedup.
+	RetryTimeout sim.Time
+	// RetryMax bounds resends per transaction (default 16 when
+	// RetryTimeout > 0). An exhausted transaction stops retrying and is
+	// reported via ExhaustedLines; if it was genuinely lost the machine's
+	// watchdog turns that into a LivenessReport.
+	RetryMax int
+	// RetryBackoffCap caps the exponential backoff (default
+	// 8*RetryTimeout).
+	RetryBackoffCap sim.Time
+	// OnRetry observes every resend: destination endpoint, the re-sent
+	// message, and the attempt number (1-based). Used to interleave
+	// RETRY events into fault timelines. Optional.
+	OnRetry func(dst int, m network.Msg, attempt int)
 }
 
 // Stats counts cache activity.
@@ -99,6 +119,8 @@ type Stats struct {
 	Writebacks     uint64
 	Overflows      uint64 // fills admitted past capacity (no eligible victim)
 	InvsReceived   uint64
+	Retries        uint64 // timed-out requests re-sent
+	RetryExhausted uint64 // transactions that hit RetryMax and gave up
 }
 
 type line struct {
@@ -135,6 +157,22 @@ type mshr struct {
 	dataMiss bool   // the fetch holds a counter unit (data read/write miss)
 	ops      []*Req // operations waiting on this line, in program order
 	fwds     []deferredFwd
+	retry    retryState
+}
+
+// retryState tracks one outstanding request-class message for the
+// timeout/retry protocol. A zero deadline means retry is disarmed for
+// this transaction.
+type retryState struct {
+	lastMsg   network.Msg // the request as sent, re-sent verbatim on timeout
+	attempts  int         // resends so far
+	deadline  sim.Time    // next timeout; 0 = disarmed
+	exhausted bool        // RetryMax reached; no further resends
+}
+
+// wbTxn is an outstanding PutX writeback awaiting its WBAck.
+type wbTxn struct {
+	retry retryState
 }
 
 type ackState struct {
@@ -154,7 +192,10 @@ type Cache struct {
 	lines  map[mem.Addr]*line
 	mshrs  map[mem.Addr]*mshr
 	acks   map[mem.Addr]*ackState
-	wbWait map[mem.Addr]bool // PutX issued, WBAck pending
+	wbWait map[mem.Addr]*wbTxn // PutX issued, WBAck pending
+	// nextReqID numbers request-class transactions for directory-side
+	// deduplication; ids start at 1 (0 = "no dedup").
+	nextReqID uint64
 	// counter is the paper's per-processor counter: outstanding data
 	// misses plus committed writes awaiting their memory (all-invalidated)
 	// acknowledgement.
@@ -180,7 +221,15 @@ func New(k *sim.Kernel, net network.Network, cfg Config) *Cache {
 		lines:  make(map[mem.Addr]*line),
 		mshrs:  make(map[mem.Addr]*mshr),
 		acks:   make(map[mem.Addr]*ackState),
-		wbWait: make(map[mem.Addr]bool),
+		wbWait: make(map[mem.Addr]*wbTxn),
+	}
+	if c.cfg.RetryTimeout > 0 {
+		if c.cfg.RetryMax == 0 {
+			c.cfg.RetryMax = 16
+		}
+		if c.cfg.RetryBackoffCap == 0 {
+			c.cfg.RetryBackoffCap = 8 * c.cfg.RetryTimeout
+		}
 	}
 	net.Attach(cfg.ID, c.handle)
 	return c
@@ -283,6 +332,25 @@ func (c *Cache) isROSyncRead(r *Req) bool {
 	return r.Kind == mem.SyncRead && c.cfg.ROSyncBypass
 }
 
+// takeReqID returns a fresh transaction id (ids start at 1; 0 means "no
+// dedup" for hand-assembled test messages).
+func (c *Cache) takeReqID() uint64 {
+	c.nextReqID++
+	return c.nextReqID
+}
+
+// sendReq transmits a request-class message and arms its retry state.
+func (c *Cache) sendReq(rs *retryState, dst int, m network.Msg) {
+	rs.lastMsg = m
+	rs.attempts = 0
+	rs.exhausted = false
+	rs.deadline = 0
+	if c.cfg.RetryTimeout > 0 {
+		rs.deadline = c.k.Now() + c.cfg.RetryTimeout
+	}
+	c.net.Send(c.cfg.ID, dst, m)
+}
+
 // startMiss allocates an MSHR and sends the appropriate request.
 func (c *Cache) startMiss(r *Req, l *line, present bool) {
 	c.stats.Misses++
@@ -293,7 +361,7 @@ func (c *Cache) startMiss(r *Req, l *line, present bool) {
 	case c.isROSyncRead(r) && c.cfg.ROSyncUncached:
 		m.sort = fetchSyncRead
 		c.stats.SyncRequests++
-		c.net.Send(c.cfg.ID, home, MsgSyncRead{Addr: r.Addr})
+		c.sendReq(&m.retry, home, MsgSyncRead{Addr: r.Addr, ReqID: c.takeReqID()})
 	case c.isROSyncRead(r):
 		// Cached-shared Test: protocol-wise a data read, but it does NOT
 		// hold a counter unit. A Test can defer on another processor's
@@ -304,12 +372,12 @@ func (c *Cache) startMiss(r *Req, l *line, present bool) {
 		// anyway, so no later synchronization can commit before it.
 		m.sort = fetchS
 		c.stats.SyncRequests++
-		c.net.Send(c.cfg.ID, home, MsgGetS{Addr: r.Addr})
+		c.sendReq(&m.retry, home, MsgGetS{Addr: r.Addr, ReqID: c.takeReqID()})
 	case r.Kind == mem.Read:
 		m.sort = fetchS
 		m.dataMiss = true
 		c.counter++
-		c.net.Send(c.cfg.ID, home, MsgGetS{Addr: r.Addr})
+		c.sendReq(&m.retry, home, MsgGetS{Addr: r.Addr, ReqID: c.takeReqID()})
 	default:
 		// Writes, RMWs and (non-bypass) synchronization operations all
 		// need the line exclusive; synchronization operations are flagged
@@ -325,7 +393,7 @@ func (c *Cache) startMiss(r *Req, l *line, present bool) {
 			m.dataMiss = true
 			c.counter++
 		}
-		c.net.Send(c.cfg.ID, home, MsgGetX{Addr: r.Addr, Sync: m.sync})
+		c.sendReq(&m.retry, home, MsgGetX{Addr: r.Addr, Sync: m.sync, ReqID: c.takeReqID()})
 	}
 }
 
@@ -440,7 +508,9 @@ func (c *Cache) drainMSHR(m *mshr, l *line) {
 				m.dataMiss = true
 				c.counter++
 			}
-			c.net.Send(c.cfg.ID, c.cfg.Home(m.addr), MsgGetX{Addr: m.addr, Sync: m.sync})
+			// A fresh transaction id: the fill answering the original
+			// request already consumed the old one at the directory.
+			c.sendReq(&m.retry, c.cfg.Home(m.addr), MsgGetX{Addr: m.addr, Sync: m.sync, ReqID: c.takeReqID()})
 			return
 		}
 		m.ops = m.ops[1:]
@@ -525,7 +595,7 @@ func (c *Cache) forward(m network.Msg) {
 
 	l, present := c.lines[addr]
 	if !present {
-		if c.wbWait[addr] {
+		if _, wb := c.wbWait[addr]; wb {
 			// Our writeback crossed this forward: it was addressed to us
 			// as the *old* owner, and the directory resolves the blocked
 			// request from the PutX data. This check must precede the
@@ -641,6 +711,90 @@ func (c *Cache) flushDeferred(addr mem.Addr, l *line) {
 	}
 }
 
+// CheckTimeouts drives the retry protocol; the machine polls it once
+// per cycle (polling keeps the kernel's event queue free of timers,
+// preserving Pending()==0 as part of termination detection). Timed-out
+// requests are re-sent verbatim — same transaction id, so the directory
+// absorbs the duplicate if the original survived — with exponential
+// backoff between attempts. A transaction that hits RetryMax stops
+// retrying (ExhaustedLines reports it; if the request was genuinely
+// lost the machine's watchdog escalates to a LivenessReport). Iteration
+// is in address order for determinism.
+func (c *Cache) CheckTimeouts(now sim.Time) {
+	if c.cfg.RetryTimeout == 0 || (len(c.mshrs) == 0 && len(c.wbWait) == 0) {
+		return
+	}
+	for _, a := range c.PendingLines() {
+		c.retryTick(now, c.cfg.Home(a), &c.mshrs[a].retry)
+	}
+	for _, a := range c.WritebackLines() {
+		c.retryTick(now, c.cfg.Home(a), &c.wbWait[a].retry)
+	}
+}
+
+// retryTick re-sends one transaction if its deadline passed.
+func (c *Cache) retryTick(now sim.Time, dst int, rs *retryState) {
+	if rs.deadline == 0 || rs.exhausted || now < rs.deadline {
+		return
+	}
+	rs.attempts++
+	if rs.attempts > c.cfg.RetryMax {
+		rs.exhausted = true
+		c.stats.RetryExhausted++
+		return
+	}
+	c.stats.Retries++
+	if c.cfg.OnRetry != nil {
+		c.cfg.OnRetry(dst, rs.lastMsg, rs.attempts)
+	}
+	c.net.Send(c.cfg.ID, dst, rs.lastMsg)
+	timeout := c.cfg.RetryTimeout << uint(rs.attempts)
+	if timeout > c.cfg.RetryBackoffCap {
+		timeout = c.cfg.RetryBackoffCap
+	}
+	rs.deadline = now + timeout
+}
+
+// PendingLines returns the addresses with in-flight transactions
+// (MSHRs), sorted — liveness diagnostics.
+func (c *Cache) PendingLines() []mem.Addr {
+	out := make([]mem.Addr, 0, len(c.mshrs))
+	for a := range c.mshrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WritebackLines returns the addresses with outstanding PutX
+// writebacks, sorted — liveness diagnostics.
+func (c *Cache) WritebackLines() []mem.Addr {
+	out := make([]mem.Addr, 0, len(c.wbWait))
+	for a := range c.wbWait {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExhaustedLines returns the addresses whose transactions hit RetryMax
+// and stopped retrying, sorted.
+func (c *Cache) ExhaustedLines() []mem.Addr {
+	var out []mem.Addr
+	for a, m := range c.mshrs {
+		if m.retry.exhausted {
+			out = append(out, a)
+		}
+	}
+	for a, w := range c.wbWait {
+		if w.retry.exhausted {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // makeRoom evicts a victim if the cache is at capacity. Reserved lines
 // and lines with deferred forwards are never victimized (the paper: a
 // reserved line is never flushed); if no line is eligible the cache
@@ -672,8 +826,9 @@ func (c *Cache) makeRoom() {
 	c.stats.Evictions++
 	if vl.state == LineExclusive {
 		c.stats.Writebacks++
-		c.wbWait[victim] = true
-		c.net.Send(c.cfg.ID, c.cfg.Home(victim), MsgPutX{Addr: victim, Data: vl.val})
+		w := &wbTxn{}
+		c.wbWait[victim] = w
+		c.sendReq(&w.retry, c.cfg.Home(victim), MsgPutX{Addr: victim, Data: vl.val, ReqID: c.takeReqID()})
 	}
 	delete(c.lines, victim)
 }

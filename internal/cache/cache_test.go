@@ -19,7 +19,7 @@ type rig struct {
 func newRig(t *testing.T, n int, cacheCfg func(*Config)) *rig {
 	t.Helper()
 	k := &sim.Kernel{}
-	net := network.NewGeneral(k, network.GeneralConfig{BaseLatency: 2, OrderedPairs: true}, 1)
+	net := network.NewGeneral(k, network.GeneralConfig{BaseLatency: 2, OrderedPairs: true, Seed: 1})
 	r := &rig{k: k, net: net}
 	home := func(a mem.Addr) int { return n }
 	r.dir = NewDirectory(k, net, DirConfig{ID: n, NumProcs: n, Latency: 1})

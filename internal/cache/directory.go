@@ -59,6 +59,22 @@ type dirLine struct {
 	acksLeft  int
 	requester int         // cache awaiting completion of the pending transaction
 	queue     []queuedReq // requests waiting for the line to unblock
+
+	// served records every (source, transaction id) accepted on this
+	// line, making request handling idempotent: a duplicate — whether
+	// injected by a faulty interconnect or a spurious retry of a request
+	// that was merely queued — is absorbed on arrival. An exact set, not
+	// a per-source high-water mark: fault-induced reordering can deliver
+	// an older transaction after a newer one (a delayed PutX behind the
+	// evictor's next GetS), and that older first arrival must still be
+	// served.
+	served map[servedKey]bool
+}
+
+// servedKey identifies one accepted request-class transaction.
+type servedKey struct {
+	src int
+	id  uint64
 }
 
 type queuedReq struct {
@@ -97,6 +113,10 @@ type DirStats struct {
 	Invalidations uint64
 	// QueuedMax is the peak per-line queue length observed.
 	QueuedMax int
+	// Duplicates counts absorbed duplicate requests (same source and
+	// transaction id seen before): injected duplicates plus retries of
+	// requests that had in fact survived.
+	Duplicates uint64
 }
 
 // NewDirectory constructs a directory attached to the network at cfg.ID.
@@ -181,12 +201,24 @@ func (d *Directory) handle(src int, m network.Msg) {
 	d.stats.Requests[MsgName(m)]++
 	switch msg := m.(type) {
 	case MsgGetS:
+		if d.duplicate(msg.Addr, src, msg.ReqID) {
+			return
+		}
 		d.request(src, msg.Addr, m)
 	case MsgGetX:
+		if d.duplicate(msg.Addr, src, msg.ReqID) {
+			return
+		}
 		d.request(src, msg.Addr, m)
 	case MsgSyncRead:
+		if d.duplicate(msg.Addr, src, msg.ReqID) {
+			return
+		}
 		d.request(src, msg.Addr, m)
 	case MsgPutX:
+		if d.duplicate(msg.Addr, src, msg.ReqID) {
+			return
+		}
 		d.putX(src, msg)
 	case MsgInvAck:
 		d.invAck(src, msg)
@@ -197,6 +229,29 @@ func (d *Directory) handle(src int, m network.Msg) {
 	default:
 		panic(fmt.Sprintf("directory %d: unexpected message %T from %d", d.cfg.ID, m, src))
 	}
+}
+
+// duplicate absorbs re-deliveries of an already-accepted request:
+// true means the message must be ignored. First arrivals are recorded
+// (whether processed immediately or queued), so duplicates of queued
+// requests are absorbed too. Ignoring a duplicate is always safe
+// because replies travel unfaulted: the single accepted copy's reply
+// reaches the requester.
+func (d *Directory) duplicate(a mem.Addr, src int, id uint64) bool {
+	if id == 0 {
+		return false // hand-assembled test message: no dedup
+	}
+	l := d.line(a)
+	k := servedKey{src: src, id: id}
+	if l.served[k] {
+		d.stats.Duplicates++
+		return true
+	}
+	if l.served == nil {
+		l.served = make(map[servedKey]bool)
+	}
+	l.served[k] = true
+	return false
 }
 
 // request processes or queues a GetS/GetX/SyncRead.
@@ -267,9 +322,13 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 			l.state = DirExclusive
 			l.owner = src
 		case DirExclusive:
-			if l.owner == src {
-				panic(fmt.Sprintf("directory %d: GetX from current owner %d for %d", d.cfg.ID, src, a))
-			}
+			// l.owner == src is legal under request reordering: the
+			// owner's PutX is still in flight (dropped or delayed) and
+			// its *next* GetX for the line overtook it. The normal
+			// forward path handles it — the cache drops the forward as
+			// stale (its writeback is pending), and the eventual PutX
+			// crosses the pendFwdX and resolves the transaction from the
+			// written-back data (see putX).
 			d.stats.Forwards++
 			l.pending = pendFwdX
 			l.requester = src

@@ -31,30 +31,40 @@ import (
 	"weakorder/internal/mem"
 )
 
-// Messages from a cache to a directory.
+// Messages from a cache to a directory. The request-class messages
+// (GetS, GetX, SyncRead, PutX) carry a per-cache transaction id (ReqID)
+// so the directory can absorb duplicates: a retry after a timeout
+// re-sends the same id, and the directory serves each (source, id) pair
+// at most once. A ReqID of zero means "no dedup" (hand-assembled test
+// messages). These four are also the only messages a fault plan may
+// perturb (see Faultable).
 type (
 	// MsgGetS requests a shared copy (data read miss).
 	MsgGetS struct {
-		Addr mem.Addr
+		Addr  mem.Addr
+		ReqID uint64
 	}
 	// MsgGetX requests an exclusive copy (write miss, upgrade, or
 	// synchronization operation — all synchronization operations are
 	// treated as writes by the protocol, Section 5.2). Sync distinguishes
 	// synchronization requests so owners can apply reserve-bit stalling.
 	MsgGetX struct {
-		Addr mem.Addr
-		Sync bool
+		Addr  mem.Addr
+		Sync  bool
+		ReqID uint64
 	}
 	// MsgSyncRead requests the current value of a location without
 	// taking a cached copy: the Section 6 read-only-synchronization
 	// path (Test). Only issued under the WO-Def2+RO policy.
 	MsgSyncRead struct {
-		Addr mem.Addr
+		Addr  mem.Addr
+		ReqID uint64
 	}
 	// MsgPutX writes back a dirty line on eviction.
 	MsgPutX struct {
-		Addr mem.Addr
-		Data mem.Value
+		Addr  mem.Addr
+		Data  mem.Value
+		ReqID uint64
 	}
 	// MsgInvAck acknowledges an invalidation to the directory.
 	MsgInvAck struct {
@@ -148,6 +158,20 @@ type (
 		Value mem.Value
 	}
 )
+
+// Faultable reports whether a fault plan may drop, duplicate, or delay
+// m: exactly the retried-and-deduplicated request-class messages. Every
+// other protocol message is protected — replies carry state transfers
+// the protocol cannot re-request, and the ack-phase messages rely on
+// point-to-point ordering relative to them.
+func Faultable(m interface{}) bool {
+	switch m.(type) {
+	case MsgGetS, MsgGetX, MsgSyncRead, MsgPutX:
+		return true
+	default:
+		return false
+	}
+}
 
 // MsgName returns a short name for a protocol message, for statistics.
 func MsgName(m interface{}) string {

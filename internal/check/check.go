@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"weakorder/internal/drf"
+	"weakorder/internal/faults"
 	"weakorder/internal/gen"
 	"weakorder/internal/ideal"
 	"weakorder/internal/lang"
@@ -88,6 +89,13 @@ type CampaignConfig struct {
 	MaxShrinkTries int
 	// Fault is the test-only fault hook; see FaultHook.
 	Fault FaultHook
+	// Faults, when non-nil and enabled, arms the deterministic
+	// interconnect fault injector on every cached matrix row (the
+	// no-cache rows have no retry protocol and run fault-free). The
+	// hardened protocol must absorb the faults: DRF0 programs still
+	// appear SC, and a watchdog death becomes a KindLiveness violation
+	// with a shrunk reproducer instead of aborting the campaign.
+	Faults *faults.Plan
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -121,6 +129,10 @@ const (
 	drfCheckMaxPaths      = 100_000
 	campaignMaxCycles     = 500_000
 	shrinkMaxCycles       = 200_000
+	// Liveness shrinking uses a tighter watchdog: a wedged candidate burns
+	// its whole cycle budget, so the shrinker's per-candidate cost is the
+	// budget itself.
+	livenessShrinkMaxCycles = 50_000
 )
 
 func oracleEnumConfig() ideal.EnumConfig {
@@ -355,6 +367,16 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	if len(matrix) == 0 {
 		return nil, fmt.Errorf("check: empty config matrix")
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		for i := range matrix {
+			if matrix[i].Caches {
+				matrix[i].Faults = cfg.Faults
+			}
+		}
+	}
 	c := &campaign{cfg: cfg, matrix: matrix, oracle: newOracle()}
 
 	start := time.Now()
@@ -366,6 +388,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 		Seed:       cfg.Seed,
 		Programs:   cfg.Programs,
 		Configs:    len(matrix),
+		Faults:     cfg.Faults,
 		ByClass:    make(map[string]int),
 		Violations: []ViolationReport{},
 	}
@@ -375,6 +398,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	for _, out := range outs {
 		s.ByClass[out.class]++
 		s.Sims += len(out.sims)
+		s.WatchdogDeaths += out.watchdogs
 		for _, rec := range out.sims {
 			cell := CoverageRow{Policy: rec.policy, Class: out.class}
 			covSims[cell]++

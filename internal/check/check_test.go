@@ -2,8 +2,10 @@ package check
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"weakorder/internal/faults"
 	"weakorder/internal/machine"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
@@ -116,6 +118,109 @@ func TestCampaignCoversWeakBehavior(t *testing.T) {
 	// only.
 	if len(s.Violations) != 0 {
 		t.Errorf("unexpected violations on a coverage-only matrix: %d", len(s.Violations))
+	}
+}
+
+// TestCampaignWithFaultsCleanAndDeterministic is the robustness
+// acceptance check in miniature: with drop+dup+delay injected on every
+// cached row, the hardened protocol still satisfies every oracle — no
+// Definition 2 violations, no watchdog deaths — and the summary stays
+// byte-identical across worker counts.
+func TestCampaignWithFaultsCleanAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two faulted campaigns; skipped in -short")
+	}
+	plan := faults.Mild()
+	cfg := CampaignConfig{
+		Seed:           11,
+		Programs:       6,
+		SeedsPerConfig: 1,
+		Policies:       []policy.Kind{policy.WODef2, policy.SC},
+		Topologies:     []machine.Topology{machine.TopoNetwork},
+		Faults:         &plan,
+		Workers:        1,
+	}
+	s1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Violations) != 0 {
+		for _, v := range s1.Violations {
+			t.Errorf("violation under mild faults: %s %s on %s\n%s", v.Kind, v.Program, configKey(v.Config), v.Liveness)
+		}
+	}
+	if s1.WatchdogDeaths != 0 {
+		t.Errorf("%d watchdog deaths under mild faults with retry enabled", s1.WatchdogDeaths)
+	}
+	if s1.Faults == nil || !s1.Faults.Enabled() {
+		t.Error("summary does not record the fault plan")
+	}
+	cfg.Workers = 4
+	s2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := s1.JSON()
+	j2, _ := s2.JSON()
+	if string(j1) != string(j2) {
+		t.Fatalf("faulted summaries differ across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", j1, j2)
+	}
+}
+
+// TestBrokenRetryYieldsLivenessReproducer drives the tentpole's failure
+// pipeline: disabling retry under total drop wedges runs, and each wedge
+// becomes a KindLiveness violation with a shrunk reproducer and a
+// populated liveness report — instead of aborting the campaign.
+func TestBrokenRetryYieldsLivenessReproducer(t *testing.T) {
+	dir := t.TempDir()
+	cfg := CampaignConfig{
+		Seed:           5,
+		Programs:       1, // index 0 is racefree (DRF by construction)
+		SeedsPerConfig: 1,
+		Policies:       []policy.Kind{policy.WODef2},
+		Topologies:     []machine.Topology{machine.TopoNetwork},
+		Faults:         &faults.Plan{Drop: 1, DisableRetry: true},
+		CorpusDir:      dir,
+		MaxShrinkTries: 40,
+	}
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WatchdogDeaths == 0 || len(s.Violations) == 0 {
+		t.Fatalf("total drop without retry produced no watchdog deaths (%d) / violations (%d)",
+			s.WatchdogDeaths, len(s.Violations))
+	}
+	for _, v := range s.Violations {
+		if v.Kind != KindLiveness {
+			t.Errorf("violation kind %q, want %q", v.Kind, KindLiveness)
+		}
+		if v.Liveness == "" {
+			t.Error("liveness violation carries no report")
+		} else if !strings.Contains(v.Liveness, "stalled") && !strings.Contains(v.Liveness, "pending") {
+			t.Errorf("liveness report names no stalled processor or pending line:\n%s", v.Liveness)
+		}
+		if v.Outcome != "wedged" {
+			t.Errorf("liveness outcome %q, want \"wedged\"", v.Outcome)
+		}
+		if v.Config.Faults == nil {
+			t.Error("violation config does not record the fault plan for replay")
+		}
+		if v.Instructions > 6 {
+			t.Errorf("shrunk liveness reproducer has %d instructions, want <= 6:\n%s", v.Instructions, v.Litmus)
+		}
+	}
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(s.Violations) {
+		t.Fatalf("corpus has %d entries, want %d", len(entries), len(s.Violations))
+	}
+	for _, e := range entries {
+		if err := Replay(e, 1); err != nil {
+			t.Errorf("replay: %v", err)
+		}
 	}
 }
 

@@ -99,12 +99,21 @@ func LoadCorpus(dir string) ([]CorpusEntry, error) {
 // means the bug it captured stays fixed. Definition 2 entries are also
 // re-checked to still obey DRF0 (otherwise the appears-SC assertion
 // would be vacuous).
+//
+// KindLiveness entries assert completion: the run must finish without a
+// watchdog death. Entries recorded under a DisableRetry plan are the one
+// exception — that configuration removes the recovery mechanism on
+// purpose, so the entry is a demonstration, and replay asserts it still
+// wedges.
 func Replay(e CorpusEntry, extraSeeds int) error {
 	mcfg, err := e.Report.Config.Machine()
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.Name, err)
 	}
 	mcfg.MaxCycles = campaignMaxCycles
+	if e.Report.Kind == KindLiveness {
+		return replayLiveness(e, mcfg, extraSeeds)
+	}
 	if e.Report.Kind == KindDefinition2 {
 		v, err := drf.Check(e.Prog, hb.SyncAll, boundedDRFConfig())
 		switch {
@@ -134,6 +143,34 @@ func Replay(e CorpusEntry, extraSeeds int) error {
 		if !m.OK {
 			return fmt.Errorf("%s (seed %d): result does not appear SC — the recorded %s violation has regressed:\n%s",
 				e.Name, seed, e.Report.Kind, res.Result)
+		}
+	}
+	return nil
+}
+
+// replayLiveness replays a KindLiveness entry; see Replay.
+func replayLiveness(e CorpusEntry, mcfg machine.Config, extraSeeds int) error {
+	demonstration := mcfg.Faults != nil && mcfg.Faults.DisableRetry
+	if demonstration {
+		// The wedge is the recorded behavior; keep the probe cheap.
+		mcfg.MaxCycles = livenessShrinkMaxCycles
+	}
+	seeds := []int64{e.Report.MachineSeed}
+	for i := 0; i < extraSeeds; i++ {
+		seeds = append(seeds, deriveSeed(e.Report.MachineSeed, uint64(i)))
+	}
+	for _, seed := range seeds {
+		_, err := machine.Run(e.Prog, mcfg, seed)
+		var le *machine.LivenessError
+		wedged := errors.As(err, &le)
+		switch {
+		case err != nil && !wedged:
+			return fmt.Errorf("%s (seed %d): %w", e.Name, seed, err)
+		case demonstration && seed == e.Report.MachineSeed && !wedged:
+			return fmt.Errorf("%s (seed %d): retry-disabled demonstration no longer wedges", e.Name, seed)
+		case !demonstration && wedged:
+			return fmt.Errorf("%s (seed %d): the recorded liveness violation has regressed:\n%s",
+				e.Name, seed, le.Report)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"weakorder/internal/exp"
+	"weakorder/internal/faults"
 	"weakorder/internal/machine"
 	"weakorder/internal/policy"
 )
@@ -20,6 +21,11 @@ const (
 	// appear sequentially consistent — the Definition 2 contract is
 	// broken (a bug in the policy, the caches, or the interconnect).
 	KindDefinition2 = "definition2"
+	// KindLiveness: a run hit the cycle watchdog — the protocol wedged
+	// (deadlock or livelock), typically because recovery failed under an
+	// injected fault plan. The report carries the structured
+	// LivenessReport rendering.
+	KindLiveness = "liveness"
 )
 
 // ConfigDesc is the JSON-stable description of a machine configuration,
@@ -29,6 +35,9 @@ type ConfigDesc struct {
 	Topology  string `json:"topology"`
 	Caches    bool   `json:"caches"`
 	NetJitter int64  `json:"netJitter,omitempty"`
+	// Faults records the fault plan active when the violation was found;
+	// replay re-arms the identical plan.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // describeConfig projects the fields replay needs out of a machine.Config.
@@ -38,6 +47,7 @@ func describeConfig(cfg machine.Config) ConfigDesc {
 		Topology:  cfg.Topology.String(),
 		Caches:    cfg.Caches,
 		NetJitter: int64(cfg.NetJitter),
+		Faults:    cfg.Faults,
 	}
 }
 
@@ -61,6 +71,7 @@ func (d ConfigDesc) Machine() (machine.Config, error) {
 		Topology:  topo,
 		Caches:    d.Caches,
 		NetJitter: simTime(d.NetJitter),
+		Faults:    d.Faults,
 	}, nil
 }
 
@@ -90,6 +101,9 @@ type ViolationReport struct {
 	ShrinkSteps []string `json:"shrinkSteps"`
 	// Litmus is the shrunk program's round-tripped litmus text.
 	Litmus string `json:"litmus"`
+	// Liveness is the rendered LivenessReport for KindLiveness violations
+	// (which processors stalled, on which lines, fault counters).
+	Liveness string `json:"liveness,omitempty"`
 }
 
 // CoverageRow aggregates one (policy, program class) cell of the
@@ -139,8 +153,14 @@ type Summary struct {
 	Programs int   `json:"programs"`
 	// Configs is the size of the policy × topology × caches matrix.
 	Configs int `json:"configs"`
+	// Faults is the campaign's fault plan (nil when fault-free).
+	Faults *faults.Plan `json:"faults,omitempty"`
 	// Sims is the total number of machine simulations.
 	Sims int `json:"sims"`
+	// WatchdogDeaths counts runs that hit the cycle watchdog; each also
+	// appears as a KindLiveness violation. Must be zero for a healthy
+	// protocol under any valid fault plan.
+	WatchdogDeaths int `json:"watchdogDeaths"`
 	// ByClass counts programs per class ("drf", "racy").
 	ByClass map[string]int `json:"byClass"`
 	// Coverage has one row per (policy, class), sorted.
@@ -225,5 +245,9 @@ func sortSummary(s *Summary) {
 }
 
 func configKey(d ConfigDesc) string {
-	return fmt.Sprintf("%s/%s/caches=%t/jitter=%d", d.Policy, d.Topology, d.Caches, d.NetJitter)
+	k := fmt.Sprintf("%s/%s/caches=%t/jitter=%d", d.Policy, d.Topology, d.Caches, d.NetJitter)
+	if d.Faults != nil && d.Faults.Enabled() {
+		k += "/faults=" + d.Faults.String()
+	}
+	return k
 }

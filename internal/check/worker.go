@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,7 @@ type progOutcome struct {
 	class      string
 	sims       []simRecord
 	violations []ViolationReport
+	watchdogs  int
 }
 
 // runPool fans the program indices over a bounded worker pool. Each
@@ -89,7 +91,25 @@ func (c *campaign) runProgram(idx int) (progOutcome, error) {
 			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
 			res, err := machine.Run(prog, mcfg, machineSeed)
 			if err != nil {
-				return out, fmt.Errorf("%s on %s (seed %d): %w", prog.Name, mcfg.Name(), machineSeed, err)
+				var le *machine.LivenessError
+				if !errors.As(err, &le) {
+					return out, fmt.Errorf("%s on %s (seed %d): %w", prog.Name, mcfg.Name(), machineSeed, err)
+				}
+				// A wedged run is itself a checkable violation: the protocol
+				// failed to recover. Shrink it and move on — one dead run must
+				// not abort the campaign.
+				out.watchdogs++
+				rep, rerr := c.report(KindLiveness, spec, genSeed, idx, prog, mcfg, machineSeed,
+					mem.Result{}, le.Report.String())
+				if rerr != nil {
+					return out, rerr
+				}
+				out.violations = append(out.violations, rep)
+				if c.cfg.Logf != nil {
+					c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
+						KindLiveness, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
+				}
+				continue
 			}
 			if c.cfg.Fault != nil {
 				c.cfg.Fault(mcfg, prog, res)
@@ -107,7 +127,7 @@ func (c *campaign) runProgram(idx int) (progOutcome, error) {
 			if kind == "" {
 				continue
 			}
-			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result)
+			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result, "")
 			if err != nil {
 				return out, err
 			}
@@ -158,11 +178,18 @@ func (c *campaign) classify(p *program.Program) string {
 
 // report shrinks a violating program and assembles its ViolationReport,
 // writing the reproducer into the corpus directory when configured.
+// liveness carries the rendered LivenessReport for KindLiveness (the
+// observed result is then empty — a wedged run commits no outcome).
 func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
-	prog *program.Program, mcfg machine.Config, machineSeed int64, observed mem.Result) (ViolationReport, error) {
+	prog *program.Program, mcfg machine.Config, machineSeed int64,
+	observed mem.Result, liveness string) (ViolationReport, error) {
 
 	pred := c.violates(kind, mcfg, machineSeed)
 	shrunk, steps := Shrink(prog, pred, c.cfg.MaxShrinkTries)
+	outcome := observed.Key()
+	if kind == KindLiveness {
+		outcome = "wedged"
+	}
 	rep := ViolationReport{
 		Kind:         kind,
 		Program:      shrunk.Name,
@@ -171,10 +198,11 @@ func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
 		ProgramIndex: idx,
 		Config:       describeConfig(mcfg),
 		MachineSeed:  machineSeed,
-		Outcome:      observed.Key(),
+		Outcome:      outcome,
 		Instructions: instructionCount(shrunk),
 		ShrinkSteps:  steps,
 		Litmus:       formatProgram(shrunk),
+		Liveness:     liveness,
 	}
 	if c.cfg.CorpusDir != "" {
 		if err := WriteViolation(c.cfg.CorpusDir, rep); err != nil {
@@ -192,6 +220,16 @@ func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
 func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64) func(*program.Program) bool {
 	shrinkCfg := mcfg
 	shrinkCfg.MaxCycles = shrinkMaxCycles
+	if kind == KindLiveness {
+		// A liveness candidate reproduces iff it still wedges: each probe
+		// burns its entire cycle budget, so use the tight one.
+		shrinkCfg.MaxCycles = livenessShrinkMaxCycles
+		return func(cand *program.Program) bool {
+			_, err := machine.Run(cand, shrinkCfg, machineSeed)
+			var le *machine.LivenessError
+			return errors.As(err, &le)
+		}
+	}
 	return func(cand *program.Program) bool {
 		if kind == KindDefinition2 {
 			v, err := drf.Check(cand, hb.SyncAll, boundedDRFConfig())

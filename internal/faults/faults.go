@@ -1,0 +1,322 @@
+// Package faults injects deterministic message-level faults into an
+// interconnect: extra delay, duplication, and drops, applied per message
+// according to a Plan with every random decision drawn from a splitmix64
+// stream. Any (seed, plan) pair therefore replays byte-identically, so a
+// fault schedule that exposes a protocol bug is a reproducer, not an
+// anecdote.
+//
+// The injector is an adversarial test of the paper's Section 5.3 claims:
+// the directory protocol, hardened with per-request retry (cache side)
+// and idempotent request handling (directory side), must keep DRF0
+// programs appearing sequentially consistent — Definition 2 — under any
+// schedule of delays, duplications, and drop-with-retry.
+//
+// Faults apply only to messages the hardening covers: the request-class
+// coherence messages (GetS, GetX, SyncRead, PutX), selected by the
+// Faultable predicate the machine supplies. Replies, invalidations, and
+// acknowledgement-phase messages pass through unfaulted — the protocol
+// relies on their point-to-point order (e.g. a Data fill delayed past a
+// later Inv would silently install a stale shared copy), and since every
+// accepted request produces exactly one reply, retrying requests alone
+// recovers from any drop. Because faults only ever *add* latency, a
+// faulted message can fall behind protected traffic but never overtake
+// it, which keeps the protocol's channel-ordering arguments intact.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+	"weakorder/internal/splitmix"
+)
+
+// Plan is a fault intensity configuration. Probabilities are per
+// transmission: a duplicated message rolls drop and delay independently
+// for each copy, so duplication also amplifies reordering.
+type Plan struct {
+	// Drop is the probability a faultable message is discarded.
+	Drop float64 `json:"drop,omitempty"`
+	// Dup is the probability a faultable message is transmitted twice.
+	Dup float64 `json:"dup,omitempty"`
+	// Delay is the probability a transmission incurs extra latency.
+	Delay float64 `json:"delay,omitempty"`
+	// MaxExtraDelay bounds the extra latency: 1..MaxExtraDelay cycles,
+	// uniform. Required when Delay > 0.
+	MaxExtraDelay sim.Time `json:"maxExtraDelay,omitempty"`
+	// DisableRetry disarms the caches' timeout/retry protocol while the
+	// faults stay active — a deliberately broken configuration used by
+	// tests to prove the liveness diagnostics fire (a dropped request is
+	// then lost forever and the machine deadlocks into a LivenessReport).
+	DisableRetry bool `json:"disableRetry,omitempty"`
+}
+
+// None returns the empty plan (no faults).
+func None() Plan { return Plan{} }
+
+// Mild returns a light fault plan: occasional drops and duplicates,
+// moderate extra delay.
+func Mild() Plan {
+	return Plan{Drop: 0.02, Dup: 0.02, Delay: 0.10, MaxExtraDelay: 16}
+}
+
+// Severe returns a hostile fault plan: frequent drops, duplicates, and
+// large delays.
+func Severe() Plan {
+	return Plan{Drop: 0.15, Dup: 0.10, Delay: 0.35, MaxExtraDelay: 64}
+}
+
+// Parse resolves a plan preset name: "none", "mild", or "severe".
+func Parse(name string) (Plan, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "none":
+		return None(), nil
+	case "mild":
+		return Mild(), nil
+	case "severe":
+		return Severe(), nil
+	default:
+		return Plan{}, fmt.Errorf("faults: unknown plan %q (want none, mild, or severe)", name)
+	}
+}
+
+// Enabled reports whether the plan perturbs any message.
+func (p Plan) Enabled() bool { return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 }
+
+// Validate rejects malformed plans.
+func (p Plan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"Drop", p.Drop}, {"Dup", p.Dup}, {"Delay", p.Delay}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.Delay > 0 && p.MaxExtraDelay == 0 {
+		return fmt.Errorf("faults: Delay %v requires MaxExtraDelay > 0", p.Delay)
+	}
+	return nil
+}
+
+// String renders the plan compactly, e.g. "drop=0.02 dup=0.02 delay=0.10(max 16)".
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	var parts []string
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%.2f", p.Drop))
+	}
+	if p.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%.2f", p.Dup))
+	}
+	if p.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%.2f(max %d)", p.Delay, p.MaxExtraDelay))
+	}
+	if p.DisableRetry {
+		parts = append(parts, "retry-disabled")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Kind classifies a fault event.
+type Kind uint8
+
+// Fault event kinds.
+const (
+	// KindDrop: a transmission was discarded.
+	KindDrop Kind = iota
+	// KindDup: a message was transmitted twice.
+	KindDup
+	// KindDelay: a transmission incurred extra latency.
+	KindDelay
+	// KindRetry: a cache re-sent a timed-out request (noted by the
+	// retry protocol via NoteRetry, not decided by the injector).
+	KindRetry
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDrop:
+		return "DROP"
+	case KindDup:
+		return "DUP"
+	case KindDelay:
+		return "DELAY"
+	case KindRetry:
+		return "RETRY"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event records one fault decision, for timeline interleaving.
+type Event struct {
+	// At is the simulation time of the decision (send time, not
+	// delivery time).
+	At sim.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Src and Dst are the message's endpoints.
+	Src, Dst int
+	// Msg names the affected message (via the Describe hook).
+	Msg string
+	// Extra is the added latency in cycles (KindDelay) or the retry
+	// attempt number (KindRetry); zero otherwise.
+	Extra uint64
+}
+
+// String renders the event, e.g. "t=118 DROP GetX 1->4".
+func (e Event) String() string {
+	return fmt.Sprintf("t=%d %v %s", e.At, e.Kind, e.Describe())
+}
+
+// Describe renders the event body without the timestamp and kind —
+// "GetX 1->4 +12" — for callers that lay those out themselves (timeline
+// rendering).
+func (e Event) Describe() string {
+	s := fmt.Sprintf("%s %d->%d", e.Msg, e.Src, e.Dst)
+	switch e.Kind {
+	case KindDelay:
+		s += fmt.Sprintf(" +%d", e.Extra)
+	case KindRetry:
+		s += fmt.Sprintf(" attempt=%d", e.Extra)
+	}
+	return s
+}
+
+// Stats counts injector activity.
+type Stats struct {
+	// Faultable counts messages eligible for faults.
+	Faultable uint64
+	// Drops counts discarded transmissions.
+	Drops uint64
+	// Dups counts duplicated messages.
+	Dups uint64
+	// Delays counts transmissions given extra latency.
+	Delays uint64
+	// ExtraDelayCycles sums the added latency.
+	ExtraDelayCycles uint64
+	// Retries counts resends noted by the caches' retry protocol.
+	Retries uint64
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("faultable=%d drops=%d dups=%d delays=%d(+%d cycles) retries=%d",
+		s.Faultable, s.Drops, s.Dups, s.Delays, s.ExtraDelayCycles, s.Retries)
+}
+
+// Hooks are the machine-supplied classification callbacks, keeping this
+// package independent of the protocol's message vocabulary.
+type Hooks struct {
+	// Faultable selects the messages the plan may perturb. Nil means no
+	// message is faultable (the injector becomes a pass-through).
+	Faultable func(network.Msg) bool
+	// Describe names a message for the event log (defaults to %T).
+	Describe func(network.Msg) string
+	// Record enables the event log (Events); campaigns leave it off to
+	// avoid the memory.
+	Record bool
+}
+
+// Net wraps an inner Network, applying plan to faultable messages. All
+// randomness comes from a splitmix64 stream seeded at construction, and
+// the injector is driven only by deterministic kernel events, so a
+// (seed, plan) pair fully determines the fault schedule.
+type Net struct {
+	k      *sim.Kernel
+	inner  network.Network
+	plan   Plan
+	rng    *splitmix.Stream
+	hooks  Hooks
+	stats  Stats
+	events []Event
+}
+
+// New wraps inner with the fault plan, seeding the decision stream from
+// seed.
+func New(k *sim.Kernel, inner network.Network, plan Plan, seed uint64, hooks Hooks) *Net {
+	return &Net{k: k, inner: inner, plan: plan, rng: splitmix.New(seed), hooks: hooks}
+}
+
+// Attach implements network.Network.
+func (n *Net) Attach(id int, h network.Handler) { n.inner.Attach(id, h) }
+
+// Send implements network.Network: faultable messages roll duplication
+// once and then drop/delay per transmission; everything else passes
+// straight through.
+func (n *Net) Send(src, dst int, m network.Msg) {
+	if n.hooks.Faultable == nil || !n.hooks.Faultable(m) {
+		n.inner.Send(src, dst, m)
+		return
+	}
+	n.stats.Faultable++
+	n.transmit(src, dst, m)
+	if n.plan.Dup > 0 && n.rng.Float64() < n.plan.Dup {
+		n.stats.Dups++
+		n.event(Event{Kind: KindDup, Src: src, Dst: dst, Msg: n.describe(m)})
+		n.transmit(src, dst, m)
+	}
+}
+
+// transmit applies drop and delay to one copy of a message.
+func (n *Net) transmit(src, dst int, m network.Msg) {
+	if n.plan.Drop > 0 && n.rng.Float64() < n.plan.Drop {
+		n.stats.Drops++
+		n.event(Event{Kind: KindDrop, Src: src, Dst: dst, Msg: n.describe(m)})
+		return
+	}
+	if n.plan.Delay > 0 && n.rng.Float64() < n.plan.Delay {
+		extra := sim.Time(1 + n.rng.Uint64n(uint64(n.plan.MaxExtraDelay)))
+		n.stats.Delays++
+		n.stats.ExtraDelayCycles += uint64(extra)
+		n.event(Event{Kind: KindDelay, Src: src, Dst: dst, Msg: n.describe(m), Extra: uint64(extra)})
+		n.k.After(extra, func() { n.inner.Send(src, dst, m) })
+		return
+	}
+	n.inner.Send(src, dst, m)
+}
+
+// NoteRetry records a retry-protocol resend in the event log and stats.
+// The resend itself travels through Send like any message (and may be
+// faulted again).
+func (n *Net) NoteRetry(src, dst int, m network.Msg, attempt int) {
+	n.stats.Retries++
+	n.event(Event{Kind: KindRetry, Src: src, Dst: dst, Msg: n.describe(m), Extra: uint64(attempt)})
+}
+
+// Stats implements network.Network (traffic statistics of the inner
+// network; see FaultStats for injector counters).
+func (n *Net) Stats() network.Stats { return n.inner.Stats() }
+
+// Err implements network.Network.
+func (n *Net) Err() error { return n.inner.Err() }
+
+// FaultStats returns the injector's counters.
+func (n *Net) FaultStats() Stats { return n.stats }
+
+// Events returns the recorded fault events in decision order (empty
+// unless Hooks.Record was set).
+func (n *Net) Events() []Event { return n.events }
+
+func (n *Net) describe(m network.Msg) string {
+	if n.hooks.Describe != nil {
+		return n.hooks.Describe(m)
+	}
+	return fmt.Sprintf("%T", m)
+}
+
+func (n *Net) event(e Event) {
+	if !n.hooks.Record {
+		return
+	}
+	e.At = n.k.Now()
+	n.events = append(n.events, e)
+}
+
+// Compile-time interface check.
+var _ network.Network = (*Net)(nil)

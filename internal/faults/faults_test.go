@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"weakorder/internal/network"
+	"weakorder/internal/sim"
+)
+
+// fakeMsg is a faultable test payload; plain ints pass through unfaulted.
+type fakeMsg struct{ id int }
+
+func faultableFake(m network.Msg) bool {
+	_, ok := m.(fakeMsg)
+	return ok
+}
+
+type arrival struct {
+	at       sim.Time
+	src, dst int
+	m        network.Msg
+}
+
+// run drives a scripted send schedule through a faulty wrapper over a
+// jitter-free general network and returns the delivery schedule.
+func run(t *testing.T, seed uint64, plan Plan, record bool) ([]arrival, *Net) {
+	t.Helper()
+	k := &sim.Kernel{}
+	inner := network.NewGeneral(k, network.GeneralConfig{BaseLatency: 3, Seed: 1})
+	n := New(k, inner, plan, seed, Hooks{Faultable: faultableFake, Record: record})
+	var got []arrival
+	h := func(dst int) network.Handler {
+		return func(src int, m network.Msg) {
+			got = append(got, arrival{at: k.Now(), src: src, dst: dst, m: m})
+		}
+	}
+	n.Attach(2, h(2))
+	n.Attach(3, h(3))
+	for i := 0; i < 64; i++ {
+		i := i
+		k.At(sim.Time(1+i*2), func() {
+			n.Send(i%2, 2+i%2, fakeMsg{id: i})
+			if i%4 == 0 {
+				n.Send(i%2, 3, "protected") // never faulted
+			}
+		})
+	}
+	k.AdvanceTo(10_000)
+	return got, n
+}
+
+func TestSameSeedSamePlanIdenticalSchedule(t *testing.T) {
+	plan := Severe()
+	a, na := run(t, 42, plan, true)
+	b, nb := run(t, 42, plan, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("delivery schedules differ for identical (seed, plan):\n%v\nvs\n%v", a, b)
+	}
+	if na.FaultStats() != nb.FaultStats() {
+		t.Fatalf("fault stats differ: %v vs %v", na.FaultStats(), nb.FaultStats())
+	}
+	if !reflect.DeepEqual(na.Events(), nb.Events()) {
+		t.Fatal("event logs differ for identical (seed, plan)")
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	plan := Severe()
+	a, _ := run(t, 1, plan, false)
+	b, _ := run(t, 2, plan, false)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical schedules under a severe plan (suspicious)")
+	}
+}
+
+func TestNonePlanIsTransparent(t *testing.T) {
+	faulted, n := run(t, 7, None(), true)
+	clean, _ := run(t, 99, None(), false) // seed irrelevant: no decisions drawn
+	if !reflect.DeepEqual(faulted, clean) {
+		t.Fatal("empty plan altered the delivery schedule")
+	}
+	st := n.FaultStats()
+	if st.Drops != 0 || st.Dups != 0 || st.Delays != 0 {
+		t.Fatalf("empty plan recorded faults: %v", st)
+	}
+	if len(n.Events()) != 0 {
+		t.Fatalf("empty plan recorded %d events", len(n.Events()))
+	}
+}
+
+func TestProtectedMessagesNeverFaulted(t *testing.T) {
+	// Drop everything faultable: every fakeMsg vanishes, every protected
+	// string survives.
+	got, n := run(t, 5, Plan{Drop: 1}, false)
+	for _, d := range got {
+		if _, ok := d.m.(fakeMsg); ok {
+			t.Fatalf("faultable message delivered under Drop=1: %+v", d)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("protected messages were dropped")
+	}
+	st := n.FaultStats()
+	if st.Drops != st.Faultable {
+		t.Fatalf("Drop=1: drops=%d faultable=%d", st.Drops, st.Faultable)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	got, n := run(t, 11, Plan{Dup: 1}, false)
+	counts := make(map[int]int)
+	for _, d := range got {
+		if fm, ok := d.m.(fakeMsg); ok {
+			counts[fm.id]++
+		}
+	}
+	for id, c := range counts {
+		if c != 2 {
+			t.Fatalf("Dup=1: message %d delivered %d times, want 2", id, c)
+		}
+	}
+	if st := n.FaultStats(); st.Dups != st.Faultable {
+		t.Fatalf("Dup=1: dups=%d faultable=%d", st.Dups, st.Faultable)
+	}
+}
+
+func TestDelayAddsBoundedLatency(t *testing.T) {
+	const maxExtra = 9
+	got, n := run(t, 13, Plan{Delay: 1, MaxExtraDelay: maxExtra}, false)
+	if len(got) == 0 {
+		t.Fatal("no deliveries")
+	}
+	// Base latency 3, sends at 1+2i: a faultable delivery at send+3+e
+	// with 1 <= e <= maxExtra.
+	for _, d := range got {
+		fm, ok := d.m.(fakeMsg)
+		if !ok {
+			continue
+		}
+		sent := sim.Time(1 + fm.id*2)
+		extra := d.at - sent - 3
+		if extra < 1 || extra > maxExtra {
+			t.Fatalf("message %d: extra delay %d outside [1,%d]", fm.id, extra, maxExtra)
+		}
+	}
+	st := n.FaultStats()
+	if st.Delays != st.Faultable || st.ExtraDelayCycles == 0 {
+		t.Fatalf("Delay=1 stats: %v", st)
+	}
+}
+
+func TestParseAndValidate(t *testing.T) {
+	for _, name := range []string{"none", "mild", "severe", " Mild ", ""} {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Validate(%q): %v", name, err)
+		}
+	}
+	if _, err := Parse("catastrophic"); err == nil {
+		t.Fatal("Parse of unknown plan must fail")
+	}
+	if err := (Plan{Drop: 1.5}).Validate(); err == nil {
+		t.Fatal("Drop > 1 must fail validation")
+	}
+	if err := (Plan{Delay: 0.5}).Validate(); err == nil {
+		t.Fatal("Delay without MaxExtraDelay must fail validation")
+	}
+	if None().Enabled() || !Mild().Enabled() || !Severe().Enabled() {
+		t.Fatal("Enabled() disagrees with presets")
+	}
+}
+
+func TestEventAndStatsRendering(t *testing.T) {
+	e := Event{At: 118, Kind: KindDrop, Src: 1, Dst: 4, Msg: "GetX"}
+	if got := e.String(); got != "t=118 DROP GetX 1->4" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+	d := Event{At: 7, Kind: KindDelay, Src: 0, Dst: 2, Msg: "GetS", Extra: 12}
+	if got := d.String(); got != "t=7 DELAY GetS 0->2 +12" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+	r := Event{At: 9, Kind: KindRetry, Src: 0, Dst: 2, Msg: "PutX", Extra: 3}
+	if got := r.String(); got != "t=9 RETRY PutX 0->2 attempt=3" {
+		t.Fatalf("Event.String() = %q", got)
+	}
+	if Mild().String() == "" || Severe().String() == "" || None().String() != "none" {
+		t.Fatal("Plan.String() rendering broken")
+	}
+}

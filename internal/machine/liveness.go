@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/faults"
+	"weakorder/internal/mem"
+)
+
+// LivenessProc is one non-halted processor's state at watchdog time.
+type LivenessProc struct {
+	// Proc is the processor id.
+	Proc int
+	// State is "running" or "stalled: <reason>" (the front end's view).
+	State string
+	// Counter is the Section 5.3 outstanding-access counter.
+	Counter int
+	// Reserved lists the lines whose reserve bit the processor holds.
+	Reserved []mem.Addr
+	// Pending lists the lines with in-flight cache transactions (MSHRs).
+	Pending []mem.Addr
+	// Writebacks lists the lines with outstanding PutX writebacks.
+	Writebacks []mem.Addr
+	// Exhausted lists the lines whose transactions hit the retry bound
+	// and gave up — the usual smoking gun under fault injection.
+	Exhausted []mem.Addr
+}
+
+// LivenessDir is one directory's blocked state at watchdog time.
+type LivenessDir struct {
+	// Dir is the directory index (0-based).
+	Dir int
+	// Blocked lists the lines with pending transactions or queued
+	// requests.
+	Blocked []mem.Addr
+}
+
+// LivenessReport is the structured outcome of a watchdog death: which
+// processors stalled, on which lines, who holds reserve bits, and what
+// the counters read — everything the opaque "watchdog after N cycles"
+// error used to bury in a string.
+type LivenessReport struct {
+	// Machine names the configuration (Config.Name()).
+	Machine string
+	// Cycles is the watchdog bound that fired.
+	Cycles uint64
+	// Procs holds every non-halted processor, in id order.
+	Procs []LivenessProc
+	// Dirs holds every blocked directory, in index order.
+	Dirs []LivenessDir
+	// KernelPending is the number of undelivered simulator events.
+	KernelPending int
+	// FaultStats holds the fault injector's counters when a fault plan
+	// was active (nil otherwise).
+	FaultStats *faults.Stats
+}
+
+// Stalled returns the ids of processors that are not making progress.
+func (r *LivenessReport) Stalled() []int {
+	var out []int
+	for _, p := range r.Procs {
+		if strings.HasPrefix(p.State, "stalled") {
+			out = append(out, p.Proc)
+		}
+	}
+	return out
+}
+
+// String renders the report, one line per processor/directory.
+func (r *LivenessReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "liveness report for %s after %d cycles:\n", r.Machine, r.Cycles)
+	for _, p := range r.Procs {
+		fmt.Fprintf(&b, "  P%d %s counter=%d", p.Proc, p.State, p.Counter)
+		if len(p.Reserved) > 0 {
+			fmt.Fprintf(&b, " reserved=%v", p.Reserved)
+		}
+		if len(p.Pending) > 0 {
+			fmt.Fprintf(&b, " pending=%v", p.Pending)
+		}
+		if len(p.Writebacks) > 0 {
+			fmt.Fprintf(&b, " writebacks=%v", p.Writebacks)
+		}
+		if len(p.Exhausted) > 0 {
+			fmt.Fprintf(&b, " retry-exhausted=%v", p.Exhausted)
+		}
+		b.WriteByte('\n')
+	}
+	for _, d := range r.Dirs {
+		fmt.Fprintf(&b, "  dir%d blocked lines: %v\n", d.Dir, d.Blocked)
+	}
+	if r.KernelPending > 0 {
+		fmt.Fprintf(&b, "  kernel: %d undelivered events\n", r.KernelPending)
+	}
+	if r.FaultStats != nil {
+		fmt.Fprintf(&b, "  faults: %v\n", *r.FaultStats)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// LivenessError wraps a LivenessReport as the error a wedged run
+// returns; callers unwrap it with errors.As to distinguish a protocol
+// liveness failure (a checkable violation) from configuration errors.
+type LivenessError struct {
+	Report *LivenessReport
+}
+
+// Error implements error.
+func (e *LivenessError) Error() string {
+	return fmt.Sprintf("machine %s: watchdog after %d cycles (deadlock or livelock)\n%s",
+		e.Report.Machine, e.Report.Cycles, e.Report.String())
+}
+
+// liveness assembles the report at watchdog time.
+func (m *Machine) liveness() *LivenessReport {
+	r := &LivenessReport{
+		Machine:       m.cfg.Name(),
+		Cycles:        m.cfg.MaxCycles,
+		KernelPending: m.kernel.Pending(),
+	}
+	for i, p := range m.procs {
+		if p.Halted() {
+			continue
+		}
+		lp := LivenessProc{Proc: i, State: "running"}
+		if reason, stalled := p.StallReason(); stalled {
+			lp.State = "stalled: " + reason.String()
+		}
+		lp.Counter = m.ports[i].Counter()
+		if m.caches != nil {
+			c := m.caches[i]
+			lp.Reserved = c.ReservedLines()
+			lp.Pending = c.PendingLines()
+			lp.Writebacks = c.WritebackLines()
+			lp.Exhausted = c.ExhaustedLines()
+		}
+		if m.snoopCaches != nil {
+			lp.Reserved = m.snoopCaches[i].ReservedLines()
+		}
+		r.Procs = append(r.Procs, lp)
+	}
+	for i, d := range m.dirs {
+		if lines := d.PendingLines(); len(lines) > 0 {
+			r.Dirs = append(r.Dirs, LivenessDir{Dir: i, Blocked: lines})
+		}
+	}
+	if m.fnet != nil {
+		st := m.fnet.FaultStats()
+		r.FaultStats = &st
+	}
+	return r
+}

@@ -8,16 +8,17 @@ package machine
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"weakorder/internal/cache"
 	"weakorder/internal/cpu"
+	"weakorder/internal/faults"
 	"weakorder/internal/mem"
 	"weakorder/internal/network"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
 	"weakorder/internal/snoop"
+	"weakorder/internal/splitmix"
 )
 
 // Topology selects the interconnect class.
@@ -81,8 +82,26 @@ type Config struct {
 	// MaxOutstandingWrites bounds each processor's in-flight writes — the
 	// lockup-free write parallelism (default 8).
 	MaxOutstandingWrites int
-	// MaxCycles is the deadlock watchdog (default 2,000,000).
+	// MaxCycles is the deadlock watchdog (default 2,000,000). A watchdog
+	// death returns a *LivenessError carrying a structured report.
 	MaxCycles uint64
+	// Faults, when non-nil and enabled, wraps the interconnect in the
+	// deterministic fault injector (internal/faults) — request-class
+	// coherence messages may be dropped, duplicated, or delayed — and
+	// arms the caches' timeout/retry protocol. Requires Caches (the
+	// no-cache ports have no retry protocol) and the directory protocol
+	// (the snoopy bus has no message layer to fault).
+	Faults *faults.Plan
+	// RecordFaultEvents keeps the injector's DROP/DUP/DELAY/RETRY event
+	// log in RunResult.FaultEvents for timeline rendering. Off by
+	// default: campaigns don't pay the memory.
+	RecordFaultEvents bool
+	// RetryTimeout overrides the caches' request-retry timeout (default
+	// 256 cycles when a fault plan is enabled, else retry is off). See
+	// cache.Config.RetryTimeout.
+	RetryTimeout sim.Time
+	// RetryMax overrides the per-transaction resend bound (default 16).
+	RetryMax int
 	// ROUncachedTest switches WO-Def2+RO's read-only synchronization
 	// reads from cached-shared copies to uncached remote value reads (an
 	// ablation; see cache.Config.ROSyncUncached).
@@ -140,7 +159,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 2_000_000
 	}
+	if c.faultsEnabled() && !c.Faults.DisableRetry && c.RetryTimeout == 0 {
+		// Generous relative to the worst fault-free round trip (base +
+		// jitter + injected delay, twice, plus directory queueing):
+		// premature retries are only absorbed duplicates, but a timeout
+		// far too low would retry every queued request forever.
+		c.RetryTimeout = 256
+	}
 	return c
+}
+
+// faultsEnabled reports whether a non-trivial fault plan is configured.
+func (c Config) faultsEnabled() bool {
+	return c.Faults != nil && c.Faults.Enabled()
 }
 
 // Validate rejects inconsistent configurations.
@@ -161,6 +192,19 @@ func (c Config) Validate() error {
 	case policy.SC, policy.Unconstrained:
 	default:
 		return fmt.Errorf("machine: unknown policy %v", c.Policy)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if c.faultsEnabled() {
+			if !c.Caches {
+				return fmt.Errorf("machine: fault injection requires Caches (the no-cache memory ports have no retry protocol)")
+			}
+			if c.Snoop {
+				return fmt.Errorf("machine: fault injection requires the directory protocol (the snoopy bus has no message layer)")
+			}
+		}
 	}
 	return nil
 }
@@ -229,6 +273,15 @@ type RunResult struct {
 	Regs []program.RegFile
 	// Stats holds the measurements.
 	Stats Stats
+	// OpCycles holds, for each entry of Exec.Ops, the cycle at which that
+	// operation committed — the timeline axis for trace rendering.
+	OpCycles []uint64
+	// FaultStats holds the fault injector's counters when a fault plan was
+	// active (nil otherwise).
+	FaultStats *faults.Stats
+	// FaultEvents holds the injector's event log when
+	// Config.RecordFaultEvents was set.
+	FaultEvents []faults.Event
 }
 
 // CondHolds evaluates the program's postcondition (if any) against this
@@ -248,6 +301,7 @@ type Machine struct {
 	kernel      *sim.Kernel
 	rng         *rand.Rand
 	net         network.Network
+	fnet        *faults.Net
 	procs       []*cpu.Proc
 	caches      []*cache.Cache
 	dirs        []*cache.Directory
@@ -256,6 +310,7 @@ type Machine struct {
 	flats       []*flatModule
 	ports       []cpu.MemPort
 	trace       []mem.Op
+	traceCycles []uint64
 	// pendingMigrations is consumed front-to-back as cycles pass.
 	pendingMigrations []Migration
 	suspending        bool
@@ -310,9 +365,25 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 			// The directory protocol requires point-to-point FIFO; the
 			// raw (no-cache) configuration exhibits Lamport's reordering.
 			OrderedPairs: cfg.Caches,
-		}, seed)
+			Seed:         seed,
+		})
 	default:
 		return nil, fmt.Errorf("machine: unknown topology %v", cfg.Topology)
+	}
+
+	if cfg.faultsEnabled() {
+		// Wrap the interconnect before any endpoint captures it, so every
+		// component's sends pass through the injector. The fault stream is
+		// derived from (not equal to) the machine seed, so fault decisions
+		// do not correlate with network jitter.
+		m.fnet = faults.New(m.kernel, m.net, *cfg.Faults,
+			splitmix.Mix(uint64(seed)^0xfa17),
+			faults.Hooks{
+				Faultable: func(msg network.Msg) bool { return cache.Faultable(msg) },
+				Describe:  func(msg network.Msg) string { return cache.MsgName(msg) },
+				Record:    cfg.RecordFaultEvents,
+			})
+		m.net = m.fnet
 	}
 
 	home := func(a mem.Addr) int { return nProcs + int(a)%cfg.MemModules }
@@ -331,8 +402,12 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 			}
 			m.dirs = append(m.dirs, d)
 		}
+		retryTimeout := cfg.RetryTimeout
+		if cfg.Faults != nil && cfg.Faults.DisableRetry {
+			retryTimeout = 0
+		}
 		for i := 0; i < nProcs; i++ {
-			c := cache.New(m.kernel, m.net, cache.Config{
+			ccfg := cache.Config{
 				ID:             i,
 				Home:           home,
 				HitLatency:     cfg.CacheHit,
@@ -340,7 +415,16 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 				UseReserve:     cfg.Policy.UsesReserve(),
 				ROSyncBypass:   cfg.Policy.ROSyncBypass(),
 				ROSyncUncached: cfg.ROUncachedTest,
-			})
+				RetryTimeout:   retryTimeout,
+				RetryMax:       cfg.RetryMax,
+			}
+			if m.fnet != nil {
+				id := i
+				ccfg.OnRetry = func(dst int, msg network.Msg, attempt int) {
+					m.fnet.NoteRetry(id, dst, msg, attempt)
+				}
+			}
+			c := cache.New(m.kernel, m.net, ccfg)
 			m.caches = append(m.caches, c)
 			m.ports = append(m.ports, c)
 		}
@@ -379,7 +463,10 @@ func (m *Machine) finishProcs(prog *program.Program, nProcs int) (*Machine, erro
 			Policy:               cfg.Policy,
 			WriteBufferSize:      cfg.WriteBuffer,
 			MaxOutstandingWrites: cfg.MaxOutstandingWrites,
-		}, th, m.ports[i], func(op mem.Op) { m.trace = append(m.trace, op) })
+		}, th, m.ports[i], func(op mem.Op) {
+			m.trace = append(m.trace, op)
+			m.traceCycles = append(m.traceCycles, uint64(m.kernel.Now()))
+		})
 		m.procs = append(m.procs, p)
 	}
 	for _, mg := range cfg.Migrations {
@@ -431,8 +518,7 @@ func (m *Machine) Run() (*RunResult, error) {
 			break
 		}
 		if cycle > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("machine %s: watchdog after %d cycles (deadlock or livelock)\n%s",
-				m.cfg.Name(), m.cfg.MaxCycles, m.diagnose())
+			return nil, &LivenessError{Report: m.liveness()}
 		}
 		m.kernel.AdvanceTo(sim.Time(cycle))
 		m.stepMigrations(cycle)
@@ -445,6 +531,16 @@ func (m *Machine) Run() (*RunResult, error) {
 		}
 		for _, i := range order {
 			m.procs[i].Drain()
+		}
+		// Retry timeouts are polled, not kernel events: a timer event would
+		// keep Pending() nonzero and wedge done()-detection.
+		for _, c := range m.caches {
+			c.CheckTimeouts(m.kernel.Now())
+		}
+		if m.net != nil {
+			if err := m.net.Err(); err != nil {
+				return nil, fmt.Errorf("machine %s: interconnect fault: %w", m.cfg.Name(), err)
+			}
 		}
 	}
 
@@ -463,6 +559,7 @@ func (m *Machine) Run() (*RunResult, error) {
 			res.Regs[p.ThreadID()] = fr
 		}
 	}
+	res.OpCycles = m.traceCycles
 	res.Stats.Cycles = uint64(m.kernel.Now())
 	for _, p := range m.procs {
 		res.Stats.Procs = append(res.Stats.Procs, p.Stats())
@@ -482,6 +579,11 @@ func (m *Machine) Run() (*RunResult, error) {
 		for _, sc := range m.snoopCaches {
 			res.Stats.SnoopCaches = append(res.Stats.SnoopCaches, sc.Stats())
 		}
+	}
+	if m.fnet != nil {
+		st := m.fnet.FaultStats()
+		res.FaultStats = &st
+		res.FaultEvents = m.fnet.Events()
 	}
 	return res, nil
 }
@@ -556,36 +658,6 @@ func (m *Machine) stepMigrations(cycle uint64) {
 	}
 	m.pendingMigrations = m.pendingMigrations[1:]
 	m.suspending = false
-}
-
-// diagnose renders a deadlock report: stalled processors, counters,
-// blocked directory lines.
-func (m *Machine) diagnose() string {
-	var b strings.Builder
-	for i, p := range m.procs {
-		if p.Halted() {
-			continue
-		}
-		r, stalled := p.StallReason()
-		state := "running"
-		if stalled {
-			state = "stalled: " + r.String()
-		}
-		fmt.Fprintf(&b, "  P%d %s", i, state)
-		if m.caches != nil {
-			fmt.Fprintf(&b, " counter=%d reserved=%v", m.caches[i].Counter(), m.caches[i].ReservedLines())
-		}
-		if m.snoopCaches != nil {
-			fmt.Fprintf(&b, " counter=%d reserved=%v", m.snoopCaches[i].Counter(), m.snoopCaches[i].ReservedLines())
-		}
-		b.WriteByte('\n')
-	}
-	for i, d := range m.dirs {
-		if lines := d.PendingLines(); len(lines) > 0 {
-			fmt.Fprintf(&b, "  dir%d blocked lines: %v\n", i, lines)
-		}
-	}
-	return b.String()
 }
 
 // Run is the convenience one-shot: assemble and run.

@@ -12,9 +12,9 @@ package network
 
 import (
 	"fmt"
-	"math/rand"
 
 	"weakorder/internal/sim"
+	"weakorder/internal/splitmix"
 )
 
 // Msg is an opaque network payload.
@@ -28,11 +28,17 @@ type Network interface {
 	// Attach registers the handler for endpoint id. Attaching twice
 	// replaces the handler.
 	Attach(id int, h Handler)
-	// Send schedules delivery of m from src to dst. Sending to an
-	// unattached endpoint panics at delivery time.
+	// Send schedules delivery of m from src to dst. A message addressed
+	// to an unattached endpoint is dropped at delivery time and recorded
+	// as the network's Err (a wiring bug in the assembled machine, not a
+	// modeled fault).
 	Send(src, dst int, m Msg)
 	// Stats returns cumulative traffic statistics.
 	Stats() Stats
+	// Err returns the first delivery error (send to an unattached
+	// endpoint), or nil. The machine run loop checks it every cycle and
+	// surfaces it as a diagnosable run failure.
+	Err() error
 }
 
 // Stats summarizes interconnect traffic.
@@ -44,6 +50,9 @@ type Stats struct {
 	// MaxQueued is the peak number of undelivered messages (bus: waiting
 	// for the medium; net: in flight).
 	MaxQueued int
+	// Undeliverable counts messages dropped because no handler was
+	// attached at the destination (see Network.Err).
+	Undeliverable uint64
 }
 
 // AvgLatency returns the mean delivery latency in cycles.
@@ -67,6 +76,9 @@ type GeneralConfig struct {
 	// OrderedPairs forces FIFO delivery per (src, dst) pair even with
 	// jitter, modeling a network with point-to-point ordering.
 	OrderedPairs bool
+	// Seed derives the jitter stream (splitmix64), making every latency
+	// draw reproducible per network instance.
+	Seed int64
 }
 
 // General is a general interconnection network: every message travels
@@ -74,24 +86,26 @@ type GeneralConfig struct {
 type General struct {
 	k        *sim.Kernel
 	cfg      GeneralConfig
-	rng      *rand.Rand
+	rng      *splitmix.Stream
 	handlers map[int]Handler
 	stats    Stats
+	err      error
 	inFlight int
 	// lastArrival tracks, per (src,dst), the latest scheduled arrival so
 	// OrderedPairs can enforce FIFO delivery.
 	lastArrival map[[2]int]sim.Time
 }
 
-// NewGeneral returns a general network on kernel k seeded deterministically.
-func NewGeneral(k *sim.Kernel, cfg GeneralConfig, seed int64) *General {
+// NewGeneral returns a general network on kernel k, with all jitter
+// drawn deterministically from cfg.Seed.
+func NewGeneral(k *sim.Kernel, cfg GeneralConfig) *General {
 	if cfg.BaseLatency == 0 {
 		cfg.BaseLatency = 1
 	}
 	return &General{
 		k:           k,
 		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(seed)),
+		rng:         splitmix.New(uint64(cfg.Seed)),
 		handlers:    make(map[int]Handler),
 		lastArrival: make(map[[2]int]sim.Time),
 	}
@@ -104,7 +118,7 @@ func (g *General) Attach(id int, h Handler) { g.handlers[id] = h }
 func (g *General) Send(src, dst int, m Msg) {
 	lat := g.cfg.BaseLatency
 	if g.cfg.Jitter > 0 {
-		lat += sim.Time(g.rng.Int63n(int64(g.cfg.Jitter) + 1))
+		lat += sim.Time(g.rng.Uint64n(uint64(g.cfg.Jitter) + 1))
 	}
 	arrive := g.k.Now() + lat
 	if g.cfg.OrderedPairs {
@@ -124,7 +138,11 @@ func (g *General) Send(src, dst int, m Msg) {
 		g.inFlight--
 		h, ok := g.handlers[dst]
 		if !ok {
-			panic(fmt.Sprintf("network: no handler attached at endpoint %d", dst))
+			g.stats.Undeliverable++
+			if g.err == nil {
+				g.err = fmt.Errorf("network: message %T from %d to unattached endpoint %d", m, src, dst)
+			}
+			return
 		}
 		h(src, m)
 	})
@@ -132,6 +150,9 @@ func (g *General) Send(src, dst int, m Msg) {
 
 // Stats implements Network.
 func (g *General) Stats() Stats { return g.stats }
+
+// Err implements Network.
+func (g *General) Err() error { return g.err }
 
 // ---------------------------------------------------------------------------
 // Shared bus.
@@ -152,6 +173,7 @@ type Bus struct {
 	cfg      BusConfig
 	handlers map[int]Handler
 	stats    Stats
+	err      error
 	queue    []busMsg
 	busy     bool
 }
@@ -198,7 +220,12 @@ func (b *Bus) grant() {
 		b.stats.TotalLatency += uint64(b.k.Now() - head.enq)
 		h, ok := b.handlers[head.dst]
 		if !ok {
-			panic(fmt.Sprintf("network: no handler attached at endpoint %d", head.dst))
+			b.stats.Undeliverable++
+			if b.err == nil {
+				b.err = fmt.Errorf("network: message %T from %d to unattached endpoint %d", head.m, head.src, head.dst)
+			}
+			b.grant()
+			return
 		}
 		h(head.src, head.m)
 		b.grant()
@@ -207,6 +234,9 @@ func (b *Bus) grant() {
 
 // Stats implements Network.
 func (b *Bus) Stats() Stats { return b.stats }
+
+// Err implements Network.
+func (b *Bus) Err() error { return b.err }
 
 // Compile-time interface checks.
 var (

@@ -20,7 +20,7 @@ func collector(k *sim.Kernel, out *[]delivery) Handler {
 
 func TestGeneralDeliversWithBaseLatency(t *testing.T) {
 	k := &sim.Kernel{}
-	g := NewGeneral(k, GeneralConfig{BaseLatency: 7}, 1)
+	g := NewGeneral(k, GeneralConfig{BaseLatency: 7, Seed: 1})
 	var got []delivery
 	g.Attach(1, collector(k, &got))
 	g.Send(0, 1, "hello")
@@ -41,7 +41,7 @@ func TestGeneralJitterCanReorder(t *testing.T) {
 	reordered := false
 	for seed := int64(0); seed < 50 && !reordered; seed++ {
 		k := &sim.Kernel{}
-		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8}, seed)
+		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, Seed: seed})
 		var got []delivery
 		g.Attach(1, collector(k, &got))
 		g.Send(0, 1, "first")
@@ -59,7 +59,7 @@ func TestGeneralJitterCanReorder(t *testing.T) {
 func TestGeneralOrderedPairsFIFO(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		k := &sim.Kernel{}
-		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true}, seed)
+		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true, Seed: seed})
 		var got []delivery
 		g.Attach(1, collector(k, &got))
 		for i := 0; i < 10; i++ {
@@ -78,7 +78,7 @@ func TestGeneralOrderedPairsIndependentAcrossPairs(t *testing.T) {
 	// Ordering is per (src,dst): messages from different sources may
 	// still interleave arbitrarily.
 	k := &sim.Kernel{}
-	g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true}, 3)
+	g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true, Seed: 3})
 	var got []delivery
 	g.Attach(2, collector(k, &got))
 	g.Send(0, 2, "a")
@@ -129,16 +129,53 @@ func TestBusQueuesWhileBusy(t *testing.T) {
 	}
 }
 
-func TestUnattachedEndpointPanics(t *testing.T) {
+func TestUnattachedEndpointRecordsError(t *testing.T) {
 	k := &sim.Kernel{}
-	g := NewGeneral(k, GeneralConfig{}, 1)
+	g := NewGeneral(k, GeneralConfig{Seed: 1})
+	if g.Err() != nil {
+		t.Fatalf("fresh network Err = %v, want nil", g.Err())
+	}
 	g.Send(0, 9, "lost")
-	defer func() {
-		if recover() == nil {
-			t.Error("delivery to unattached endpoint must panic")
-		}
-	}()
 	k.AdvanceTo(100)
+	if g.Err() == nil {
+		t.Fatal("delivery to unattached endpoint must record an error")
+	}
+	if s := g.Stats(); s.Undeliverable != 1 {
+		t.Fatalf("Undeliverable = %d, want 1", s.Undeliverable)
+	}
+
+	b := NewBus(k, BusConfig{})
+	b.Send(0, 9, "lost")
+	k.AdvanceTo(200)
+	if b.Err() == nil {
+		t.Fatal("bus delivery to unattached endpoint must record an error")
+	}
+	if s := b.Stats(); s.Undeliverable != 1 {
+		t.Fatalf("bus Undeliverable = %d, want 1", s.Undeliverable)
+	}
+}
+
+func TestGeneralSameSeedSameSchedule(t *testing.T) {
+	run := func(seed int64) []delivery {
+		k := &sim.Kernel{}
+		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 16, Seed: seed})
+		var got []delivery
+		g.Attach(1, collector(k, &got))
+		for i := 0; i < 32; i++ {
+			g.Send(0, 1, i)
+		}
+		k.AdvanceTo(1000)
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
 }
 
 func TestAvgLatency(t *testing.T) {

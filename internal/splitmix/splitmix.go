@@ -1,0 +1,66 @@
+// Package splitmix implements the splitmix64 pseudo-random generator
+// (Steele, Lea & Flood, "Fast Splittable Pseudorandom Number Generators",
+// OOPSLA 2014). It is the repository's substrate for reproducible
+// randomness outside program generation: network jitter and fault
+// injection derive every decision from a splitmix stream, so any
+// (seed, configuration) pair replays byte-identically across runs,
+// worker counts, and platforms — splitmix64 is a fixed published
+// algorithm, unlike math/rand's unspecified generator.
+package splitmix
+
+// golden64 is the splitmix64 increment (the odd constant closest to
+// 2^64/φ), which makes successive states equidistributed.
+const golden64 = 0x9e3779b97f4a7c15
+
+// Mix finalizes one state into an output word: the splitmix64 output
+// function. It doubles as the repository's standard seed-derivation
+// mixer — Mix(seed + f(index)) yields independent streams per index.
+func Mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a splitmix64 generator. The zero value is a valid stream
+// seeded with 0; use New to seed explicitly.
+type Stream struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Next returns the next 64 random bits.
+func (s *Stream) Next() uint64 {
+	s.state += golden64
+	return Mix(s.state)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("splitmix: Uint64n(0)")
+	}
+	// Debiased modulo via rejection sampling: retry while the draw falls
+	// in the short final partial block. For the small n used here
+	// (latencies, percentages) a retry is vanishingly rare.
+	max := (^uint64(0)) - (^uint64(0))%n
+	for {
+		if v := s.Next(); v < max {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("splitmix: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}

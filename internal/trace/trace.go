@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"weakorder/internal/faults"
 	"weakorder/internal/mem"
 )
 
@@ -210,6 +211,104 @@ func Timeline(e *mem.Execution, maxRows int) string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TimelineEvents renders the figure-style timeline with the fault
+// injector's DROP/DUP/DELAY/RETRY events interleaved at their cycles: one
+// column per processor, a cycle stamp on the left, and fault events as
+// full-width rows between the operations they fell between. opCycles is
+// the commit cycle of each e.Ops entry (machine.RunResult.OpCycles);
+// when its length does not match, operations render without interleaving
+// and the events are appended at the end. maxRows truncates (0 =
+// unlimited).
+func TimelineEvents(e *mem.Execution, opCycles []uint64, events []faults.Event, maxRows int) string {
+	procs := e.Procs
+	if procs == 0 {
+		for _, op := range e.Ops {
+			if op.Proc >= procs {
+				procs = op.Proc + 1
+			}
+		}
+	}
+	aligned := len(opCycles) == len(e.Ops)
+	const colWidth = 14
+	const stampWidth = 9
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", stampWidth, "cycle")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, fmt.Sprintf("P%d", p))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s", stampWidth, strings.Repeat("-", stampWidth-2))
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", colWidth, strings.Repeat("-", colWidth-2))
+	}
+	b.WriteByte('\n')
+
+	rows := 0
+	truncated := func() bool {
+		if maxRows > 0 && rows >= maxRows {
+			b.WriteString("... (truncated)\n")
+			return true
+		}
+		rows++
+		return false
+	}
+	emitEvent := func(ev faults.Event) bool {
+		if truncated() {
+			return false
+		}
+		fmt.Fprintf(&b, "%-*s! %s %s", stampWidth, fmt.Sprintf("%d", uint64(ev.At)), ev.Kind, ev.Describe())
+		b.WriteByte('\n')
+		return true
+	}
+	emitOp := func(i int, op mem.Op) bool {
+		if op.Proc < 0 || op.Proc >= procs {
+			return true
+		}
+		if truncated() {
+			return false
+		}
+		stamp := ""
+		if aligned {
+			stamp = fmt.Sprintf("%d", opCycles[i])
+		}
+		fmt.Fprintf(&b, "%-*s", stampWidth, stamp)
+		for p := 0; p < procs; p++ {
+			cell := ""
+			if p == op.Proc {
+				cell = cellFor(op)
+			}
+			fmt.Fprintf(&b, "%-*s", colWidth, cell)
+		}
+		b.WriteByte('\n')
+		return true
+	}
+
+	// Both streams are time-sorted (ops by commit, events by injection
+	// decision); merge them. Ties render the event first: the fault was
+	// decided before the commit at the same cycle completed.
+	ei := 0
+	for i, op := range e.Ops {
+		if aligned {
+			for ei < len(events) && uint64(events[ei].At) <= opCycles[i] {
+				if !emitEvent(events[ei]) {
+					return b.String()
+				}
+				ei++
+			}
+		}
+		if !emitOp(i, op) {
+			return b.String()
+		}
+	}
+	for ; ei < len(events); ei++ {
+		if !emitEvent(events[ei]) {
+			return b.String()
+		}
 	}
 	return b.String()
 }

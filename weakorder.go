@@ -53,6 +53,7 @@ package weakorder
 import (
 	"weakorder/internal/check"
 	"weakorder/internal/drf"
+	"weakorder/internal/faults"
 	"weakorder/internal/hb"
 	"weakorder/internal/ideal"
 	"weakorder/internal/lang"
@@ -116,6 +117,22 @@ type (
 	RunResult = machine.RunResult
 	// MachineStats aggregates a run's measurements.
 	MachineStats = machine.Stats
+
+	// FaultPlan configures the deterministic interconnect fault injector
+	// (MachineConfig.Faults): drop/duplicate/delay probabilities for
+	// request-class coherence messages. Same (plan, seed) replays
+	// identically.
+	FaultPlan = faults.Plan
+	// FaultEvent is one injected fault or noted protocol retry.
+	FaultEvent = faults.Event
+	// FaultStats counts injector activity over a run.
+	FaultStats = faults.Stats
+	// LivenessReport is the structured outcome of a watchdog death:
+	// stalled processors, pending lines, reserve-bit holders, counters.
+	LivenessReport = machine.LivenessReport
+	// LivenessError wraps a LivenessReport as the error a wedged run
+	// returns; unwrap with errors.As.
+	LivenessError = machine.LivenessError
 
 	// CampaignConfig parameterizes a differential model-checking campaign
 	// (see internal/check).
@@ -279,6 +296,15 @@ func Check(cfg CampaignConfig) (*CampaignSummary, error) { return check.Run(cfg)
 // ParsePolicy resolves a policy name ("SC", "Unconstrained", "WO-Def1",
 // "WO-Def2", "WO-Def2+RO").
 func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
+
+// Fault-plan presets for MachineConfig.Faults and CampaignConfig.Faults.
+func FaultsNone() FaultPlan   { return faults.None() }
+func FaultsMild() FaultPlan   { return faults.Mild() }
+func FaultsSevere() FaultPlan { return faults.Severe() }
+
+// ParseFaultPlan resolves a fault-plan preset name: "none", "mild", or
+// "severe".
+func ParseFaultPlan(name string) (FaultPlan, error) { return faults.Parse(name) }
 
 // Policies lists every policy in presentation order.
 func Policies() []Policy { return policy.All() }
