@@ -304,6 +304,36 @@ func BenchmarkIdealEnumerateDekker(b *testing.B) {
 	}
 }
 
+// BenchmarkIdealEnumeratePOR compares naive exhaustive enumeration with
+// the sleep-set partial-order reduction on a mostly-independent
+// generated workload. steps/op is the paths-explored metric quoted in
+// EXPERIMENTS.md's oracle table: identical outcome sets (pinned by
+// TestOracleEquivalenceNaiveVsReduced) at a fraction of the search.
+func BenchmarkIdealEnumeratePOR(b *testing.B) {
+	prog := gen.Racy(gen.RacyConfig{Procs: 3, Vars: 6, OpsPerProc: 4, SyncFraction: 8}, 7)
+	for _, mode := range []struct {
+		name   string
+		reduce bool
+	}{{"naive", false}, {"reduced", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := ideal.EnumConfig{
+				Interp:        ideal.Config{MaxMemOpsPerThread: 16},
+				SkipTruncated: true,
+				Reduce:        mode.reduce,
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				stats, err := ideal.Enumerate(prog, cfg, func(*ideal.Interp) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += stats.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
 func BenchmarkIdealRunSeedCriticalSection(b *testing.B) {
 	prog := litmus.CriticalSection(4, 4)
 	for i := 0; i < b.N; i++ {

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"weakorder/internal/check"
@@ -47,8 +49,15 @@ func main() {
 		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
 		faultsIn = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the campaign) to this file")
 	)
 	flag.Parse()
+
+	// The violation path exits non-zero via os.Exit, which skips defers,
+	// so profile teardown is funneled through an explicit stop hook that
+	// every exit path below runs first.
+	stopProfiles := startProfiles(*cpuProf, *memProf)
 
 	pols, err := parsePolicies(*policies)
 	if err != nil {
@@ -109,11 +118,59 @@ func main() {
 	if sum.WatchdogDeaths > 0 && !*quiet {
 		fmt.Fprintf(os.Stderr, "wofuzz: %d watchdog death(s)\n", sum.WatchdogDeaths)
 	}
+	stopProfiles()
 	if len(sum.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "wofuzz: %d contract violation(s) found\n", len(sum.Violations))
 		os.Exit(1)
 	}
 }
+
+// startProfiles arms the requested pprof outputs and returns the stop
+// hook that flushes them. The hook is idempotent and also wired into
+// fatal(), so profiles survive every exit path.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wofuzz:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // fold transient garbage out of the heap picture
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "wofuzz:", err)
+			}
+		}
+	}
+	atExit = stop
+	return stop
+}
+
+// atExit is run by fatal before exiting, so armed profiles still flush
+// on error paths.
+var atExit = func() {}
 
 func parsePolicies(s string) ([]policy.Kind, error) {
 	if s == "" || s == "all" {
@@ -149,6 +206,7 @@ func parseTopos(s string) ([]machine.Topology, error) {
 }
 
 func fatal(err error) {
+	atExit()
 	fmt.Fprintln(os.Stderr, "wofuzz:", err)
 	os.Exit(1)
 }

@@ -755,6 +755,29 @@ func (c *Cache) retryTick(now sim.Time, dst int, rs *retryState) {
 	rs.deadline = now + timeout
 }
 
+// NextRetryDeadline returns the earliest armed retry deadline across
+// in-flight transactions and writebacks; ok is false when retry is off
+// or nothing is armed. The machine's idle-cycle fast-forward must not
+// skip past this cycle: CheckTimeouts is polled, not event-scheduled,
+// so a skipped deadline would silently delay the resend.
+func (c *Cache) NextRetryDeadline() (t sim.Time, ok bool) {
+	if c.cfg.RetryTimeout == 0 {
+		return 0, false
+	}
+	consider := func(rs *retryState) {
+		if rs.deadline != 0 && !rs.exhausted && (!ok || rs.deadline < t) {
+			t, ok = rs.deadline, true
+		}
+	}
+	for _, m := range c.mshrs {
+		consider(&m.retry)
+	}
+	for _, w := range c.wbWait {
+		consider(&w.retry)
+	}
+	return t, ok
+}
+
 // PendingLines returns the addresses with in-flight transactions
 // (MSHRs), sorted — liveness diagnostics.
 func (c *Cache) PendingLines() []mem.Addr {

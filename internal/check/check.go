@@ -135,19 +135,32 @@ const (
 	livenessShrinkMaxCycles = 50_000
 )
 
+// oracleEnumConfig bounds the SC outcome-set enumeration. Partial-order
+// reduction is on: the oracle consumes only mem.Result keys, which are
+// invariant across interleavings that commute non-conflicting
+// operations, so one representative per Mazurkiewicz trace yields the
+// identical outcome set (TestOracleEquivalenceNaiveVsReduced asserts
+// this differentially) while MaxPaths truncates far less often.
 func oracleEnumConfig() ideal.EnumConfig {
 	return ideal.EnumConfig{
 		Interp:        ideal.Config{MaxMemOpsPerThread: oracleMemOpsPerThread},
 		SkipTruncated: true,
 		MaxPaths:      oracleEnumMaxPaths,
+		Reduce:        true,
 	}
 }
 
+// boundedDRFConfig bounds the DRF classification. Reduction needs
+// PreserveSyncOrder here: the hb builders order same-address
+// synchronization pairs by completion order even when both only read,
+// so those pairs must not commute.
 func boundedDRFConfig() drf.CheckConfig {
 	return drf.CheckConfig{Enum: ideal.EnumConfig{
-		Interp:        ideal.Config{MaxMemOpsPerThread: oracleMemOpsPerThread},
-		SkipTruncated: true,
-		MaxPaths:      drfCheckMaxPaths,
+		Interp:            ideal.Config{MaxMemOpsPerThread: oracleMemOpsPerThread},
+		SkipTruncated:     true,
+		MaxPaths:          drfCheckMaxPaths,
+		Reduce:            true,
+		PreserveSyncOrder: true,
 	}}
 }
 

@@ -264,6 +264,37 @@ func (p *Proc) Tick() {
 	}
 }
 
+// Quiescent reports whether, absent new kernel events, the processor is
+// guaranteed to do nothing on subsequent cycles: the front end is
+// halted, suspended, or parked on a stall that is event-cleared or
+// whose poll condition is currently false, and the write buffer cannot
+// issue (empty, or at the outstanding-write bound). Every poll
+// condition and Drain's gate depend only on state changed by kernel
+// events, so quiescence persists until the next event fires — the
+// invariant behind the machine's idle-cycle fast-forward. Stall-cycle
+// accounting is the one per-cycle effect a quiescent processor still
+// accrues; fast-forwarding callers restore it with AddStallCycles.
+func (p *Proc) Quiescent() bool {
+	switch p.state {
+	case stHalted, stSuspended:
+	case stStalled:
+		if p.unstall != nil && p.unstall() {
+			return false
+		}
+	default:
+		return false
+	}
+	return len(p.wbuf) == 0 || p.issuedWrites >= p.cfg.MaxOutstandingWrites
+}
+
+// AddStallCycles accounts n skipped cycles to the current stall reason —
+// the fast-forward replacement for the per-cycle increment in Tick.
+func (p *Proc) AddStallCycles(n uint64) {
+	if p.state == stStalled {
+		p.stats.Stall[p.stallReason] += n
+	}
+}
+
 // Drain issues one buffered write; a write issues no earlier than the
 // cycle after it entered the buffer, and no more than
 // MaxOutstandingWrites may be in flight (lockup-free but bounded). The

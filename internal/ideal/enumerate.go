@@ -22,6 +22,26 @@ type EnumConfig struct {
 	// per-thread memory-operation budget: if true the path is silently
 	// abandoned, otherwise enumeration fails with ErrTruncated.
 	SkipTruncated bool
+	// Reduce enables conflict-aware partial-order reduction: sleep sets
+	// over the enabled-thread frontier plus state-key memoization, so
+	// enumeration visits at least one representative interleaving per
+	// Mazurkiewicz trace (equivalence class under commuting adjacent
+	// independent operations) instead of every interleaving. Sound for
+	// visitors that depend only on trace-equivalence invariants — read
+	// observations (keyed by OpID) and the final memory state, i.e.
+	// mem.Result — because two operations commute only when they do not
+	// conflict in the paper's Definition 3 sense. Executions then counts
+	// representatives, not interleavings. Programs with more than 64
+	// threads fall back to the naive enumeration.
+	Reduce bool
+	// PreserveSyncOrder strengthens the reduction's dependence relation:
+	// two synchronization operations on the same address never commute,
+	// even when both only read. The happens-before builders (package hb)
+	// order same-address synchronization pairs by completion order
+	// regardless of conflict, so visitors that inspect per-execution
+	// sync order (race detection) need this; pure outcome enumeration
+	// does not. Only meaningful with Reduce.
+	PreserveSyncOrder bool
 }
 
 // ErrBudget reports that enumeration exceeded its execution or path budget.
@@ -38,6 +58,13 @@ type EnumStats struct {
 	Truncated int
 	// Steps is the total number of Step calls performed.
 	Steps int
+	// SleepPruned counts branches skipped by the sleep-set reduction
+	// (zero unless EnumConfig.Reduce).
+	SleepPruned int
+	// MemoHits counts states skipped because an equal state had already
+	// been explored under a covering sleep set (zero unless
+	// EnumConfig.Reduce).
+	MemoHits int
 }
 
 // Visitor receives each complete idealized execution. Returning ErrStop
@@ -45,13 +72,22 @@ type EnumStats struct {
 type Visitor func(*Interp) error
 
 // Enumerate explores every interleaving of p at memory-operation
-// granularity, invoking visit once per complete execution. The Interp
-// passed to visit is owned by the enumerator and must not be retained;
-// call Execution on it to snapshot.
+// granularity, invoking visit once per complete execution. With
+// cfg.Reduce it instead visits at least one representative per
+// conflict-equivalence class of complete executions (see
+// EnumConfig.Reduce). The Interp passed to visit is owned by the
+// enumerator and must not be retained; call Execution on it to
+// snapshot.
 func Enumerate(p *program.Program, cfg EnumConfig, visit Visitor) (EnumStats, error) {
 	var stats EnumStats
 	root := New(p, cfg.Interp)
-	err := enumerate(root, cfg, &stats, visit)
+	var err error
+	if cfg.Reduce && p.NumThreads() <= maxReduceThreads {
+		r := &reducer{cfg: cfg, stats: &stats, visit: visit, memo: make(map[string][]uint64)}
+		err = r.explore(root, 0, make([][]byte, p.NumThreads()))
+	} else {
+		err = enumerate(root, cfg, &stats, visit)
+	}
 	if errors.Is(err, ErrStop) {
 		return stats, nil
 	}

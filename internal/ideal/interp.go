@@ -147,6 +147,24 @@ func (it *Interp) MemValue(a mem.Addr) mem.Value { return it.memory[a] }
 // TraceLen returns the number of memory operations executed so far.
 func (it *Interp) TraceLen() int { return len(it.trace) }
 
+// PendingAccess returns the address and kind of the memory operation
+// thread tid will execute on its next Step. known is false when the
+// thread has halted or is not positioned at a memory instruction (a
+// deferred advance error); callers using this for independence must
+// then treat the thread's next step as dependent on everything.
+func (it *Interp) PendingAccess(tid int) (addr mem.Addr, kind mem.Kind, known bool) {
+	if tid < 0 || tid >= len(it.threads) || it.threads[tid].halted {
+		return 0, 0, false
+	}
+	ts := &it.threads[tid]
+	instrs := it.prog.Threads[tid].Instrs
+	if ts.pc < 0 || ts.pc >= len(instrs) || !instrs[ts.pc].Op.IsMemory() {
+		return 0, 0, false
+	}
+	in := instrs[ts.pc]
+	return in.Addr, in.Op.MemKind(), true
+}
+
 // advance runs thread tid through local (register-only) instructions
 // until it either halts or is positioned at a memory instruction. It
 // errors on local infinite loops.

@@ -106,6 +106,14 @@ type Config struct {
 	// reads from cached-shared copies to uncached remote value reads (an
 	// ablation; see cache.Config.ROSyncUncached).
 	ROUncachedTest bool
+	// DisableFastForward forces the run loop to tick every cycle
+	// individually instead of skipping idle stretches (cycles where
+	// every processor is provably inert and no kernel event or cache
+	// retry deadline is due). Fast-forward is semantics-preserving —
+	// runs are byte-identical either way, which the differential tests
+	// assert using this switch; it exists only for those tests and for
+	// debugging.
+	DisableFastForward bool
 	// ExtraProcs adds idle processors beyond the program's threads —
 	// migration targets (Section 5.1's process re-scheduling).
 	ExtraProcs int
@@ -513,6 +521,7 @@ func (m *Machine) Run() (*RunResult, error) {
 	for i := range order {
 		order[i] = i
 	}
+	swap := func(i, j int) { order[i], order[j] = order[j], order[i] }
 	for cycle := uint64(1); ; cycle++ {
 		if m.done() {
 			break
@@ -522,7 +531,7 @@ func (m *Machine) Run() (*RunResult, error) {
 		}
 		m.kernel.AdvanceTo(sim.Time(cycle))
 		m.stepMigrations(cycle)
-		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		m.rng.Shuffle(len(order), swap)
 		for _, i := range order {
 			m.procs[i].Tick()
 			if err := m.procs[i].Err(); err != nil {
@@ -542,6 +551,48 @@ func (m *Machine) Run() (*RunResult, error) {
 				return nil, fmt.Errorf("machine %s: interconnect fault: %w", m.cfg.Name(), err)
 			}
 		}
+		// Idle-cycle fast-forward: when every processor is provably inert
+		// (cpu.Quiescent) nothing can change until the next kernel event
+		// or cache retry deadline, so skip straight to the cycle before
+		// it, replaying the per-cycle effects the skipped iterations
+		// would have had — the arbitration shuffle's RNG draws and the
+		// stall accounting — to keep runs byte-identical with the
+		// one-cycle-at-a-time loop. Migration progress is per-cycle
+		// stateful, so any pending migration disables skipping.
+		if m.cfg.DisableFastForward || len(m.pendingMigrations) > 0 {
+			continue
+		}
+		quiet := true
+		for _, p := range m.procs {
+			if !p.Quiescent() {
+				quiet = false
+				break
+			}
+		}
+		if !quiet {
+			continue
+		}
+		target := m.cfg.MaxCycles + 1 // wedged: skip to the watchdog
+		if t, ok := m.kernel.NextEvent(); ok && uint64(t) < target {
+			target = uint64(t)
+		}
+		for _, c := range m.caches {
+			if t, ok := c.NextRetryDeadline(); ok && uint64(t) < target {
+				target = uint64(t)
+			}
+		}
+		if target <= cycle+1 || m.done() {
+			continue
+		}
+		skipped := target - 1 - cycle
+		for n := skipped; n > 0; n-- {
+			m.rng.Shuffle(len(order), swap)
+		}
+		for _, p := range m.procs {
+			p.AddStallCycles(skipped)
+		}
+		m.kernel.AdvanceTo(sim.Time(target - 1))
+		cycle = target - 1
 	}
 
 	exec := &mem.Execution{

@@ -10,11 +10,16 @@
 // observed one, and memoizes failed interpreter states: two paths that
 // reach the same full machine state have the same possible futures, so a
 // state that once failed to extend to a matching completion always fails.
+// A sleep-set partial-order reduction (see Config.NoReduce) additionally
+// skips interleavings that merely commute non-conflicting operations of
+// an already-searched branch — such interleavings produce the identical
+// result, so they cannot change the verdict.
 package scmatch
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"weakorder/internal/ideal"
 	"weakorder/internal/mem"
@@ -28,6 +33,14 @@ type Config struct {
 	// MaxStates aborts the search after visiting this many states
 	// (0 = DefaultMaxStates).
 	MaxStates int
+	// NoReduce disables the sleep-set partial-order reduction and
+	// searches every interleaving naively. The reduction never changes
+	// the verdict (a result matches some interleaving iff it matches
+	// some representative of a conflict-equivalence class, since all
+	// members produce the same result); the flag exists for
+	// differential testing. The witness execution may differ between
+	// the two modes.
+	NoReduce bool
 }
 
 // DefaultMaxStates bounds the memoized search.
@@ -61,9 +74,10 @@ func Matches(p *program.Program, r mem.Result, cfg Config) (Match, error) {
 		result: r,
 		cfg:    cfg,
 		memo:   make(map[string]bool),
+		reduce: !cfg.NoReduce && p.NumThreads() <= 64,
 	}
 	root := ideal.New(p, cfg.Interp)
-	ok, err := s.search(root, 0)
+	ok, err := s.search(root, 0, 0)
 	m := Match{OK: ok, Witness: s.witness, States: s.states}
 	if err != nil {
 		return m, err
@@ -75,13 +89,26 @@ type searcher struct {
 	result  mem.Result
 	cfg     Config
 	memo    map[string]bool // state key -> known failure (only failures stored)
+	reduce  bool
 	states  int
 	witness *mem.Execution
 }
 
 // search explores completions of it that match the remaining observations;
 // matched counts the read observations consumed so far.
-func (s *searcher) search(it *ideal.Interp, matched int) (bool, error) {
+//
+// sleep is the sleep-set partial-order reduction's thread mask: a set
+// bit marks a thread whose first-step continuations are covered by a
+// branch already explored (and failed) higher in the tree. Skipping
+// them is sound because whether a completion matches r depends only on
+// per-read values (keyed by OpID) and the final memory — invariants of
+// the conflict-equivalence class, so a covered continuation fails iff
+// its explored representative did. Threads whose branch was pruned
+// (contradicted observation, exceeded budget) join the sleep set too:
+// the contradicting read value and the exhausted budget are the same
+// in every covered continuation. A sleeping thread wakes when a
+// conflicting operation executes (mem.Conflict — Definition 3).
+func (s *searcher) search(it *ideal.Interp, matched int, sleep uint64) (bool, error) {
 	s.states++
 	if s.states > s.cfg.maxStates() {
 		return false, ErrBudget
@@ -102,9 +129,14 @@ func (s *searcher) search(it *ideal.Interp, matched int) (bool, error) {
 		return false, nil
 	}
 	for _, tid := range it.Runnable() {
+		bit := uint64(1) << uint(tid)
+		if s.reduce && sleep&bit != 0 {
+			continue
+		}
 		child := it.Clone()
 		op, ok, err := child.Step(tid)
 		if errors.Is(err, ideal.ErrTruncated) {
+			sleep |= bit
 			continue
 		}
 		if err != nil {
@@ -114,20 +146,40 @@ func (s *searcher) search(it *ideal.Interp, matched int) (bool, error) {
 		if ok && op.HasReadComponent() {
 			obs, present := s.result.Reads[op.ID()]
 			if !present || obs.Value != op.Got || obs.Addr != op.Addr {
+				sleep |= bit
 				continue // this interleaving contradicts the observation
 			}
 			m++
 		}
-		found, err := s.search(child, m)
+		childSleep := sleep
+		if s.reduce && ok && childSleep != 0 {
+			childSleep = filterSleep(it, childSleep, op)
+		}
+		found, err := s.search(child, m, childSleep)
 		if err != nil {
 			return false, err
 		}
 		if found {
 			return true, nil
 		}
+		sleep |= bit
 	}
 	s.memo[key] = true
 	return false, nil
+}
+
+// filterSleep wakes every sleeping thread whose pending operation
+// conflicts with the operation just executed.
+func filterSleep(it *ideal.Interp, sleep uint64, op mem.Op) uint64 {
+	out := sleep
+	for rest := sleep; rest != 0; rest &= rest - 1 {
+		u := bits.TrailingZeros64(rest)
+		addr, kind, known := it.PendingAccess(u)
+		if !known || mem.Conflict(mem.Op{Addr: addr, Kind: kind}, op) {
+			out &^= uint64(1) << uint(u)
+		}
+	}
+	return out
 }
 
 // finalEqual compares final memory states treating absent entries as zero.

@@ -5,45 +5,31 @@
 // simulation is a single-threaded, fully reproducible event program.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a cycle count.
 type Time uint64
 
-// Event is a scheduled callback.
+// event is a scheduled callback.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: schedule order
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// before orders events by time, then schedule order.
+func (e event) before(o event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // Kernel is the event queue. The zero value is ready to use at time 0.
+// The queue is a hand-rolled binary min-heap over concrete events —
+// container/heap would box every Push/Pop through interface{}, and the
+// simulation hot loop pushes and pops millions of events.
 type Kernel struct {
 	now  Time
 	seq  uint64
-	heap eventHeap
+	heap []event
 }
 
 // Now returns the current simulation time.
@@ -52,6 +38,16 @@ func (k *Kernel) Now() Time { return k.now }
 // Pending returns the number of scheduled events.
 func (k *Kernel) Pending() int { return len(k.heap) }
 
+// NextEvent returns the timestamp of the earliest scheduled event; ok is
+// false when the queue is empty. The machine's idle-cycle fast-forward
+// uses it to find the next cycle with work.
+func (k *Kernel) NextEvent() (t Time, ok bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
+
 // At schedules fn to run at time t. Scheduling in the past panics: events
 // must never rewind time.
 func (k *Kernel) At(t Time, fn func()) {
@@ -59,31 +55,82 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.heap, event{at: t, seq: k.seq, fn: fn})
+	k.heap = append(k.heap, event{at: t, seq: k.seq, fn: fn})
+	// Sift the new event up.
+	h := k.heap
+	i := len(h) - 1
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
 }
 
 // After schedules fn to run delay cycles from now.
 func (k *Kernel) After(delay Time, fn func()) { k.At(k.now+delay, fn) }
 
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() event {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n] = event{} // release the callback for GC
+	k.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the displaced tail event down from the root.
+	h = k.heap
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].before(h[c]) {
+			c = r
+		}
+		if !h[c].before(e) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = e
+	return top
+}
+
 // Step advances time to the next event's timestamp and runs every event
 // scheduled for that timestamp (including events those events schedule for
 // the same timestamp, in schedule order). It reports whether any event ran.
-func (k *Kernel) Step() bool {
+func (k *Kernel) Step() bool { return k.step() > 0 }
+
+// step runs one timestamp batch and returns the exact number of events
+// executed (callbacks invoked), which Drain reports.
+func (k *Kernel) step() int {
 	if len(k.heap) == 0 {
-		return false
+		return 0
 	}
 	k.now = k.heap[0].at
+	n := 0
 	for len(k.heap) > 0 && k.heap[0].at == k.now {
-		e := heap.Pop(&k.heap).(event)
+		e := k.pop()
 		e.fn()
+		n++
 	}
-	return true
+	return n
 }
 
 // AdvanceTo runs all events with timestamps <= t and sets the clock to t.
 func (k *Kernel) AdvanceTo(t Time) {
 	for len(k.heap) > 0 && k.heap[0].at <= t {
-		k.Step()
+		k.step()
 	}
 	if t > k.now {
 		k.now = t
@@ -95,16 +142,15 @@ func (k *Kernel) AdvanceTo(t Time) {
 func (k *Kernel) Tick() { k.AdvanceTo(k.now + 1) }
 
 // Drain runs events until the queue is empty or the clock would exceed
-// maxTime; it returns the number of events run and whether the queue
-// drained fully.
+// maxTime; it returns the exact number of events run (counted per
+// callback, so rescheduling events are not miscounted) and whether the
+// queue drained fully.
 func (k *Kernel) Drain(maxTime Time) (ran int, drained bool) {
 	for len(k.heap) > 0 {
 		if k.heap[0].at > maxTime {
 			return ran, false
 		}
-		before := len(k.heap)
-		k.Step()
-		ran += before - len(k.heap) + 1 // approximate: events may reschedule
+		ran += k.step()
 	}
 	return ran, true
 }

@@ -86,12 +86,65 @@ func TestDrain(t *testing.T) {
 	for i := Time(1); i <= 5; i++ {
 		k.After(i, func() {})
 	}
-	_, drained := k.Drain(3)
+	ran, drained := k.Drain(3)
 	if drained {
 		t.Error("Drain(3) must not drain events at t>3")
 	}
-	_, drained = k.Drain(10)
+	if ran != 3 {
+		t.Errorf("Drain(3) ran %d events, want 3", ran)
+	}
+	ran, drained = k.Drain(10)
 	if !drained {
 		t.Error("Drain(10) must drain everything")
+	}
+	if ran != 2 {
+		t.Errorf("Drain(10) ran %d events, want 2", ran)
+	}
+}
+
+// TestDrainCountsRescheduledEvents pins Drain's exact accounting: a
+// callback that re-arms itself is one execution per firing, and
+// same-timestamp cascades are counted individually, not per timestamp.
+func TestDrainCountsRescheduledEvents(t *testing.T) {
+	var k Kernel
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 5 {
+			k.After(2, hop)
+		}
+	}
+	k.After(1, hop)
+	k.After(3, func() { k.After(0, func() {}) }) // same-time cascade: 2 events
+	ran, drained := k.Drain(100)
+	if !drained {
+		t.Fatal("Drain(100) must drain everything")
+	}
+	if hops != 5 {
+		t.Fatalf("self-rescheduling event fired %d times, want 5", hops)
+	}
+	if ran != 7 {
+		t.Errorf("Drain counted %d executions, want 7 (5 hops + cascade pair)", ran)
+	}
+}
+
+func TestNextEvent(t *testing.T) {
+	var k Kernel
+	if _, ok := k.NextEvent(); ok {
+		t.Error("empty kernel must report no next event")
+	}
+	k.After(7, func() {})
+	k.After(4, func() {})
+	if at, ok := k.NextEvent(); !ok || at != 4 {
+		t.Errorf("NextEvent = %d/%v, want 4/true", at, ok)
+	}
+	k.Step()
+	if at, ok := k.NextEvent(); !ok || at != 7 {
+		t.Errorf("NextEvent after Step = %d/%v, want 7/true", at, ok)
+	}
+	k.Step()
+	if _, ok := k.NextEvent(); ok {
+		t.Error("drained kernel must report no next event")
 	}
 }

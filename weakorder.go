@@ -222,15 +222,19 @@ func FormatProgram(p *Program) string { return lang.Format(p) }
 // split the program.
 func CheckDRF0(p *Program) (Verdict, error) { return CheckModel(p, DRF0) }
 
-// CheckModel is CheckDRF0 under an explicit synchronization model.
+// CheckModel is CheckDRF0 under an explicit synchronization model. The
+// enumeration is partial-order reduced (one representative per class of
+// executions that merely commute independent operations), which finds
+// the same set of distinct races; Verdict.Executions counts
+// representatives.
 func CheckModel(p *Program, mode SyncMode) (Verdict, error) {
-	return drf.Check(p, mode, drf.CheckConfig{Enum: boundedEnum()})
+	return drf.Check(p, mode, drf.CheckConfig{Enum: reducedEnum()})
 }
 
 // CheckModelAll is CheckModel but collects distinct race witnesses from
 // every racy idealized execution instead of stopping at the first.
 func CheckModelAll(p *Program, mode SyncMode) (Verdict, error) {
-	return drf.Check(p, mode, drf.CheckConfig{Enum: boundedEnum(), AllRaces: true})
+	return drf.Check(p, mode, drf.CheckConfig{Enum: reducedEnum(), AllRaces: true})
 }
 
 // DetectRaces runs the online vector-clock detector over one execution
@@ -253,9 +257,14 @@ func EnumerateSC(p *Program, visit func(*Execution) error) error {
 var StopEnumeration = ideal.ErrStop
 
 // SCOutcomes returns every distinct sequentially consistent result of p,
-// keyed by Result.Key, with one witness execution each.
+// keyed by Result.Key, with one witness execution each. The enumeration
+// is partial-order reduced: results are invariant across interleavings
+// that only commute independent operations, so the outcome set is the
+// same as full enumeration at a fraction of the paths.
 func SCOutcomes(p *Program) (map[string]*Execution, error) {
-	return scmatch.Outcomes(p, boundedEnum())
+	cfg := boundedEnum()
+	cfg.Reduce = true
+	return scmatch.Outcomes(p, cfg)
 }
 
 // RunSC executes p once on the idealized architecture under a fair
@@ -315,4 +324,14 @@ func boundedEnum() ideal.EnumConfig {
 		SkipTruncated: true,
 		MaxPaths:      5_000_000,
 	}
+}
+
+// reducedEnum is boundedEnum with partial-order reduction for the race
+// checkers: PreserveSyncOrder keeps same-address synchronization pairs
+// ordered, which the happens-before builders require.
+func reducedEnum() ideal.EnumConfig {
+	cfg := boundedEnum()
+	cfg.Reduce = true
+	cfg.PreserveSyncOrder = true
+	return cfg
 }
