@@ -56,6 +56,9 @@ func main() {
 		_, t, err := exp.Figure3(7)
 		exit(err)
 		fmt.Println(t)
+		st, err := exp.Figure3Stalls(7)
+		exit(err)
+		fmt.Println(st)
 	}
 	if want(false, 1) {
 		_, t, err := exp.Table1(t3seeds)

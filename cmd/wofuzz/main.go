@@ -46,6 +46,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		corpus   = flag.String("corpus", "", "directory receiving .litmus+.json reproducers for violations")
 		table    = flag.Bool("table", true, "print the coverage table to stderr")
+		metricsF = flag.Bool("metrics", false, "print campaign metrics (Prometheus text) to stderr and emit periodic progress lines")
 		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
 		faultsIn = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
@@ -82,6 +83,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wofuzz: "+format+"\n", args...)
 		}
 	}
+	if *metricsF {
+		// Progress every ~5% of the campaign, at least every program.
+		cfg.Progress = *n / 20
+		if cfg.Progress < 1 {
+			cfg.Progress = 1
+		}
+	}
 	if *fault != "" {
 		pol, err := policy.Parse(*fault)
 		if err != nil {
@@ -111,6 +119,10 @@ func main() {
 	if *table {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprintln(os.Stderr, sum.CoverageTable())
+	}
+	if *metricsF {
+		fmt.Fprintln(os.Stderr)
+		os.Stderr.Write(sum.Metrics().Prometheus())
 	}
 	if sum.Perf != nil && !*quiet {
 		fmt.Fprintln(os.Stderr, "wofuzz:", sum.Perf)

@@ -45,19 +45,20 @@ var builtins = map[string]func() *program.Program{
 
 func main() {
 	var (
-		policyName = flag.String("policy", "WO-Def2", "consistency policy: SC, Unconstrained, WO-Def1, WO-Def2, WO-Def2+RO")
-		topo       = flag.String("topo", "network", "interconnect: bus or network")
-		caches     = flag.Bool("caches", true, "coherent caches (false = flat memory modules)")
-		seeds      = flag.Int("seeds", 1, "number of seeds to run")
-		seed       = flag.Int64("seed", 0, "first seed")
-		builtin    = flag.String("builtin", "", "run a built-in litmus program instead of a file")
-		list       = flag.Bool("list", false, "list built-in programs and exit")
-		verbose    = flag.Bool("v", false, "print the committed-operation trace")
-		timeline   = flag.Bool("timeline", false, "print the last run as a figure-style timeline")
-		traceFirst = flag.Bool("trace", false, "print the first seed's full timeline (inspecting shrunk reproducers)")
-		faultsIn   = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe (requires -caches)")
-		checkSC    = flag.Bool("check-sc", true, "check each result against the SC oracle")
-		suite      = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
+		policyName  = flag.String("policy", "WO-Def2", "consistency policy: SC, Unconstrained, WO-Def1, WO-Def2, WO-Def2+RO")
+		topo        = flag.String("topo", "network", "interconnect: bus or network")
+		caches      = flag.Bool("caches", true, "coherent caches (false = flat memory modules)")
+		seeds       = flag.Int("seeds", 1, "number of seeds to run")
+		seed        = flag.Int64("seed", 0, "first seed")
+		builtin     = flag.String("builtin", "", "run a built-in litmus program instead of a file")
+		list        = flag.Bool("list", false, "list built-in programs and exit")
+		verbose     = flag.Bool("v", false, "print the committed-operation trace")
+		metricsOut  = flag.String("metrics", "", "write the last run's metrics snapshot as JSON to this file (- for stdout)")
+		timelineOut = flag.String("timeline", "", "write the last run's Chrome trace_event timeline to this file (- for stdout)")
+		traceFirst  = flag.Bool("trace", false, "print the first seed's full timeline (inspecting shrunk reproducers)")
+		faultsIn    = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe (requires -caches)")
+		checkSC     = flag.Bool("check-sc", true, "check each result against the SC oracle")
+		suite       = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
 	)
 	flag.Parse()
 
@@ -86,7 +87,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := weakorder.MachineConfig{Policy: pol, Caches: *caches}
+	cfg := weakorder.MachineConfig{
+		Policy:   pol,
+		Caches:   *caches,
+		Metrics:  *metricsOut != "",
+		Timeline: *timelineOut != "",
+	}
 	switch *topo {
 	case "bus":
 		cfg.Topology = weakorder.Bus
@@ -102,7 +108,7 @@ func main() {
 	if plan.Enabled() {
 		cfg.Faults = &plan
 		// Tracing wants the DROP/DUP/DELAY/RETRY events in the timeline.
-		cfg.RecordFaultEvents = *traceFirst || *timeline
+		cfg.RecordFaultEvents = *traceFirst
 	}
 
 	fmt.Printf("program %s on %s\n\n", prog.Name, cfg.Name())
@@ -137,10 +143,10 @@ func main() {
 			fmt.Println(renderTimeline(res, 0))
 		}
 		if s == *seeds-1 {
-			if *timeline {
-				fmt.Println(renderTimeline(res, 60))
-			}
 			printStats(res)
+			if err := writeTelemetry(res, *metricsOut, *timelineOut); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -218,6 +224,39 @@ func renderTimeline(res *weakorder.RunResult, maxRows int) string {
 		return trace.TimelineEvents(res.Exec, res.OpCycles, res.FaultEvents, maxRows)
 	}
 	return trace.Timeline(res.Exec, maxRows)
+}
+
+// writeTelemetry emits the last run's metrics snapshot and Chrome
+// trace_event timeline to the paths given on the command line ("-"
+// means stdout, "" means off).
+func writeTelemetry(res *weakorder.RunResult, metricsPath, timelinePath string) error {
+	if metricsPath != "" {
+		b, err := res.Metrics.JSON()
+		if err != nil {
+			return err
+		}
+		if err := writeOut(metricsPath, b); err != nil {
+			return err
+		}
+	}
+	if timelinePath != "" {
+		b, err := res.Timeline.ChromeTrace()
+		if err != nil {
+			return err
+		}
+		if err := writeOut(timelinePath, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOut(path string, b []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func printStats(res *weakorder.RunResult) {

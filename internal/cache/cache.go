@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/network"
 	"weakorder/internal/sim"
 )
@@ -105,6 +106,19 @@ type Config struct {
 	// message, and the attempt number (1-based). Used to interleave
 	// RETRY events into fault timelines. Optional.
 	OnRetry func(dst int, m network.Msg, attempt int)
+
+	// Telemetry (optional; nil instruments record nothing and cost one
+	// nil check — see internal/metrics). None of these alter protocol
+	// behavior.
+
+	// ReserveHold observes how long each reserve bit was held, in cycles,
+	// at the moment the counter reads zero and clears it.
+	ReserveHold *metrics.Histogram
+	// DeferHold observes how long each reserve-deferred forward waited —
+	// the per-request view of Stats.DeferredCycles.
+	DeferHold *metrics.Histogram
+	// RetryBackoff observes the backoff armed after each resend.
+	RetryBackoff *metrics.Histogram
 }
 
 // Stats counts cache activity.
@@ -124,9 +138,10 @@ type Stats struct {
 }
 
 type line struct {
-	state    LineState
-	val      mem.Value
-	reserved bool
+	state      LineState
+	val        mem.Value
+	reserved   bool
+	reservedAt sim.Time // cycle the reserve bit was set (telemetry only)
 	// pendingLocal counts processor hits in flight (issued, commit
 	// scheduled): forwarded requests must not transfer the line out from
 	// under a local operation that has already won it.
@@ -415,6 +430,9 @@ func (c *Cache) commitOnLine(l *line, r *Req) {
 	// Under the Section 6 refinement, read-only synchronization operations
 	// take the uncached-bypass path and never reserve.
 	if r.Kind.IsSync() && !c.isROSyncRead(r) && c.cfg.UseReserve && c.counter > 0 {
+		if !l.reserved {
+			l.reservedAt = c.k.Now()
+		}
 		l.reserved = true
 	}
 	if r.OnCommit != nil {
@@ -684,7 +702,10 @@ func (c *Cache) decCounter() {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
 		l := c.lines[a]
-		l.reserved = false
+		if l.reserved {
+			l.reserved = false
+			c.cfg.ReserveHold.Observe(uint64(c.k.Now() - l.reservedAt))
+		}
 		for _, f := range l.deferred {
 			work = append(work, pending{addr: a, msg: f.msg, since: f.since})
 		}
@@ -692,6 +713,7 @@ func (c *Cache) decCounter() {
 	}
 	for _, w := range work {
 		c.stats.DeferredCycles += uint64(c.k.Now() - w.since)
+		c.cfg.DeferHold.Observe(uint64(c.k.Now() - w.since))
 		// Re-enter the forward path: the line may have changed state.
 		c.forward(w.msg)
 	}
@@ -752,6 +774,7 @@ func (c *Cache) retryTick(now sim.Time, dst int, rs *retryState) {
 	if timeout > c.cfg.RetryBackoffCap {
 		timeout = c.cfg.RetryBackoffCap
 	}
+	c.cfg.RetryBackoff.Observe(uint64(timeout))
 	rs.deadline = now + timeout
 }
 

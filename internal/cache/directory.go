@@ -6,6 +6,7 @@ import (
 
 	"weakorder/internal/bitset"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/network"
 	"weakorder/internal/sim"
 )
@@ -49,16 +50,25 @@ const (
 	pendFwdSyncRead             // awaiting owner response to FwdSyncRead
 )
 
+var pendingNames = [...]string{
+	pendNone:        "none",
+	pendAcks:        "acks",
+	pendFwdS:        "fwd-gets",
+	pendFwdX:        "fwd-getx",
+	pendFwdSyncRead: "fwd-syncread",
+}
+
 type dirLine struct {
 	state   DirState
 	sharers *bitset.Set
 	owner   int
 	val     mem.Value
 
-	pending   pendingKind
-	acksLeft  int
-	requester int         // cache awaiting completion of the pending transaction
-	queue     []queuedReq // requests waiting for the line to unblock
+	pending      pendingKind
+	pendingSince sim.Time // cycle the pending transaction started (telemetry only)
+	acksLeft     int
+	requester    int         // cache awaiting completion of the pending transaction
+	queue        []queuedReq // requests waiting for the line to unblock
 
 	// served records every (source, transaction id) accepted on this
 	// line, making request handling idempotent: a duplicate — whether
@@ -90,6 +100,15 @@ type DirConfig struct {
 	NumProcs int
 	// Latency is the memory/directory access latency applied to replies.
 	Latency sim.Time
+
+	// Telemetry (optional; see internal/metrics). Never alters protocol
+	// behavior.
+
+	// QueueDepth observes the per-line queue length after each enqueue.
+	QueueDepth *metrics.Histogram
+	// Track receives each blocked-line transaction as a timeline span
+	// ("pend:<kind> @<addr>").
+	Track *metrics.Track
 }
 
 // Directory is one memory module with a full-map directory. It serializes
@@ -193,6 +212,15 @@ func (d *Directory) PendingLines() []mem.Addr {
 // Stats returns directory statistics.
 func (d *Directory) Stats() DirStats { return d.stats }
 
+// QueueDepth returns the number of requests queued behind a's pending
+// transaction (0 for an idle or unknown line) — liveness diagnostics.
+func (d *Directory) QueueDepth(a mem.Addr) int {
+	if l, ok := d.lines[a]; ok {
+		return len(l.queue)
+	}
+	return 0
+}
+
 // handle dispatches an incoming message.
 func (d *Directory) handle(src int, m network.Msg) {
 	if debugTrace != nil {
@@ -262,9 +290,13 @@ func (d *Directory) request(src int, a mem.Addr, m network.Msg) {
 		if len(l.queue) > d.stats.QueuedMax {
 			d.stats.QueuedMax = len(l.queue)
 		}
+		d.cfg.QueueDepth.Observe(uint64(len(l.queue)))
 		return
 	}
 	d.process(src, a, l, m)
+	if l.pending != pendNone {
+		l.pendingSince = d.k.Now()
+	}
 }
 
 // process handles a request on an unblocked line.
@@ -444,6 +476,10 @@ func (d *Directory) syncReadDone(src int, msg MsgSyncReadDone) {
 // unblock clears the pending transaction and processes queued requests
 // until the line blocks again or the queue drains.
 func (d *Directory) unblock(a mem.Addr, l *dirLine) {
+	if d.cfg.Track != nil {
+		d.cfg.Track.Span(fmt.Sprintf("pend:%s @%d", pendingNames[l.pending], a),
+			l.pendingSince, d.k.Now())
+	}
 	l.pending = pendNone
 	l.acksLeft = 0
 	l.requester = -1
@@ -451,6 +487,9 @@ func (d *Directory) unblock(a mem.Addr, l *dirLine) {
 		q := l.queue[0]
 		l.queue = l.queue[1:]
 		d.process(q.src, a, l, q.m)
+	}
+	if l.pending != pendNone {
+		l.pendingSince = d.k.Now()
 	}
 }
 

@@ -98,6 +98,12 @@ type CampaignConfig struct {
 	Faults *faults.Plan
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Progress, when positive, emits a campaign progress line via Logf
+	// every Progress completed programs: programs done, sims, violations,
+	// and programs/sec so far. Progress lines are side output only — the
+	// Summary stays byte-deterministic regardless of Progress, Workers,
+	// or scheduling.
+	Progress int
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -393,6 +399,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	c := &campaign{cfg: cfg, matrix: matrix, oracle: newOracle()}
 
 	start := time.Now()
+	c.start = start
 	outs, err := c.runPool()
 	if err != nil {
 		return nil, err

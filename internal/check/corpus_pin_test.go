@@ -80,6 +80,52 @@ func TestCorpusPinnedReplay(t *testing.T) {
 	}
 }
 
+// TestCorpusReplayMetricsInvisible replays every corpus entry with the
+// metrics registry and timeline enabled and requires the replay to stay
+// byte-identical to the plain one: recorded reproducers must reproduce
+// the same execution whether or not anyone is watching.
+func TestCorpusReplayMetricsInvisible(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			mcfg, err := e.Report.Config.Machine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcfg.MaxCycles = campaignMaxCycles
+			plain, err := machine.Run(e.Prog, mcfg, e.Report.MachineSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcfg.Metrics = true
+			mcfg.Timeline = true
+			metered, err := machine.Run(e.Prog, mcfg, e.Report.MachineSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := fmt.Sprintf("%v", metered.Exec.Ops), fmt.Sprintf("%v", plain.Exec.Ops); got != want {
+				t.Errorf("trace diverged with metrics on:\n with    %s\n without %s", got, want)
+			}
+			if !reflect.DeepEqual(metered.OpCycles, plain.OpCycles) {
+				t.Error("commit cycles diverged with metrics on")
+			}
+			if !reflect.DeepEqual(metered.Stats, plain.Stats) {
+				t.Errorf("stats diverged with metrics on:\n with    %+v\n without %+v", metered.Stats, plain.Stats)
+			}
+			if got, want := metered.Result.Key(), plain.Result.Key(); got != want {
+				t.Errorf("result diverged with metrics on: %q vs %q", got, want)
+			}
+			if metered.Metrics == nil || metered.Timeline == nil {
+				t.Error("telemetry enabled but not returned")
+			}
+		})
+	}
+}
+
 // TestCorpusPinnedSerialization re-marshals each loaded report and
 // requires the bytes to match the committed .json file exactly, so a
 // corpus written by one toolchain round-trips unchanged through another.

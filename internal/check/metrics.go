@@ -1,0 +1,52 @@
+package check
+
+import (
+	"fmt"
+
+	"weakorder/internal/metrics"
+)
+
+// Metrics renders the summary as a telemetry snapshot (see
+// internal/metrics): campaign totals, per-class program counts,
+// per-policy coverage, shrinker effort, and oracle cache behavior. The
+// snapshot is derived purely from the deterministic Summary — Perf
+// (wall-clock) numbers are deliberately excluded — so equal campaigns
+// export byte-identical metrics for any worker count.
+func (s *Summary) Metrics() *metrics.Snapshot {
+	r := metrics.NewRegistry()
+	r.SetCounter("campaign.programs", uint64(s.Programs))
+	r.SetCounter("campaign.configs", uint64(s.Configs))
+	r.SetCounter("campaign.sims", uint64(s.Sims))
+	r.SetCounter("campaign.violations", uint64(len(s.Violations)))
+	r.SetCounter("campaign.watchdog_deaths", uint64(s.WatchdogDeaths))
+	for class, n := range s.ByClass {
+		r.SetCounter("campaign.programs."+class, uint64(n))
+	}
+
+	shrinkSteps := 0
+	byKind := make(map[string]int)
+	for i := range s.Violations {
+		shrinkSteps += len(s.Violations[i].ShrinkSteps)
+		byKind[s.Violations[i].Kind]++
+	}
+	r.SetCounter("campaign.shrink_steps", uint64(shrinkSteps))
+	for kind, n := range byKind {
+		r.SetCounter("campaign.violations."+kind, uint64(n))
+	}
+
+	for _, row := range s.Coverage {
+		pre := fmt.Sprintf("coverage.%s.%s.", row.Policy, row.Class)
+		r.SetCounter(pre+"sims", uint64(row.Sims))
+		r.SetCounter(pre+"non_sc", uint64(row.NonSC))
+		r.SetCounter(pre+"distinct_non_sc", uint64(row.DistinctNonSC))
+	}
+
+	r.SetCounter("oracle.enumerations", uint64(s.Oracle.Enumerations))
+	r.SetCounter("oracle.incomplete", uint64(s.Oracle.Incomplete))
+	r.SetCounter("oracle.queries", uint64(s.Oracle.Queries))
+	r.SetCounter("oracle.enum_hits", uint64(s.Oracle.EnumHits))
+	r.SetCounter("oracle.fallbacks", uint64(s.Oracle.Fallbacks))
+	r.SetCounter("oracle.fallback_memo_hits", uint64(s.Oracle.FallbackMemoHits))
+	r.SetCounter("oracle.budget_exceeded", uint64(s.Oracle.BudgetExceeded))
+	return r.Snapshot()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"weakorder/internal/drf"
 	"weakorder/internal/hb"
@@ -20,6 +21,36 @@ type campaign struct {
 	cfg    CampaignConfig
 	matrix []machine.Config
 	oracle *oracle
+
+	// Progress reporting (side output only; the Summary is aggregated
+	// from the results slice, never from these running counters).
+	start      time.Time
+	progressMu sync.Mutex
+	doneProgs  int
+	doneSims   int
+	doneViols  int
+}
+
+// noteProgress records one completed program and, every cfg.Progress
+// completions, emits a progress line via Logf.
+func (c *campaign) noteProgress(out progOutcome) {
+	if c.cfg.Progress <= 0 || c.cfg.Logf == nil {
+		return
+	}
+	c.progressMu.Lock()
+	defer c.progressMu.Unlock()
+	c.doneProgs++
+	c.doneSims += len(out.sims)
+	c.doneViols += len(out.violations)
+	if c.doneProgs%c.cfg.Progress != 0 || c.doneProgs >= c.cfg.Programs {
+		return // the final "campaign done" line covers completion
+	}
+	rate := 0.0
+	if elapsed := time.Since(c.start).Seconds(); elapsed > 0 {
+		rate = float64(c.doneProgs) / elapsed
+	}
+	c.cfg.Logf("progress: %d/%d programs, %d sims, %d violations, %.1f prog/s",
+		c.doneProgs, c.cfg.Programs, c.doneSims, c.doneViols, rate)
 }
 
 // simRecord is one simulation's classification input.
@@ -54,6 +85,7 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 			defer wg.Done()
 			for idx := range jobs {
 				outs[idx], errs[idx] = c.runProgram(idx)
+				c.noteProgress(outs[idx])
 			}
 		}()
 	}

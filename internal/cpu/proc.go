@@ -7,9 +7,11 @@ package cpu
 
 import (
 	"fmt"
+	"strings"
 
 	"weakorder/internal/cache"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
@@ -73,6 +75,21 @@ var reasonNames = [...]string{
 // NumReasons is the count of stall reasons (for fixed-size arrays).
 const NumReasons = len(reasonNames)
 
+// stallSpanNames are the precomputed timeline span labels — built once
+// so recording a stall span never allocates on the hot path.
+var stallSpanNames = func() (out [NumReasons]string) {
+	for i, n := range reasonNames {
+		out[i] = "stall:" + n
+	}
+	return
+}()
+
+// MetricName returns the reason's registry-friendly name (dashes to
+// underscores), used for per-cause stall counters.
+func (r Reason) MetricName() string {
+	return strings.ReplaceAll(r.String(), "-", "_")
+}
+
 // String names the reason.
 func (r Reason) String() string {
 	if int(r) < len(reasonNames) {
@@ -129,6 +146,10 @@ type Config struct {
 	// (default 10000; a local infinite loop halts the simulation with an
 	// error via the machine's watchdog).
 	MaxLocalRun int
+	// Track, when non-nil, receives stall intervals as timeline spans
+	// ("stall:<reason>"). Recording is a no-op on nil and never perturbs
+	// execution.
+	Track *metrics.Track
 }
 
 type procState int
@@ -250,6 +271,7 @@ func (p *Proc) Tick() {
 		if p.unstall != nil && p.unstall() {
 			p.unstall = nil
 			p.state = stRun
+			p.cfg.Track.End(p.k.Now())
 		}
 	case stRun:
 		if p.suspendReq {
@@ -323,6 +345,7 @@ func (p *Proc) stall(r Reason, cond func() bool) {
 	p.state = stStalled
 	p.stallReason = r
 	p.unstall = cond
+	p.cfg.Track.Begin(stallSpanNames[r], p.k.Now())
 }
 
 // resume is used by event callbacks to restart the processor.
@@ -330,6 +353,7 @@ func (p *Proc) resume() {
 	if p.state == stStalled {
 		p.state = stRun
 		p.unstall = nil
+		p.cfg.Track.End(p.k.Now())
 	}
 }
 

@@ -205,3 +205,50 @@ func Figure3(seed int64) ([]Figure3Row, *Table, error) {
 	}
 	return rows, t, nil
 }
+
+// Figure3Stalls breaks the Figure 3 stalls down by attributed cause,
+// straight from the metrics export (machine.Config.Metrics): where
+// Figure3 reports one sync-stall number per processor, this table shows
+// *which* wait produced it — the Definition 1 releaser burns cycles in
+// drain-pre-sync/sync-global (waiting for W(x) to be globally
+// performed), the Section 5.3 releaser does not, and the wait reappears
+// on the acquirer side as sync-commit cycles plus the deferral of its
+// forwarded request at the releaser's reserved line.
+func Figure3Stalls(seed int64) (*Table, error) {
+	prog := litmus.Figure3()
+	base := machine.Config{
+		Topology:  machine.TopoNetwork,
+		Caches:    true,
+		NetBase:   40,
+		NetJitter: 10,
+		Metrics:   true,
+	}
+	t := &Table{
+		ID:    "Figure 3 (stall attribution)",
+		Title: "Per-cause stall cycles in the Figure 3 scenario (from the metrics export)",
+		Headers: []string{"policy", "proc", "drain-pre-sync", "sync-global",
+			"sync-commit", "read-wait", "total stall", "deferred cycles @cache"},
+		Notes: []string{
+			"drain-pre-sync + sync-global at the releaser = the Definition 1 wait for global performance",
+			"sync-commit at the acquirer + deferred cycles at the releaser's cache = the same wait relocated by the reserve bit",
+		},
+	}
+	for _, pol := range []policy.Kind{policy.WODef1, policy.WODef2} {
+		cfg := base
+		cfg.Policy = pol
+		res, err := machine.Run(prog, cfg, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure3 stalls %v: %w", pol, err)
+		}
+		c := res.Metrics.Counters
+		for p := 0; p < 2; p++ {
+			pre := fmt.Sprintf("cpu.%d.stall.", p)
+			t.AddRow(pol.String(), fmt.Sprintf("P%d", p),
+				c[pre+"drain_pre_sync"], c[pre+"sync_global"],
+				c[pre+"sync_commit"], c[pre+"read_wait"],
+				c[fmt.Sprintf("cpu.%d.stall_total", p)],
+				c[fmt.Sprintf("cache.%d.deferred_cycles", p)])
+		}
+	}
+	return t, nil
+}

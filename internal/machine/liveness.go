@@ -34,6 +34,9 @@ type LivenessDir struct {
 	// Blocked lists the lines with pending transactions or queued
 	// requests.
 	Blocked []mem.Addr
+	// QueueDepths holds, for each entry of Blocked, the number of
+	// requests queued behind that line's pending transaction.
+	QueueDepths []int
 }
 
 // LivenessReport is the structured outcome of a watchdog death: which
@@ -88,7 +91,15 @@ func (r *LivenessReport) String() string {
 		b.WriteByte('\n')
 	}
 	for _, d := range r.Dirs {
-		fmt.Fprintf(&b, "  dir%d blocked lines: %v\n", d.Dir, d.Blocked)
+		fmt.Fprintf(&b, "  dir%d blocked lines:", d.Dir)
+		for i, a := range d.Blocked {
+			depth := 0
+			if i < len(d.QueueDepths) {
+				depth = d.QueueDepths[i]
+			}
+			fmt.Fprintf(&b, " %d(+%d queued)", a, depth)
+		}
+		b.WriteByte('\n')
 	}
 	if r.KernelPending > 0 {
 		fmt.Fprintf(&b, "  kernel: %d undelivered events\n", r.KernelPending)
@@ -142,7 +153,11 @@ func (m *Machine) liveness() *LivenessReport {
 	}
 	for i, d := range m.dirs {
 		if lines := d.PendingLines(); len(lines) > 0 {
-			r.Dirs = append(r.Dirs, LivenessDir{Dir: i, Blocked: lines})
+			ld := LivenessDir{Dir: i, Blocked: lines}
+			for _, a := range lines {
+				ld.QueueDepths = append(ld.QueueDepths, d.QueueDepth(a))
+			}
+			r.Dirs = append(r.Dirs, ld)
 		}
 	}
 	if m.fnet != nil {

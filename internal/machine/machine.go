@@ -13,6 +13,7 @@ import (
 	"weakorder/internal/cpu"
 	"weakorder/internal/faults"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/network"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
@@ -114,6 +115,16 @@ type Config struct {
 	// assert using this switch; it exists only for those tests and for
 	// debugging.
 	DisableFastForward bool
+	// Metrics enables the telemetry registry: RunResult.Metrics carries a
+	// deterministic snapshot of every counter, gauge, and histogram (see
+	// internal/metrics). Off by default and free when off; enabling it
+	// never perturbs the simulation — no RNG draws, no kernel events.
+	Metrics bool
+	// Timeline enables span/event recording: RunResult.Timeline carries
+	// per-processor stall spans, per-directory pending-transaction spans,
+	// and op-commit instants, exportable as Chrome trace_event JSON.
+	// Independent of Metrics and equally perturbation-free.
+	Timeline bool
 	// ExtraProcs adds idle processors beyond the program's threads —
 	// migration targets (Section 5.1's process re-scheduling).
 	ExtraProcs int
@@ -290,6 +301,10 @@ type RunResult struct {
 	// FaultEvents holds the injector's event log when
 	// Config.RecordFaultEvents was set.
 	FaultEvents []faults.Event
+	// Metrics holds the telemetry snapshot when Config.Metrics was set.
+	Metrics *metrics.Snapshot
+	// Timeline holds the recorded timeline when Config.Timeline was set.
+	Timeline *metrics.Timeline
 }
 
 // CondHolds evaluates the program's postcondition (if any) against this
@@ -322,6 +337,14 @@ type Machine struct {
 	// pendingMigrations is consumed front-to-back as cycles pass.
 	pendingMigrations []Migration
 	suspending        bool
+
+	// Telemetry (nil when Config.Metrics/Timeline are off; see
+	// internal/metrics for why recording cannot perturb the run).
+	reg        *metrics.Registry
+	tl         *metrics.Timeline
+	procTracks []*metrics.Track
+	ffSkips    uint64 // fast-forward jumps taken
+	ffCycles   uint64 // idle cycles skipped by fast-forward
 }
 
 // New assembles a machine for prog under cfg, seeding all randomized
@@ -340,6 +363,17 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 		prog:   prog,
 		kernel: &sim.Kernel{},
 		rng:    rand.New(rand.NewSource(seed ^ 0x5eed)),
+	}
+	if cfg.Metrics {
+		m.reg = metrics.NewRegistry()
+	}
+	if cfg.Timeline {
+		m.tl = metrics.NewTimeline()
+		// Processors first, then directories: track registration order is
+		// the exported row order.
+		for i := 0; i < nProcs; i++ {
+			m.procTracks = append(m.procTracks, m.tl.Track(fmt.Sprintf("proc %d", i)))
+		}
 	}
 
 	if cfg.Snoop {
@@ -365,7 +399,10 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 
 	switch cfg.Topology {
 	case TopoBus:
-		m.net = network.NewBus(m.kernel, network.BusConfig{TransferLatency: cfg.BusLatency})
+		m.net = network.NewBus(m.kernel, network.BusConfig{
+			TransferLatency: cfg.BusLatency,
+			Telemetry:       m.netTelemetry(),
+		})
 	case TopoNetwork:
 		m.net = network.NewGeneral(m.kernel, network.GeneralConfig{
 			BaseLatency: cfg.NetBase,
@@ -374,6 +411,7 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 			// raw (no-cache) configuration exhibits Lamport's reordering.
 			OrderedPairs: cfg.Caches,
 			Seed:         seed,
+			Telemetry:    m.netTelemetry(),
 		})
 	default:
 		return nil, fmt.Errorf("machine: unknown topology %v", cfg.Topology)
@@ -398,11 +436,18 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 
 	if cfg.Caches {
 		for i := 0; i < cfg.MemModules; i++ {
-			d := cache.NewDirectory(m.kernel, m.net, cache.DirConfig{
+			dcfg := cache.DirConfig{
 				ID:       nProcs + i,
 				NumProcs: nProcs,
 				Latency:  cfg.MemLatency,
-			})
+			}
+			if m.reg != nil {
+				dcfg.QueueDepth = m.reg.Histogram(fmt.Sprintf("dir.%d.queue_depth", i), metrics.DepthBounds)
+			}
+			if m.tl != nil {
+				dcfg.Track = m.tl.Track(fmt.Sprintf("dir %d", i))
+			}
+			d := cache.NewDirectory(m.kernel, m.net, dcfg)
 			for a, v := range prog.Init {
 				if home(a) == nProcs+i {
 					d.SetInit(a, v)
@@ -425,6 +470,11 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 				ROSyncUncached: cfg.ROUncachedTest,
 				RetryTimeout:   retryTimeout,
 				RetryMax:       cfg.RetryMax,
+			}
+			if m.reg != nil {
+				ccfg.ReserveHold = m.reg.Histogram(fmt.Sprintf("cache.%d.reserve_hold", i), metrics.HoldBounds)
+				ccfg.DeferHold = m.reg.Histogram(fmt.Sprintf("cache.%d.defer_hold", i), metrics.HoldBounds)
+				ccfg.RetryBackoff = m.reg.Histogram(fmt.Sprintf("cache.%d.retry_backoff", i), metrics.HoldBounds)
 			}
 			if m.fnet != nil {
 				id := i
@@ -465,15 +515,20 @@ func (m *Machine) finishProcs(prog *program.Program, nProcs int) (*Machine, erro
 		} else {
 			th = program.Thread{Name: fmt.Sprintf("idle%d", i)}
 		}
+		track := m.procTrack(i)
 		p := cpu.New(m.kernel, cpu.Config{
 			ID:                   i,
 			ThreadID:             i,
 			Policy:               cfg.Policy,
 			WriteBufferSize:      cfg.WriteBuffer,
 			MaxOutstandingWrites: cfg.MaxOutstandingWrites,
+			Track:                track,
 		}, th, m.ports[i], func(op mem.Op) {
 			m.trace = append(m.trace, op)
 			m.traceCycles = append(m.traceCycles, uint64(m.kernel.Now()))
+			if track != nil {
+				track.Mark(op.String(), m.kernel.Now())
+			}
 		})
 		m.procs = append(m.procs, p)
 	}
@@ -585,6 +640,8 @@ func (m *Machine) Run() (*RunResult, error) {
 			continue
 		}
 		skipped := target - 1 - cycle
+		m.ffSkips++
+		m.ffCycles += skipped
 		for n := skipped; n > 0; n-- {
 			m.rng.Shuffle(len(order), swap)
 		}
@@ -635,6 +692,14 @@ func (m *Machine) Run() (*RunResult, error) {
 		st := m.fnet.FaultStats()
 		res.FaultStats = &st
 		res.FaultEvents = m.fnet.Events()
+	}
+	if m.tl != nil {
+		m.tl.Close(m.kernel.Now())
+		res.Timeline = m.tl
+	}
+	if m.reg != nil {
+		m.publishStats(res)
+		res.Metrics = m.reg.Snapshot()
 	}
 	return res, nil
 }

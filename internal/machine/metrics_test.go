@@ -1,0 +1,254 @@
+package machine
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"weakorder/internal/faults"
+	"weakorder/internal/litmus"
+	"weakorder/internal/metrics"
+	"weakorder/internal/policy"
+	"weakorder/internal/program"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata")
+
+// withTelemetry returns cfg with the metrics registry and the event
+// timeline both enabled.
+func withTelemetry(cfg Config) Config {
+	cfg.Metrics = true
+	cfg.Timeline = true
+	return cfg
+}
+
+// assertSameObservables requires two runs to agree on every simulation
+// observable. Unlike assertIdentical it says nothing about telemetry:
+// the point is that the telemetry fields are the ONLY thing allowed to
+// differ between the runs.
+func assertSameObservables(t *testing.T, label string, a, b *RunResult) {
+	t.Helper()
+	if got, want := fmt.Sprintf("%v", a.Exec.Ops), fmt.Sprintf("%v", b.Exec.Ops); got != want {
+		t.Errorf("%s: trace diverged:\n with    %s\n without %s", label, got, want)
+	}
+	if !reflect.DeepEqual(a.OpCycles, b.OpCycles) {
+		t.Errorf("%s: commit cycles diverged", label)
+	}
+	if got, want := a.Result.Key(), b.Result.Key(); got != want {
+		t.Errorf("%s: result diverged: with %q, without %q", label, got, want)
+	}
+	if !reflect.DeepEqual(a.Regs, b.Regs) {
+		t.Errorf("%s: final registers diverged", label)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("%s: stats diverged:\n with    %+v\n without %+v", label, a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.FaultStats, b.FaultStats) {
+		t.Errorf("%s: fault stats diverged", label)
+	}
+}
+
+// TestMetricsDoNotPerturb sweeps litmus programs across the whole
+// configuration matrix and requires runs with telemetry enabled to be
+// byte-identical to runs without: same trace, same timing, same final
+// state, same statistics. Metrics must observe the simulation, never
+// steer it.
+func TestMetricsDoNotPerturb(t *testing.T) {
+	progs := []*program.Program{
+		litmus.Dekker(),
+		litmus.MessagePassingBounded(),
+		litmus.CriticalSection(2, 2),
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, p := range progs {
+		for _, cfg := range allConfigs() {
+			for _, seed := range seeds {
+				plain := mustRun(t, p, cfg, seed)
+				metered := mustRun(t, p, withTelemetry(cfg), seed)
+				label := fmt.Sprintf("%s/%s/seed%d", p.Name, cfg.Name(), seed)
+				assertSameObservables(t, label, metered, plain)
+				if metered.Metrics == nil {
+					t.Errorf("%s: metrics enabled but no snapshot returned", label)
+				}
+				if metered.Timeline == nil {
+					t.Errorf("%s: timeline enabled but none returned", label)
+				}
+				if plain.Metrics != nil || plain.Timeline != nil {
+					t.Errorf("%s: telemetry returned on a run that did not ask for it", label)
+				}
+			}
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbFaults repeats the invariant under the fault
+// injector, where any accidental RNG draw by the instrumentation would
+// shift every subsequent drop/dup/delay decision.
+func TestMetricsDoNotPerturbFaults(t *testing.T) {
+	plans := []faults.Plan{faults.Mild(), faults.Severe()}
+	p := litmus.CriticalSection(2, 2)
+	for pi := range plans {
+		plan := plans[pi]
+		for _, topo := range []Topology{TopoBus, TopoNetwork} {
+			cfg := Config{
+				Policy: policy.WODef2, Topology: topo, Caches: true,
+				Faults: &plan, MaxCycles: 500_000,
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				plain, pErr := Run(p, cfg, seed)
+				metered, mErr := Run(p, withTelemetry(cfg), seed)
+				label := fmt.Sprintf("%s/plan%d/seed%d", cfg.Name(), pi, seed)
+				if (pErr == nil) != (mErr == nil) || (pErr != nil && pErr.Error() != mErr.Error()) {
+					t.Fatalf("%s: error diverged: without %v, with %v", label, pErr, mErr)
+				}
+				if pErr != nil {
+					continue
+				}
+				assertSameObservables(t, label, metered, plain)
+			}
+		}
+	}
+}
+
+// scrubFastForward returns a copy of the snapshot without the
+// fast-forward counters, which legitimately differ between a run that
+// skips idle cycles and one that does not.
+func scrubFastForward(s *metrics.Snapshot) *metrics.Snapshot {
+	out := &metrics.Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     s.Gauges,
+		Histograms: s.Histograms,
+	}
+	for k, v := range s.Counters {
+		switch k {
+		case "machine.fastforward.skips", "machine.fastforward.cycles":
+			continue
+		}
+		out.Counters[k] = v
+	}
+	return out
+}
+
+// TestMetricsFastForwardByteIdentical re-runs the fast-forward parity
+// sweep with telemetry enabled: skipping idle cycles must neither change
+// the observables nor (modulo the fast-forward counters themselves) the
+// exported snapshot or timeline.
+func TestMetricsFastForwardByteIdentical(t *testing.T) {
+	progs := []*program.Program{
+		litmus.Dekker(),
+		litmus.CriticalSection(2, 2),
+	}
+	for _, p := range progs {
+		for _, cfg := range allConfigs() {
+			mcfg := withTelemetry(cfg)
+			ff, naive := runBoth(t, p, mcfg, 1)
+			label := fmt.Sprintf("%s/%s", p.Name, cfg.Name())
+			assertIdentical(t, label, ff, naive)
+			if ff == nil {
+				continue
+			}
+			ffJSON, err := scrubFastForward(ff.Metrics).JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			naiveJSON, err := scrubFastForward(naive.Metrics).JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ffJSON, naiveJSON) {
+				t.Errorf("%s: snapshot diverged under fast-forward:\n ff    %s\n naive %s",
+					label, ffJSON, naiveJSON)
+			}
+			ffTrace, err := ff.Timeline.ChromeTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			naiveTrace, err := naive.Timeline.ChromeTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ffTrace, naiveTrace) {
+				t.Errorf("%s: timeline diverged under fast-forward", label)
+			}
+		}
+	}
+}
+
+// TestMetricsDeterministic runs the same (program, config, seed) twice
+// and requires the exported snapshot, Prometheus text, and Chrome trace
+// to be byte-identical — the property the exporters' sorted rendering
+// exists to provide.
+func TestMetricsDeterministic(t *testing.T) {
+	progs := []*program.Program{litmus.Figure3(), litmus.Dekker()}
+	for _, p := range progs {
+		for _, cfg := range allConfigs() {
+			mcfg := withTelemetry(cfg)
+			a := mustRun(t, p, mcfg, 7)
+			b := mustRun(t, p, mcfg, 7)
+			label := fmt.Sprintf("%s/%s", p.Name, cfg.Name())
+			aJSON, err := a.Metrics.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bJSON, err := b.Metrics.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aJSON, bJSON) {
+				t.Errorf("%s: same seed, different snapshots", label)
+			}
+			if !bytes.Equal(a.Metrics.Prometheus(), b.Metrics.Prometheus()) {
+				t.Errorf("%s: same seed, different Prometheus text", label)
+			}
+			aTrace, err := a.Timeline.ChromeTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bTrace, err := b.Timeline.ChromeTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aTrace, bTrace) {
+				t.Errorf("%s: same seed, different timelines", label)
+			}
+		}
+	}
+}
+
+// TestTimelineGolden pins the Chrome trace_event export of a fixed-seed
+// Figure 3 run. Run with -update to rewrite the golden after an
+// intentional exporter or protocol change.
+func TestTimelineGolden(t *testing.T) {
+	cfg := withTelemetry(Config{
+		Policy: policy.WODef2, Topology: TopoNetwork, Caches: true,
+	})
+	res := mustRun(t, litmus.Figure3(), cfg, 1)
+	got, err := res.Timeline.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeline_figure3_wodef2.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Chrome trace drifted from golden %s (re-run with -update if intentional):\n got  %s\n want %s",
+			golden, got, want)
+	}
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"fmt"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/cpu"
+	"weakorder/internal/metrics"
+	"weakorder/internal/network"
+)
+
+// procTrack returns processor i's timeline track, or nil when the
+// timeline is off.
+func (m *Machine) procTrack(i int) *metrics.Track {
+	if i < len(m.procTracks) {
+		return m.procTracks[i]
+	}
+	return nil
+}
+
+// netTelemetry builds the interconnect instruments (zero when metrics
+// are off). With the directory protocol it also splits latency by
+// protocol message class.
+func (m *Machine) netTelemetry() network.Telemetry {
+	if m.reg == nil {
+		return network.Telemetry{}
+	}
+	tel := network.Telemetry{
+		Latency:    m.reg.Histogram("net.latency", metrics.LatencyBounds),
+		QueueDepth: m.reg.Histogram("net.queue_depth", metrics.DepthBounds),
+	}
+	if m.cfg.Caches && !m.cfg.Snoop {
+		classes := make(map[string]*metrics.Histogram, 4)
+		for _, c := range []string{"request", "reply", "forward", "ack"} {
+			classes[c] = m.reg.Histogram("net.latency."+c, metrics.LatencyBounds)
+		}
+		tel.Classify = func(msg network.Msg) *metrics.Histogram {
+			return classes[msgClass(msg)] // "" (unknown class) maps to nil
+		}
+	}
+	return tel
+}
+
+// msgClass buckets directory-protocol traffic for the per-class latency
+// histograms.
+func msgClass(m network.Msg) string {
+	switch m.(type) {
+	case cache.MsgGetS, cache.MsgGetX, cache.MsgSyncRead, cache.MsgPutX:
+		return "request"
+	case cache.MsgData, cache.MsgOwnerData, cache.MsgDataEx, cache.MsgOwnerDataEx,
+		cache.MsgSyncReadReply, cache.MsgMemAck, cache.MsgWBAck:
+		return "reply"
+	case cache.MsgInv, cache.MsgFwdGetS, cache.MsgFwdGetX, cache.MsgFwdSyncRead:
+		return "forward"
+	case cache.MsgInvAck, cache.MsgXferDone, cache.MsgSyncReadDone:
+		return "ack"
+	}
+	return ""
+}
+
+// publishStats folds the run's aggregate statistics into the registry so
+// the snapshot is self-contained: live histograms/spans were recorded
+// during the run, and the component counters land here, at end of run,
+// where publishing cannot interact with simulation.
+func (m *Machine) publishStats(res *RunResult) {
+	r := m.reg
+	s := &res.Stats
+
+	r.SetCounter("machine.cycles", s.Cycles)
+	r.SetCounter("machine.fastforward.skips", m.ffSkips)
+	r.SetCounter("machine.fastforward.cycles", m.ffCycles)
+
+	for i := range s.Procs {
+		p := &s.Procs[i]
+		pre := fmt.Sprintf("cpu.%d.", i)
+		for rn := 0; rn < cpu.NumReasons; rn++ {
+			r.SetCounter(pre+"stall."+cpu.Reason(rn).MetricName(), p.Stall[rn])
+		}
+		r.SetCounter(pre+"stall_total", p.TotalStall())
+		r.SetCounter(pre+"stall_sync", p.SyncStall())
+		r.SetCounter(pre+"mem_ops", p.MemOps)
+		r.SetCounter(pre+"sync_ops", p.SyncOps)
+		r.SetCounter(pre+"forwards", p.Forwards)
+	}
+
+	for i := range s.Caches {
+		c := &s.Caches[i]
+		pre := fmt.Sprintf("cache.%d.", i)
+		r.SetCounter(pre+"hits", c.Hits)
+		r.SetCounter(pre+"misses", c.Misses)
+		r.SetCounter(pre+"upgrades", c.Upgrades)
+		r.SetCounter(pre+"sync_requests", c.SyncRequests)
+		r.SetCounter(pre+"deferred_fwds", c.DeferredFwds)
+		r.SetCounter(pre+"deferred_cycles", c.DeferredCycles)
+		r.SetCounter(pre+"evictions", c.Evictions)
+		r.SetCounter(pre+"writebacks", c.Writebacks)
+		r.SetCounter(pre+"overflows", c.Overflows)
+		r.SetCounter(pre+"invs_received", c.InvsReceived)
+		r.SetCounter(pre+"retries", c.Retries)
+		r.SetCounter(pre+"retry_exhausted", c.RetryExhausted)
+	}
+
+	for i := range s.Dirs {
+		d := &s.Dirs[i]
+		pre := fmt.Sprintf("dir.%d.", i)
+		for name, n := range d.Requests {
+			r.SetCounter(pre+"requests."+name, n)
+		}
+		r.SetCounter(pre+"forwards", d.Forwards)
+		r.SetCounter(pre+"invalidations", d.Invalidations)
+		r.SetCounter(pre+"duplicates", d.Duplicates)
+		r.Gauge(pre + "queued_max").Set(int64(d.QueuedMax))
+	}
+
+	if m.net != nil {
+		r.SetCounter("net.messages", s.Net.Messages)
+		r.SetCounter("net.total_latency", s.Net.TotalLatency)
+		r.SetCounter("net.undeliverable", s.Net.Undeliverable)
+		r.Gauge("net.max_queued").Set(int64(s.Net.MaxQueued))
+	}
+
+	if s.Snoop != nil {
+		r.SetCounter("snoop.transactions", s.Snoop.Transactions)
+		r.SetCounter("snoop.retries", s.Snoop.Retries)
+		r.SetCounter("snoop.mem_supplied", s.Snoop.MemSupplied)
+		r.SetCounter("snoop.cache_supplied", s.Snoop.CacheSupplied)
+		r.Gauge("snoop.max_queue").Set(int64(s.Snoop.MaxQueue))
+		for i := range s.SnoopCaches {
+			c := &s.SnoopCaches[i]
+			pre := fmt.Sprintf("snoopcache.%d.", i)
+			r.SetCounter(pre+"hits", c.Hits)
+			r.SetCounter(pre+"misses", c.Misses)
+			r.SetCounter(pre+"upgrades", c.Upgrades)
+			r.SetCounter(pre+"evicted", c.Evicted)
+		}
+	}
+
+	if res.FaultStats != nil {
+		f := res.FaultStats
+		r.SetCounter("faults.faultable", f.Faultable)
+		r.SetCounter("faults.drops", f.Drops)
+		r.SetCounter("faults.dups", f.Dups)
+		r.SetCounter("faults.delays", f.Delays)
+		r.SetCounter("faults.extra_delay_cycles", f.ExtraDelayCycles)
+		r.SetCounter("faults.retries", f.Retries)
+	}
+}

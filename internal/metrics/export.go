@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the snapshot as indented JSON. encoding/json sorts map
+// keys, so equal snapshots encode to identical bytes.
+func (s *Snapshot) JSON() ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("metrics: JSON on a nil snapshot")
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// promName maps a dotted instrument name ("cpu.0.stall.fence_wait") to a
+// Prometheus-legal metric name. Dots and other illegal runes become
+// underscores, and everything gains a weakorder_ namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("weakorder_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as plain samples, histograms as the
+// conventional _bucket (cumulative, with le labels), _sum, and _count
+// series. Output is sorted by instrument name, so it is deterministic.
+func (s *Snapshot) Prometheus() []byte {
+	if s == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, n := range sortedKeys(s.Counters) {
+		pn := promName(n)
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		pn := promName(n)
+		g := s.Gauges[n]
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n%s_max %d\n", pn, pn, g.Value, pn, g.Max)
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		pn := promName(n)
+		h := s.Histograms[n]
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&buf, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum)
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&buf, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The disabled path: a nil registry hands out nil instruments and
+	// every method on them is a no-op. None of these may panic.
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := r.Gauge("g")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	h := r.Histogram("h", DepthBounds)
+	h.Observe(7)
+	if h.Hist() != nil {
+		t.Error("nil histogram must expose nil Hist")
+	}
+	r.SetCounter("x", 9)
+	if r.Snapshot() != nil {
+		t.Error("nil registry must snapshot to nil")
+	}
+
+	var tl *Timeline
+	tr := tl.Track("p0")
+	tr.Begin("stall", 1)
+	tr.End(5)
+	tr.Span("s", 1, 2)
+	tr.Mark("m", 3)
+	tl.Close(10)
+	if tl.SpanCount() != 0 {
+		t.Error("nil timeline must count 0 spans")
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter must return the same instrument per name")
+	}
+	if r.Histogram("h", DepthBounds) != r.Histogram("h", DepthBounds) {
+		t.Error("Histogram must return the same instrument per name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram with a new layout must panic")
+		}
+	}()
+	r.Histogram("h", LatencyBounds)
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(10)
+	r.Gauge("depth").Set(4)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat", LatencyBounds).Observe(3)
+
+	s := r.Snapshot()
+	if s.Counters["ops"] != 10 {
+		t.Errorf("ops = %d", s.Counters["ops"])
+	}
+	if s.Gauges["depth"] != (GaugeValue{Value: 2, Max: 4}) {
+		t.Errorf("depth = %+v", s.Gauges["depth"])
+	}
+	// Snapshots are deep copies: later updates must not leak in.
+	r.Counter("ops").Inc()
+	r.Histogram("lat", LatencyBounds).Observe(5)
+	if s.Counters["ops"] != 10 || s.Histograms["lat"].Count != 1 {
+		t.Error("snapshot mutated by later registry updates")
+	}
+
+	o := r.Snapshot()
+	if err := s.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["ops"] != 21 {
+		t.Errorf("merged ops = %d", s.Counters["ops"])
+	}
+	if s.Histograms["lat"].Count != 3 {
+		t.Errorf("merged lat count = %d", s.Histograms["lat"].Count)
+	}
+	if err := s.Merge(nil); err != nil {
+		t.Errorf("merging nil must be a no-op, got %v", err)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewRegistry()
+		// Register in different orders; map-keyed export must not care.
+		for _, n := range []string{"b", "a", "c"} {
+			r.Counter(n).Add(uint64(len(n)))
+		}
+		r.Histogram("lat", LatencyBounds).Observe(12)
+		r.Gauge("q").Set(5)
+		return r.Snapshot()
+	}
+	j1, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("equal snapshots must encode to identical JSON")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("snapshot JSON must round-trip: %v", err)
+	}
+	if back.Counters["a"] != 1 {
+		t.Error("round-trip lost counter values")
+	}
+}
+
+func TestPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cpu.0.stall.fence_wait").Add(7)
+	r.Gauge("dir.0.queue").Set(3)
+	h := r.Histogram("net.latency", []uint64{1, 10})
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(100)
+	out := string(r.Snapshot().Prometheus())
+
+	for _, want := range []string{
+		"# TYPE weakorder_cpu_0_stall_fence_wait counter\nweakorder_cpu_0_stall_fence_wait 7\n",
+		"weakorder_dir_0_queue 3\n",
+		"weakorder_dir_0_queue_max 3\n",
+		"weakorder_net_latency_bucket{le=\"1\"} 1\n",
+		"weakorder_net_latency_bucket{le=\"10\"} 2\n",
+		"weakorder_net_latency_bucket{le=\"+Inf\"} 3\n",
+		"weakorder_net_latency_sum 106\n",
+		"weakorder_net_latency_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if string(r.Snapshot().Prometheus()) != out {
+		t.Error("Prometheus output must be deterministic")
+	}
+}

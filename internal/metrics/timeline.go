@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"weakorder/internal/sim"
+)
+
+// Timeline collects per-component span and instant events for export as
+// Chrome trace_event JSON (chrome://tracing, Perfetto). Components own a
+// Track each — one timeline row — and record what they were doing as
+// [start, end) spans (a processor stalled on a fence, a directory line
+// pending) and point-in-time instants (an op commit, a dropped message).
+//
+// Like the registry's instruments, a nil *Timeline hands out nil
+// *Tracks, and every Track method is a no-op on a nil receiver, so
+// recording sites need no enabled/disabled branches. Recording never
+// draws RNG or schedules events; it cannot perturb the simulation.
+type Timeline struct {
+	tracks []*Track
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{}
+}
+
+// Track registers a named timeline row (nil on a nil timeline). Tracks
+// are exported in registration order, so register them deterministically
+// (the machine registers processors then directories by index).
+func (tl *Timeline) Track(name string) *Track {
+	if tl == nil {
+		return nil
+	}
+	t := &Track{name: name, tid: len(tl.tracks) + 1}
+	tl.tracks = append(tl.tracks, t)
+	return t
+}
+
+// Close ends any open span on every track at the given time. Call once
+// when the run finishes so in-progress stalls still appear.
+func (tl *Timeline) Close(at sim.Time) {
+	if tl == nil {
+		return
+	}
+	for _, t := range tl.tracks {
+		t.End(at)
+	}
+}
+
+// span is one completed [start, end) interval on a track.
+type span struct {
+	name       string
+	start, end sim.Time
+}
+
+// instant is a point event on a track.
+type instant struct {
+	name string
+	at   sim.Time
+}
+
+// Track is one timeline row. Methods are no-ops on a nil receiver.
+type Track struct {
+	name     string
+	tid      int
+	spans    []span
+	instants []instant
+
+	openName string
+	openAt   sim.Time
+	open     bool
+}
+
+// Span records a completed [start, end) interval. Zero-length spans are
+// dropped (they render invisibly and only bloat the export).
+func (t *Track) Span(name string, start, end sim.Time) {
+	if t == nil || end <= start {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, start: start, end: end})
+}
+
+// Begin opens a span at the given time, ending any previously open span
+// there first. Tracks carry at most one open span — exactly the shape of
+// a processor's stall state.
+func (t *Track) Begin(name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.End(at)
+	t.openName = name
+	t.openAt = at
+	t.open = true
+}
+
+// End closes the open span (if any) at the given time.
+func (t *Track) End(at sim.Time) {
+	if t == nil || !t.open {
+		return
+	}
+	t.Span(t.openName, t.openAt, at)
+	t.open = false
+}
+
+// Mark records an instant event.
+func (t *Track) Mark(name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.instants = append(t.instants, instant{name: name, at: at})
+}
+
+// traceEvent is one entry in the Chrome trace_event "traceEvents" array.
+// Simulated cycles are exported as microseconds (the format's time unit),
+// so one cycle renders as 1µs in Perfetto.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	S     string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+	reg   int            // track registration order, for stable sorting
+	order int            // recording order within the track, tie-break
+}
+
+// ChromeTrace renders the timeline as Chrome trace_event JSON
+// ({"traceEvents": [...]}). The output is deterministic: thread-name
+// metadata first in track registration order, then spans and instants
+// sorted by (track, timestamp, recording order). Load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+func (tl *Timeline) ChromeTrace() ([]byte, error) {
+	if tl == nil {
+		return nil, fmt.Errorf("metrics: ChromeTrace on a nil timeline")
+	}
+	var events []traceEvent
+	for _, t := range tl.tracks {
+		events = append(events, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  t.tid,
+			Args: map[string]any{"name": t.name},
+			reg:  t.tid,
+			// Metadata sorts before everything on the same track.
+			order: -1,
+		})
+	}
+	var body []traceEvent
+	for _, t := range tl.tracks {
+		for i, s := range t.spans {
+			dur := uint64(s.end - s.start)
+			body = append(body, traceEvent{
+				Name: s.name, Ph: "X", Ts: uint64(s.start), Dur: &dur,
+				Pid: 1, Tid: t.tid, Cat: "span",
+				reg: t.tid, order: i,
+			})
+		}
+		for i, in := range t.instants {
+			body = append(body, traceEvent{
+				Name: in.name, Ph: "i", Ts: uint64(in.at),
+				Pid: 1, Tid: t.tid, S: "t", Cat: "instant",
+				reg: t.tid, order: len(t.spans) + i,
+			})
+		}
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		a, b := body[i], body[j]
+		if a.reg != b.reg {
+			return a.reg < b.reg
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.order < b.order
+	})
+	events = append(events, body...)
+
+	// Encode by hand so the event array streams one event per line:
+	// json.Marshal of the whole struct would be a single unreadable line,
+	// and MarshalIndent explodes every field onto its own.
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\": [\n")
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString("  ")
+		buf.Write(b)
+		if i < len(events)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("], \"displayTimeUnit\": \"ms\"}\n")
+	return buf.Bytes(), nil
+}
+
+// SpanCount returns the total number of completed spans (0 on nil) —
+// used by tests and the schema checker.
+func (tl *Timeline) SpanCount() int {
+	if tl == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range tl.tracks {
+		n += len(t.spans)
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTrackSpans(t *testing.T) {
+	tl := NewTimeline()
+	tr := tl.Track("proc 0")
+
+	tr.Begin("stall:fence", 10)
+	tr.End(25)
+	tr.Begin("stall:read", 30)
+	// Begin with an open span ends it first.
+	tr.Begin("stall:sync", 40)
+	tr.Span("", 50, 50) // zero-length: dropped
+	tr.Mark("commit", 12)
+	tl.Close(60)
+
+	if got := tl.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+	want := []span{
+		{"stall:fence", 10, 25},
+		{"stall:read", 30, 40},
+		{"stall:sync", 40, 60},
+	}
+	for i, w := range want {
+		if tr.spans[i] != w {
+			t.Errorf("span[%d] = %+v, want %+v", i, tr.spans[i], w)
+		}
+	}
+	// Close on an idle track is a no-op.
+	tl.Close(70)
+	if tl.SpanCount() != 3 {
+		t.Error("Close must not add spans to idle tracks")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tl := NewTimeline()
+	p0 := tl.Track("proc 0")
+	d0 := tl.Track("dir 0")
+	p0.Span("stall:fence", 5, 9)
+	d0.Span("pending:0x40", 2, 8)
+	p0.Mark("commit W x", 9)
+
+	out, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   uint64  `json:"ts"`
+			Dur  *uint64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5 (2 metadata + 2 spans + 1 instant)", len(doc.TraceEvents))
+	}
+	// Metadata first, in registration order.
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Tid != 1 ||
+		doc.TraceEvents[1].Ph != "M" || doc.TraceEvents[1].Tid != 2 {
+		t.Errorf("metadata events malformed: %+v", doc.TraceEvents[:2])
+	}
+	// Body grouped by track: proc 0's span+instant, then dir 0's span.
+	if doc.TraceEvents[2].Name != "stall:fence" || doc.TraceEvents[2].Ph != "X" ||
+		doc.TraceEvents[2].Dur == nil || *doc.TraceEvents[2].Dur != 4 {
+		t.Errorf("span event malformed: %+v", doc.TraceEvents[2])
+	}
+	if doc.TraceEvents[3].Name != "commit W x" || doc.TraceEvents[3].Ph != "i" {
+		t.Errorf("instant event malformed: %+v", doc.TraceEvents[3])
+	}
+	if doc.TraceEvents[4].Tid != 2 {
+		t.Errorf("dir event on wrong track: %+v", doc.TraceEvents[4])
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() *Timeline {
+		tl := NewTimeline()
+		a := tl.Track("a")
+		b := tl.Track("b")
+		b.Span("s2", 3, 7)
+		a.Span("s1", 1, 4)
+		a.Mark("m", 2)
+		return tl
+	}
+	o1, err := build().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := build().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(o1, o2) {
+		t.Error("equal timelines must export identical bytes")
+	}
+}

@@ -13,6 +13,7 @@ package network
 import (
 	"fmt"
 
+	"weakorder/internal/metrics"
 	"weakorder/internal/sim"
 	"weakorder/internal/splitmix"
 )
@@ -63,6 +64,30 @@ func (s Stats) AvgLatency() float64 {
 	return float64(s.TotalLatency) / float64(s.Messages)
 }
 
+// Telemetry holds the optional interconnect instruments (see
+// internal/metrics; nil instruments record nothing). Observation never
+// alters delivery behavior or latency draws.
+type Telemetry struct {
+	// Latency observes each message's delivery latency in cycles.
+	Latency *metrics.Histogram
+	// QueueDepth observes the number of undelivered messages after each
+	// send (bus: waiting for the medium; net: in flight).
+	QueueDepth *metrics.Histogram
+	// Classify, when set, maps a message to an additional per-class
+	// latency histogram (nil for unclassified messages). The machine uses
+	// it to split protocol traffic into request/reply/forward/ack classes.
+	Classify func(m Msg) *metrics.Histogram
+}
+
+// observe records one delivery latency against the common and per-class
+// histograms.
+func (t *Telemetry) observe(m Msg, lat uint64) {
+	t.Latency.Observe(lat)
+	if t.Classify != nil {
+		t.Classify(m).Observe(lat)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // General interconnection network.
 
@@ -79,6 +104,8 @@ type GeneralConfig struct {
 	// Seed derives the jitter stream (splitmix64), making every latency
 	// draw reproducible per network instance.
 	Seed int64
+	// Telemetry holds the optional interconnect instruments.
+	Telemetry Telemetry
 }
 
 // General is a general interconnection network: every message travels
@@ -130,10 +157,12 @@ func (g *General) Send(src, dst int, m Msg) {
 	}
 	g.stats.Messages++
 	g.stats.TotalLatency += uint64(arrive - g.k.Now())
+	g.cfg.Telemetry.observe(m, uint64(arrive-g.k.Now()))
 	g.inFlight++
 	if g.inFlight > g.stats.MaxQueued {
 		g.stats.MaxQueued = g.inFlight
 	}
+	g.cfg.Telemetry.QueueDepth.Observe(uint64(g.inFlight))
 	g.k.At(arrive, func() {
 		g.inFlight--
 		h, ok := g.handlers[dst]
@@ -162,6 +191,8 @@ type BusConfig struct {
 	// TransferLatency is the number of cycles one message occupies the
 	// bus (>= 1).
 	TransferLatency sim.Time
+	// Telemetry holds the optional interconnect instruments.
+	Telemetry Telemetry
 }
 
 // Bus is a shared-bus interconnect: one message at a time, FIFO
@@ -202,6 +233,7 @@ func (b *Bus) Send(src, dst int, m Msg) {
 	if len(b.queue) > b.stats.MaxQueued {
 		b.stats.MaxQueued = len(b.queue)
 	}
+	b.cfg.Telemetry.QueueDepth.Observe(uint64(len(b.queue)))
 	if !b.busy {
 		b.grant()
 	}
@@ -218,6 +250,7 @@ func (b *Bus) grant() {
 	b.queue = b.queue[1:]
 	b.k.After(b.cfg.TransferLatency, func() {
 		b.stats.TotalLatency += uint64(b.k.Now() - head.enq)
+		b.cfg.Telemetry.observe(head.m, uint64(b.k.Now()-head.enq))
 		h, ok := b.handlers[head.dst]
 		if !ok {
 			b.stats.Undeliverable++

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hist is a fixed-bucket histogram over unsigned observations. The
+// bucket layout is frozen at construction: Counts[i] counts observations
+// v <= Bounds[i] (and greater than the previous bound); the final
+// Counts[len(Bounds)] is the overflow bucket. Fixed layouts make
+// histograms mergeable and their exports deterministic — the properties
+// the telemetry layer (internal/metrics) relies on.
+type Hist struct {
+	// Bounds are the inclusive upper bounds, strictly increasing.
+	Bounds []uint64
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum uint64
+}
+
+// NewHist returns an empty histogram over the given bucket bounds, which
+// must be strictly increasing and non-empty.
+func NewHist(bounds []uint64) *Hist {
+	if len(bounds) == 0 {
+		panic("stats: NewHist requires at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: NewHist bounds not strictly increasing at %d", i))
+		}
+	}
+	return &Hist{
+		Bounds: append([]uint64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// ExpBounds returns n exponentially spaced bounds start, start*factor,
+// start*factor², … — the standard latency/backoff layout.
+func ExpBounds(start uint64, factor float64, n int) []uint64 {
+	if start == 0 || factor <= 1 || n <= 0 {
+		panic("stats: ExpBounds requires start > 0, factor > 1, n > 0")
+	}
+	out := make([]uint64, 0, n)
+	v := float64(start)
+	for i := 0; i < n; i++ {
+		b := uint64(math.Round(v))
+		if len(out) > 0 && b <= out[len(out)-1] {
+			b = out[len(out)-1] + 1
+		}
+		out = append(out, b)
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one observation.
+func (h *Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// SameLayout reports whether o shares h's bucket bounds.
+func (h *Hist) SameLayout(o *Hist) bool {
+	if len(h.Bounds) != len(o.Bounds) {
+		return false
+	}
+	for i, b := range h.Bounds {
+		if o.Bounds[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds o's observations into h. The layouts must match — merging
+// is only meaningful bucket-by-bucket, which is why the telemetry layer
+// fixes layouts at registration.
+func (h *Hist) Merge(o *Hist) error {
+	if !h.SameLayout(o) {
+		return fmt.Errorf("stats: merging histograms with different bucket layouts (%d vs %d bounds)",
+			len(h.Bounds), len(o.Bounds))
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	return &Hist{
+		Bounds: append([]uint64(nil), h.Bounds...),
+		Counts: append([]uint64(nil), h.Counts...),
+		Count:  h.Count,
+		Sum:    h.Sum,
+	}
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the containing bucket; observations in the
+// overflow bucket are attributed to the last bound. Returns 0 when
+// empty.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			// The overflow bucket has no upper bound: attribute it to the
+			// last finite bound.
+			hi := float64(h.Bounds[len(h.Bounds)-1])
+			if i < len(h.Bounds) {
+				hi = float64(h.Bounds[i])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
+// String renders "count=N sum=S p50=… p99=…" for diagnostics.
+func (h *Hist) String() string {
+	return fmt.Sprintf("count=%d sum=%d mean=%.1f p50=%.0f p99=%.0f",
+		h.Count, h.Sum, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddUint(uint64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	var empty Sample
+	if empty.Percentile(50) != 0 {
+		t.Error("empty sample percentile must be 0")
+	}
+	one := Sample{}
+	one.Add(7)
+	if one.Percentile(90) != 7 {
+		t.Error("singleton percentile must be the value")
+	}
+	// Clamping.
+	if s.Percentile(-5) != 1 || s.Percentile(200) != 100 {
+		t.Error("percentile must clamp p to [0,100]")
+	}
+}
+
+func TestPercentileMatchesMedian(t *testing.T) {
+	f := func(raw []int16) bool {
+		var s Sample
+		for _, x := range raw {
+			s.Add(float64(x))
+		}
+		return math.Abs(s.Percentile(50)-s.Median()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistObserve(t *testing.T) {
+	h := NewHist([]uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	wantCounts := []uint64{2, 2, 2, 2} // (<=1)x2, (<=4)x2, (<=16)x2, overflow x2
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Count != 8 || h.Sum != 0+1+2+4+5+16+17+1000 {
+		t.Errorf("Count=%d Sum=%d", h.Count, h.Sum)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist([]uint64{2, 8})
+	b := NewHist([]uint64{2, 8})
+	a.Observe(1)
+	a.Observe(10)
+	b.Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 3 || a.Sum != 14 {
+		t.Errorf("merged Count=%d Sum=%d", a.Count, a.Sum)
+	}
+	if a.Counts[0] != 1 || a.Counts[1] != 1 || a.Counts[2] != 1 {
+		t.Errorf("merged Counts = %v", a.Counts)
+	}
+	c := NewHist([]uint64{3})
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched layouts must fail")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist([]uint64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i % 30)) // uniform over [0,30)
+	}
+	if q := h.Quantile(0.5); q < 10 || q > 20 {
+		t.Errorf("median %v outside middle bucket", q)
+	}
+	if q := h.Quantile(0); q < 0 || q > 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 30 {
+		t.Errorf("q1 = %v, want 30", q)
+	}
+	// All mass in the overflow bucket reports the last bound.
+	o := NewHist([]uint64{10})
+	o.Observe(99)
+	if q := o.Quantile(0.5); q != 10 {
+		t.Errorf("overflow quantile = %v, want 10", q)
+	}
+	var zero Hist
+	zero.Bounds = []uint64{1}
+	zero.Counts = make([]uint64, 2)
+	if zero.Quantile(0.5) != 0 {
+		t.Error("empty hist quantile must be 0")
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1, 2, 8)
+	want := []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bound[%d] = %d, want %d", i, b[i], want[i])
+		}
+	}
+	// Slow-growing factors must still be strictly increasing.
+	s := ExpBounds(1, 1.1, 10)
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("bounds not increasing: %v", s)
+		}
+	}
+	NewHist(s) // must not panic
+}

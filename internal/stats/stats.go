@@ -96,6 +96,49 @@ func (s *Sample) Median() float64 {
 	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks (0 for an empty sample). p outside
+// [0,100] is clamped.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	return Percentile(sorted, p)
+}
+
+// Percentile returns the p-th percentile of an already-sorted slice by
+// linear interpolation between closest ranks. The slice must be sorted
+// ascending; an empty slice yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if hi >= n {
+		hi = n - 1
+	}
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
 // CI95 returns the half-width of a 95% confidence interval for the mean
 // under a normal approximation (1.96 · sd / sqrt(n)); 0 for n < 2.
 func (s *Sample) CI95() float64 {

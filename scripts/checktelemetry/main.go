@@ -1,0 +1,174 @@
+// Command checktelemetry validates the schema of the telemetry files the
+// simulator exports — the metrics snapshot JSON (wosim -metrics) and the
+// Chrome trace_event timeline (wosim -timeline) — so CI catches exporter
+// drift without pinning every counter value.
+//
+// Usage:
+//
+//	checktelemetry -metrics run.json -timeline trace.json
+//
+// Either flag may be omitted; the command exits non-zero on the first
+// schema violation, naming the offending field.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		metricsPath  = flag.String("metrics", "", "metrics snapshot JSON to validate")
+		timelinePath = flag.String("timeline", "", "Chrome trace_event JSON to validate")
+	)
+	flag.Parse()
+	if *metricsPath == "" && *timelinePath == "" {
+		fatal(fmt.Errorf("nothing to check: pass -metrics and/or -timeline"))
+	}
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fatal(fmt.Errorf("%s: %w", *metricsPath, err))
+		}
+		fmt.Printf("checktelemetry: %s ok\n", *metricsPath)
+	}
+	if *timelinePath != "" {
+		if err := checkTimeline(*timelinePath); err != nil {
+			fatal(fmt.Errorf("%s: %w", *timelinePath, err))
+		}
+		fmt.Printf("checktelemetry: %s ok\n", *timelinePath)
+	}
+}
+
+// snapshot mirrors metrics.Snapshot structurally, so the schema check
+// also guards the exported field names against accidental renames.
+type snapshot struct {
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]struct {
+		Value int64 `json:"value"`
+		Max   int64 `json:"max"`
+	} `json:"gauges"`
+	Histograms map[string]struct {
+		Bounds []uint64 `json:"Bounds"`
+		Counts []uint64 `json:"Counts"`
+		Count  uint64   `json:"Count"`
+		Sum    uint64   `json:"Sum"`
+	} `json:"histograms"`
+}
+
+// checkMetrics validates the snapshot: the three sections must be
+// present, histograms must be internally consistent, and the counters a
+// simulation always publishes must exist.
+func checkMetrics(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s snapshot
+	if err := dec.Decode(&s); err != nil {
+		return err
+	}
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		return fmt.Errorf("missing counters/gauges/histograms section")
+	}
+	for _, want := range []string{"machine.cycles", "cpu.0.stall_total", "cpu.0.mem_ops"} {
+		if _, ok := s.Counters[want]; !ok {
+			return fmt.Errorf("required counter %q absent", want)
+		}
+	}
+	for name, h := range s.Histograms {
+		if len(h.Bounds) == 0 {
+			return fmt.Errorf("histogram %q has no bounds", name)
+		}
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("histogram %q: %d counts for %d bounds (want bounds+1)",
+				name, len(h.Counts), len(h.Bounds))
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			return fmt.Errorf("histogram %q: bucket sum %d != count %d", name, total, h.Count)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("histogram %q: bounds not strictly increasing at %d", name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// traceEvent is the subset of the Chrome trace_event schema the exporter
+// emits: metadata ("M"), complete spans ("X"), and instants ("i").
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   uint64          `json:"ts"`
+	Dur  *uint64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s"`
+	Cat  string          `json:"cat"`
+	Args json.RawMessage `json:"args"`
+}
+
+// checkTimeline validates the trace: every event carries a legal phase,
+// "X" events carry durations, and every span/instant refers to a thread
+// named by a metadata event.
+func checkTimeline(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	named := make(map[int]bool)
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				return fmt.Errorf("event %d: metadata named %q (want thread_name)", i, e.Name)
+			}
+			named[e.Tid] = true
+		case "X":
+			if e.Dur == nil {
+				return fmt.Errorf("event %d (%q): complete event without dur", i, e.Name)
+			}
+			if !named[e.Tid] {
+				return fmt.Errorf("event %d (%q): span on unnamed tid %d", i, e.Name, e.Tid)
+			}
+		case "i":
+			if !named[e.Tid] {
+				return fmt.Errorf("event %d (%q): instant on unnamed tid %d", i, e.Name, e.Tid)
+			}
+		default:
+			return fmt.Errorf("event %d (%q): unexpected phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if e.Pid != 1 {
+			return fmt.Errorf("event %d (%q): pid %d (exporter always emits 1)", i, e.Name, e.Pid)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checktelemetry:", err)
+	os.Exit(1)
+}

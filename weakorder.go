@@ -59,6 +59,7 @@ import (
 	"weakorder/internal/lang"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
 	"weakorder/internal/scmatch"
@@ -117,6 +118,14 @@ type (
 	RunResult = machine.RunResult
 	// MachineStats aggregates a run's measurements.
 	MachineStats = machine.Stats
+	// Metrics is a deterministic telemetry snapshot (RunResult.Metrics
+	// when MachineConfig.Metrics is set; CampaignSummary.Metrics()).
+	// Export with JSON or Prometheus.
+	Metrics = metrics.Snapshot
+	// Timeline is the per-processor/per-directory event timeline
+	// (RunResult.Timeline when MachineConfig.Timeline is set). Export
+	// with ChromeTrace (Perfetto / chrome://tracing compatible).
+	Timeline = metrics.Timeline
 
 	// FaultPlan configures the deterministic interconnect fault injector
 	// (MachineConfig.Faults): drop/duplicate/delay probabilities for
