@@ -144,8 +144,8 @@ func BenchmarkTable6LitmusMatrix(b *testing.B) {
 // summary must be identical across them (pinned by the package's own
 // determinism test), so the only thing varying is wall-clock.
 func BenchmarkCheckCampaign(b *testing.B) {
-	for _, workers := range []int{1, 4} {
-		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4", 8: "workers8"}[workers], func(b *testing.B) {
 			sims := 0
 			for i := 0; i < b.N; i++ {
 				s, err := weakorder.Check(weakorder.CampaignConfig{
@@ -173,6 +173,8 @@ func BenchmarkCheckCampaign(b *testing.B) {
 // retry protocol's cost across the preset plans on the critical-section
 // workload: "none" is the baseline (injector unarmed), mild/severe add
 // drops, duplicates, and delays that the hardened protocol must absorb.
+// Runs go through a machine.Pool, as the campaign's hot loop does, so
+// allocs/op reflects steady-state simulation cost, not machine assembly.
 func BenchmarkFaultMatrix(b *testing.B) {
 	prog := litmus.CriticalSection(3, 2)
 	for _, preset := range []string{"none", "mild", "severe"} {
@@ -185,9 +187,10 @@ func BenchmarkFaultMatrix(b *testing.B) {
 			if plan.Enabled() {
 				cfg.Faults = &plan
 			}
+			pool := machine.NewPool()
 			var cycles, retries uint64
 			for i := 0; i < b.N; i++ {
-				res, err := machine.Run(prog, cfg, int64(i))
+				res, err := pool.RunPooled(prog, cfg, int64(i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -200,6 +203,30 @@ func BenchmarkFaultMatrix(b *testing.B) {
 			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
 		})
 	}
+}
+
+// BenchmarkMachineReuse isolates what machine pooling saves: "fresh"
+// assembles the full component graph per run (machine.Run), "pooled"
+// resets one machine in place (machine.Pool). Results are byte-identical
+// (pinned by TestPooledMachineByteIdentical); only cost differs.
+func BenchmarkMachineReuse(b *testing.B) {
+	prog := litmus.CriticalSection(3, 2)
+	cfg := machine.Config{Policy: policy.WODef2, Topology: machine.TopoNetwork, Caches: true}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := machine.Run(prog, cfg, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := machine.NewPool()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.RunPooled(prog, cfg, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSnoopMachine measures the snoopy-bus substrate on the

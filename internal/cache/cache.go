@@ -2,7 +2,7 @@ package cache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/metrics"
@@ -198,6 +198,31 @@ type ackState struct {
 // debugTrace, when set by tests, observes every message delivery.
 var debugTrace func(cacheID, src int, m network.Msg)
 
+// lineChunk sizes the line-arena chunks (see newLine).
+const lineChunk = 32
+
+// hitTask is one pooled scheduled hit commit: the kernel callback
+// closure is allocated once per task and reused, so steady-state hits
+// schedule zero new closures.
+type hitTask struct {
+	c    *Cache
+	l    *line
+	r    *Req
+	addr mem.Addr
+	run  func()
+}
+
+func (t *hitTask) fire() {
+	c, l, r, addr := t.c, t.l, t.r, t.addr
+	t.l, t.r = nil, nil
+	c.hitFree = append(c.hitFree, t)
+	c.commitOnLine(l, r)
+	l.pendingLocal--
+	if l.pendingLocal == 0 {
+		c.flushDeferred(addr, l)
+	}
+}
+
 // Cache is one processor's cache plus the Section 5.3 counter and
 // reserve-bit logic.
 type Cache struct {
@@ -219,6 +244,37 @@ type Cache struct {
 	stats   Stats
 	// onCounterZero hooks external waiters (processor eviction stalls).
 	onCounterZero []func()
+
+	// nReserved / nDeferred track how many lines hold a reserve bit and
+	// how many forwards sit deferred, so the counter-zero sweep and
+	// Busy() skip the line scan entirely in the common (empty) case.
+	nReserved int
+	nDeferred int
+
+	// Line arena: lines are handed out from fixed-size chunks and the
+	// whole arena rewinds on Reset, so a pooled cache's steady-state fill
+	// path allocates nothing. Lines deleted mid-run are not recycled
+	// (their number is bounded by the run's fills); pointer identity
+	// stays deterministic because slots are issued in fill order.
+	lineChunks [][]line
+	lineN      int
+
+	// Free lists (populated as objects retire, drained by allocation).
+	mshrFree []*mshr
+	ackFree  []*ackState
+	hitFree  []*hitTask
+
+	// Scratch buffers reused by the per-cycle/per-event sweeps.
+	scratchAddrs []mem.Addr
+	scratchWork  []deferredWork
+}
+
+// deferredWork is one collected deferred forward during a counter-zero
+// sweep (collected first: servicing can mutate c.lines).
+type deferredWork struct {
+	addr  mem.Addr
+	msg   network.Msg
+	since sim.Time
 }
 
 // New constructs a cache attached to the network at cfg.ID.
@@ -250,21 +306,110 @@ func New(k *sim.Kernel, net network.Network, cfg Config) *Cache {
 	return c
 }
 
+// Reset rewinds the cache to its post-construction state for a fresh run
+// on the same wiring: all lines, transactions, counters, and statistics
+// are cleared while the arena chunks, free lists, and map buckets are
+// retained for reuse. The caller guarantees the kernel is drained (no
+// hit commits in flight). Retry parameters may be re-tuned per run.
+func (c *Cache) Reset(retryTimeout sim.Time, retryMax int) {
+	clear(c.lines)
+	for _, m := range c.mshrs {
+		c.releaseMSHR(m)
+	}
+	clear(c.mshrs)
+	for _, a := range c.acks {
+		c.releaseAck(a)
+	}
+	clear(c.acks)
+	clear(c.wbWait)
+	c.nextReqID = 0
+	c.counter = 0
+	c.fillSeq = 0
+	c.stats = Stats{}
+	c.onCounterZero = c.onCounterZero[:0]
+	c.nReserved = 0
+	c.nDeferred = 0
+	c.lineN = 0
+	c.cfg.RetryTimeout = retryTimeout
+	c.cfg.RetryMax = retryMax
+	c.cfg.RetryBackoffCap = 0
+	if c.cfg.RetryTimeout > 0 {
+		if c.cfg.RetryMax == 0 {
+			c.cfg.RetryMax = 16
+		}
+		c.cfg.RetryBackoffCap = 8 * c.cfg.RetryTimeout
+	}
+}
+
+// SetOnRetry replaces the retry observer (pooled machines rebuild their
+// fault injector per run).
+func (c *Cache) SetOnRetry(fn func(dst int, m network.Msg, attempt int)) {
+	c.cfg.OnRetry = fn
+}
+
+// newLine hands out a zeroed line from the arena.
+func (c *Cache) newLine() *line {
+	ci, li := c.lineN/lineChunk, c.lineN%lineChunk
+	if ci == len(c.lineChunks) {
+		c.lineChunks = append(c.lineChunks, make([]line, lineChunk))
+	}
+	c.lineN++
+	l := &c.lineChunks[ci][li]
+	*l = line{deferred: l.deferred[:0]}
+	return l
+}
+
+// newMSHR hands out a cleared MSHR from the free list.
+func (c *Cache) newMSHR(addr mem.Addr) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		*m = mshr{addr: addr, ops: m.ops[:0], fwds: m.fwds[:0]}
+	} else {
+		m = &mshr{addr: addr}
+	}
+	return m
+}
+
+// releaseMSHR returns a retired MSHR to the free list. Callers must be
+// done iterating its ops/fwds slices: the next newMSHR reuses them.
+func (c *Cache) releaseMSHR(m *mshr) {
+	for i := range m.ops {
+		m.ops[i] = nil
+	}
+	c.mshrFree = append(c.mshrFree, m)
+}
+
+// newAck hands out a cleared ackState from the free list.
+func (c *Cache) newAck() *ackState {
+	var a *ackState
+	if n := len(c.ackFree); n > 0 {
+		a = c.ackFree[n-1]
+		c.ackFree = c.ackFree[:n-1]
+		a.counted = false
+		a.waiters = a.waiters[:0]
+	} else {
+		a = &ackState{}
+	}
+	return a
+}
+
+// releaseAck returns a retired ackState to the free list.
+func (c *Cache) releaseAck(a *ackState) {
+	for i := range a.waiters {
+		a.waiters[i] = nil
+	}
+	c.ackFree = append(c.ackFree, a)
+}
+
 // Counter returns the paper's outstanding-access counter.
 func (c *Cache) Counter() int { return c.counter }
 
 // Busy reports whether any transaction, deferred forward, or pending
 // acknowledgement is outstanding (used for drain detection).
 func (c *Cache) Busy() bool {
-	if len(c.mshrs) > 0 || len(c.acks) > 0 || len(c.wbWait) > 0 {
-		return true
-	}
-	for _, l := range c.lines {
-		if len(l.deferred) > 0 {
-			return true
-		}
-	}
-	return false
+	return len(c.mshrs) > 0 || len(c.acks) > 0 || len(c.wbWait) > 0 || c.nDeferred > 0
 }
 
 // Stats returns cache statistics.
@@ -295,7 +440,7 @@ func (c *Cache) ReservedLines() []mem.Addr {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -319,15 +464,17 @@ func (c *Cache) Issue(r *Req) {
 	l, present := c.lines[r.Addr]
 	if present && c.satisfiable(l, r) {
 		c.stats.Hits++
-		addr := r.Addr
 		l.pendingLocal++
-		c.k.After(c.cfg.HitLatency, func() {
-			c.commitOnLine(l, r)
-			l.pendingLocal--
-			if l.pendingLocal == 0 {
-				c.flushDeferred(addr, l)
-			}
-		})
+		var t *hitTask
+		if n := len(c.hitFree); n > 0 {
+			t = c.hitFree[n-1]
+			c.hitFree = c.hitFree[:n-1]
+		} else {
+			t = &hitTask{c: c}
+			t.run = t.fire
+		}
+		t.l, t.r, t.addr = l, r, r.Addr
+		c.k.After(c.cfg.HitLatency, t.run)
 		return
 	}
 	c.startMiss(r, l, present)
@@ -369,14 +516,15 @@ func (c *Cache) sendReq(rs *retryState, dst int, m network.Msg) {
 // startMiss allocates an MSHR and sends the appropriate request.
 func (c *Cache) startMiss(r *Req, l *line, present bool) {
 	c.stats.Misses++
-	m := &mshr{addr: r.Addr, ops: []*Req{r}}
+	m := c.newMSHR(r.Addr)
+	m.ops = append(m.ops, r)
 	c.mshrs[r.Addr] = m
 	home := c.cfg.Home(r.Addr)
 	switch {
 	case c.isROSyncRead(r) && c.cfg.ROSyncUncached:
 		m.sort = fetchSyncRead
 		c.stats.SyncRequests++
-		c.sendReq(&m.retry, home, MsgSyncRead{Addr: r.Addr, ReqID: c.takeReqID()})
+		c.sendReq(&m.retry, home, SyncRead(r.Addr, c.takeReqID()))
 	case c.isROSyncRead(r):
 		// Cached-shared Test: protocol-wise a data read, but it does NOT
 		// hold a counter unit. A Test can defer on another processor's
@@ -387,12 +535,12 @@ func (c *Cache) startMiss(r *Req, l *line, present bool) {
 		// anyway, so no later synchronization can commit before it.
 		m.sort = fetchS
 		c.stats.SyncRequests++
-		c.sendReq(&m.retry, home, MsgGetS{Addr: r.Addr, ReqID: c.takeReqID()})
+		c.sendReq(&m.retry, home, GetS(r.Addr, c.takeReqID()))
 	case r.Kind == mem.Read:
 		m.sort = fetchS
 		m.dataMiss = true
 		c.counter++
-		c.sendReq(&m.retry, home, MsgGetS{Addr: r.Addr, ReqID: c.takeReqID()})
+		c.sendReq(&m.retry, home, GetS(r.Addr, c.takeReqID()))
 	default:
 		// Writes, RMWs and (non-bypass) synchronization operations all
 		// need the line exclusive; synchronization operations are flagged
@@ -408,7 +556,7 @@ func (c *Cache) startMiss(r *Req, l *line, present bool) {
 			m.dataMiss = true
 			c.counter++
 		}
-		c.sendReq(&m.retry, home, MsgGetX{Addr: r.Addr, Sync: m.sync, ReqID: c.takeReqID()})
+		c.sendReq(&m.retry, home, GetX(r.Addr, m.sync, c.takeReqID()))
 	}
 }
 
@@ -432,6 +580,7 @@ func (c *Cache) commitOnLine(l *line, r *Req) {
 	if r.Kind.IsSync() && !c.isROSyncRead(r) && c.cfg.UseReserve && c.counter > 0 {
 		if !l.reserved {
 			l.reservedAt = c.k.Now()
+			c.nReserved++
 		}
 		l.reserved = true
 	}
@@ -452,27 +601,25 @@ func (c *Cache) handle(src int, m network.Msg) {
 	if debugTrace != nil {
 		debugTrace(c.cfg.ID, src, m)
 	}
-	switch msg := m.(type) {
-	case MsgData:
-		c.fill(msg.Addr, msg.Value, LineShared, false)
-	case MsgOwnerData:
-		c.fill(msg.Addr, msg.Value, LineShared, false)
+	switch m.Kind {
+	case MsgData, MsgOwnerData:
+		c.fill(m.Addr, m.Value, LineShared, false)
 	case MsgDataEx:
-		c.fill(msg.Addr, msg.Value, LineExclusive, msg.AcksPending)
+		c.fill(m.Addr, m.Value, LineExclusive, flag(m, FlagAcksPending))
 	case MsgOwnerDataEx:
-		c.fill(msg.Addr, msg.Value, LineExclusive, false)
+		c.fill(m.Addr, m.Value, LineExclusive, false)
 	case MsgSyncReadReply:
-		c.syncReadReply(msg)
+		c.syncReadReply(m)
 	case MsgMemAck:
-		c.memAck(msg.Addr)
+		c.memAck(m.Addr)
 	case MsgInv:
-		c.invalidate(msg.Addr)
+		c.invalidate(m.Addr)
 	case MsgWBAck:
-		delete(c.wbWait, msg.Addr)
+		delete(c.wbWait, m.Addr)
 	case MsgFwdGetS, MsgFwdGetX, MsgFwdSyncRead:
 		c.forward(m)
 	default:
-		panic(fmt.Sprintf("cache %d: unexpected message %T from %d", c.cfg.ID, m, src))
+		panic(fmt.Sprintf("cache %d: unexpected message %s from %d", c.cfg.ID, MsgName(m), src))
 	}
 }
 
@@ -499,10 +646,13 @@ func (c *Cache) fill(addr mem.Addr, val mem.Value, st LineState, acksPending boo
 		if _, dup := c.acks[addr]; dup {
 			panic(fmt.Sprintf("cache %d: overlapping ack transactions for %d", c.cfg.ID, addr))
 		}
-		c.acks[addr] = &ackState{counted: true}
+		ack := c.newAck()
+		ack.counted = true
+		c.acks[addr] = ack
 	}
 	c.makeRoom()
-	l := &line{state: st, val: val, insertAt: c.fillSeq}
+	l := c.newLine()
+	l.state, l.val, l.insertAt = st, val, c.fillSeq
 	c.fillSeq++
 	c.lines[addr] = l
 	c.drainMSHR(m, l)
@@ -528,7 +678,7 @@ func (c *Cache) drainMSHR(m *mshr, l *line) {
 			}
 			// A fresh transaction id: the fill answering the original
 			// request already consumed the old one at the directory.
-			c.sendReq(&m.retry, c.cfg.Home(m.addr), MsgGetX{Addr: m.addr, Sync: m.sync, ReqID: c.takeReqID()})
+			c.sendReq(&m.retry, c.cfg.Home(m.addr), GetX(m.addr, m.sync, c.takeReqID()))
 			return
 		}
 		m.ops = m.ops[1:]
@@ -536,13 +686,16 @@ func (c *Cache) drainMSHR(m *mshr, l *line) {
 	}
 	fwds := m.fwds
 	delete(c.mshrs, m.addr)
-	for _, f := range fwds {
-		c.forward(f.msg)
+	for i := range fwds {
+		c.forward(fwds[i].msg)
 	}
+	// Release only now: forward() may start new transactions that draw
+	// fresh MSHRs from the free list while fwds is still being walked.
+	c.releaseMSHR(m)
 }
 
 // syncReadReply completes an uncached read-only synchronization read.
-func (c *Cache) syncReadReply(msg MsgSyncReadReply) {
+func (c *Cache) syncReadReply(msg network.Msg) {
 	m, ok := c.mshrs[msg.Addr]
 	if !ok || m.sort != fetchSyncRead {
 		panic(fmt.Sprintf("cache %d: stray SyncReadReply for %d", c.cfg.ID, msg.Addr))
@@ -563,9 +716,12 @@ func (c *Cache) syncReadReply(msg MsgSyncReadReply) {
 	for _, q := range rest {
 		c.Issue(q)
 	}
-	for _, f := range fwds {
-		c.forward(f.msg)
+	for i := range fwds {
+		c.forward(fwds[i].msg)
 	}
+	// As in drainMSHR: release only after the loops, because Issue and
+	// forward may draw fresh MSHRs whose slices would alias rest/fwds.
+	c.releaseMSHR(m)
 }
 
 // memAck completes a write's global performance.
@@ -581,6 +737,7 @@ func (c *Cache) memAck(addr mem.Addr) {
 	for _, fn := range ack.waiters {
 		fn()
 	}
+	c.releaseAck(ack)
 }
 
 // invalidate services an incoming invalidation and acknowledges to the
@@ -594,23 +751,12 @@ func (c *Cache) invalidate(addr mem.Addr) {
 		}
 		delete(c.lines, addr)
 	}
-	c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgInvAck{Addr: addr})
+	c.net.Send(c.cfg.ID, c.cfg.Home(addr), InvAck(addr))
 }
 
 // forward services (or defers) a request forwarded by the directory.
 func (c *Cache) forward(m network.Msg) {
-	var addr mem.Addr
-	switch msg := m.(type) {
-	case MsgFwdGetS:
-		addr = msg.Addr
-	case MsgFwdGetX:
-		addr = msg.Addr
-	case MsgFwdSyncRead:
-		addr = msg.Addr
-	default:
-		panic(fmt.Sprintf("cache %d: forward of %T", c.cfg.ID, m))
-	}
-
+	addr := m.Addr
 	l, present := c.lines[addr]
 	if !present {
 		if _, wb := c.wbWait[addr]; wb {
@@ -632,17 +778,17 @@ func (c *Cache) forward(m network.Msg) {
 			mshr.fwds = append(mshr.fwds, deferredFwd{msg: m, since: c.k.Now()})
 			return
 		}
-		panic(fmt.Sprintf("cache %d: forward %T for absent line %d", c.cfg.ID, m, addr))
+		panic(fmt.Sprintf("cache %d: forward %s for absent line %d", c.cfg.ID, MsgName(m), addr))
 	}
 	if l.state != LineExclusive {
-		panic(fmt.Sprintf("cache %d: forward %T for %v line %d", c.cfg.ID, m, l.state, addr))
+		panic(fmt.Sprintf("cache %d: forward %s for %v line %d", c.cfg.ID, MsgName(m), l.state, addr))
 	}
 
 	// Read-only synchronization reads are answered even when reserved
 	// (Section 6: they need not stall other processors).
-	if msg, ok := m.(MsgFwdSyncRead); ok {
-		c.net.Send(c.cfg.ID, msg.Requester, MsgSyncReadReply{Addr: addr, Value: l.val})
-		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgSyncReadDone{Addr: addr})
+	if m.Kind == MsgFwdSyncRead {
+		c.net.Send(c.cfg.ID, int(m.Peer), SyncReadReply(addr, l.val))
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), SyncReadDone(addr))
 		return
 	}
 	if l.pendingLocal > 0 || (l.reserved && c.counter > 0) {
@@ -650,6 +796,7 @@ func (c *Cache) forward(m network.Msg) {
 			c.stats.DeferredFwds++
 		}
 		l.deferred = append(l.deferred, deferredFwd{msg: m, since: c.k.Now()})
+		c.nDeferred++
 		return
 	}
 	c.serviceForward(addr, l, m)
@@ -657,19 +804,26 @@ func (c *Cache) forward(m network.Msg) {
 
 // serviceForward transfers or downgrades the line.
 func (c *Cache) serviceForward(addr mem.Addr, l *line, m network.Msg) {
-	switch msg := m.(type) {
+	switch m.Kind {
 	case MsgFwdGetS:
 		l.state = LineShared
-		l.reserved = false
-		c.net.Send(c.cfg.ID, msg.Requester, MsgOwnerData{Addr: addr, Value: l.val})
-		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgXferDone{Addr: addr, Shared: true, MemData: l.val})
+		if l.reserved {
+			l.reserved = false
+			c.nReserved--
+		}
+		c.net.Send(c.cfg.ID, int(m.Peer), OwnerData(addr, l.val))
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), XferDoneShared(addr, l.val))
 	case MsgFwdGetX:
 		val := l.val
+		if l.reserved {
+			l.reserved = false
+			c.nReserved--
+		}
 		delete(c.lines, addr)
-		c.net.Send(c.cfg.ID, msg.Requester, MsgOwnerDataEx{Addr: addr, Value: val})
-		c.net.Send(c.cfg.ID, c.cfg.Home(addr), MsgXferDone{Addr: addr, NewOwner: msg.Requester})
+		c.net.Send(c.cfg.ID, int(m.Peer), OwnerDataEx(addr, val))
+		c.net.Send(c.cfg.ID, c.cfg.Home(addr), XferDoneOwner(addr, int(m.Peer)))
 	default:
-		panic(fmt.Sprintf("cache %d: serviceForward %T", c.cfg.ID, m))
+		panic(fmt.Sprintf("cache %d: serviceForward %s", c.cfg.ID, MsgName(m)))
 	}
 }
 
@@ -687,30 +841,31 @@ func (c *Cache) decCounter() {
 	for _, fn := range c.onCounterZero {
 		fn()
 	}
-	c.onCounterZero = nil
-	// Collect deferred work first: servicing can mutate c.lines.
-	type pending struct {
-		addr  mem.Addr
-		msg   network.Msg
-		since sim.Time
+	c.onCounterZero = c.onCounterZero[:0]
+	if c.nReserved == 0 && c.nDeferred == 0 {
+		return
 	}
-	var work []pending
-	var addrs []mem.Addr
+	// Collect deferred work first: servicing can mutate c.lines.
+	work := c.scratchWork[:0]
+	addrs := c.scratchAddrs[:0]
 	for a := range c.lines {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	for _, a := range addrs {
 		l := c.lines[a]
 		if l.reserved {
 			l.reserved = false
+			c.nReserved--
 			c.cfg.ReserveHold.Observe(uint64(c.k.Now() - l.reservedAt))
 		}
 		for _, f := range l.deferred {
-			work = append(work, pending{addr: a, msg: f.msg, since: f.since})
+			work = append(work, deferredWork{addr: a, msg: f.msg, since: f.since})
 		}
-		l.deferred = nil
+		c.nDeferred -= len(l.deferred)
+		l.deferred = l.deferred[:0]
 	}
+	c.scratchWork, c.scratchAddrs = work, addrs
 	for _, w := range work {
 		c.stats.DeferredCycles += uint64(c.k.Now() - w.since)
 		c.cfg.DeferHold.Observe(uint64(c.k.Now() - w.since))
@@ -726,8 +881,13 @@ func (c *Cache) flushDeferred(addr mem.Addr, l *line) {
 	if cur, ok := c.lines[addr]; !ok || cur != l || len(l.deferred) == 0 {
 		return
 	}
-	work := l.deferred
-	l.deferred = nil
+	work := c.scratchWork[:0]
+	for _, f := range l.deferred {
+		work = append(work, deferredWork{addr: addr, msg: f.msg, since: f.since})
+	}
+	c.nDeferred -= len(l.deferred)
+	l.deferred = l.deferred[:0]
+	c.scratchWork = work
 	for _, f := range work {
 		c.forward(f.msg)
 	}
@@ -746,12 +906,23 @@ func (c *Cache) CheckTimeouts(now sim.Time) {
 	if c.cfg.RetryTimeout == 0 || (len(c.mshrs) == 0 && len(c.wbWait) == 0) {
 		return
 	}
-	for _, a := range c.PendingLines() {
+	addrs := c.scratchAddrs[:0]
+	for a := range c.mshrs {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
 		c.retryTick(now, c.cfg.Home(a), &c.mshrs[a].retry)
 	}
-	for _, a := range c.WritebackLines() {
+	addrs = addrs[:0]
+	for a := range c.wbWait {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
 		c.retryTick(now, c.cfg.Home(a), &c.wbWait[a].retry)
 	}
+	c.scratchAddrs = addrs
 }
 
 // retryTick re-sends one transaction if its deadline passed.
@@ -808,7 +979,7 @@ func (c *Cache) PendingLines() []mem.Addr {
 	for a := range c.mshrs {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -819,7 +990,7 @@ func (c *Cache) WritebackLines() []mem.Addr {
 	for a := range c.wbWait {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -837,7 +1008,7 @@ func (c *Cache) ExhaustedLines() []mem.Addr {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -874,7 +1045,7 @@ func (c *Cache) makeRoom() {
 		c.stats.Writebacks++
 		w := &wbTxn{}
 		c.wbWait[victim] = w
-		c.sendReq(&w.retry, c.cfg.Home(victim), MsgPutX{Addr: victim, Data: vl.val, ReqID: c.takeReqID()})
+		c.sendReq(&w.retry, c.cfg.Home(victim), PutX(victim, vl.val, c.takeReqID()))
 	}
 	delete(c.lines, victim)
 }

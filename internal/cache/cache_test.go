@@ -465,19 +465,22 @@ func TestHitDefersForwardUntilCommit(t *testing.T) {
 }
 
 func TestMsgNames(t *testing.T) {
-	msgs := []interface{}{
-		MsgGetS{}, MsgGetX{}, MsgSyncRead{}, MsgPutX{}, MsgInvAck{},
-		MsgXferDone{}, MsgSyncReadDone{}, MsgData{}, MsgDataEx{},
-		MsgMemAck{}, MsgInv{}, MsgWBAck{}, MsgFwdGetS{}, MsgFwdGetX{},
-		MsgFwdSyncRead{}, MsgSyncReadReply{}, MsgOwnerData{}, MsgOwnerDataEx{},
+	kinds := []network.MsgKind{
+		MsgGetS, MsgGetX, MsgSyncRead, MsgPutX, MsgInvAck,
+		MsgXferDone, MsgSyncReadDone, MsgData, MsgDataEx,
+		MsgMemAck, MsgInv, MsgWBAck, MsgFwdGetS, MsgFwdGetX,
+		MsgFwdSyncRead, MsgSyncReadReply, MsgOwnerData, MsgOwnerDataEx,
 	}
 	seen := make(map[string]bool)
-	for _, m := range msgs {
-		name := MsgName(m)
+	for _, k := range kinds {
+		name := MsgName(network.Msg{Kind: k})
 		if name == "" || seen[name] {
-			t.Errorf("bad or duplicate message name %q for %T", name, m)
+			t.Errorf("bad or duplicate message name %q for kind %d", name, k)
 		}
 		seen[name] = true
+	}
+	if got := MsgName(network.Msg{Kind: 250}); got != "MsgKind(250)" {
+		t.Errorf("unknown kind name = %q", got)
 	}
 }
 

@@ -2,7 +2,7 @@ package cache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"weakorder/internal/bitset"
 	"weakorder/internal/mem"
@@ -111,6 +111,24 @@ type DirConfig struct {
 	Track *metrics.Track
 }
 
+// dirLineChunk sizes the directory-line arena chunks.
+const dirLineChunk = 16
+
+// replyTask is one pooled delayed reply: the kernel callback closure is
+// allocated once per task and reused across replies.
+type replyTask struct {
+	d   *Directory
+	dst int
+	m   network.Msg
+	run func()
+}
+
+func (t *replyTask) fire() {
+	d, dst, m := t.d, t.dst, t.m
+	d.replyFree = append(d.replyFree, t)
+	d.net.Send(d.cfg.ID, dst, m)
+}
+
 // Directory is one memory module with a full-map directory. It serializes
 // transactions per line: a request arriving while the line has a pending
 // transaction queues until the transaction completes.
@@ -120,6 +138,19 @@ type Directory struct {
 	cfg   DirConfig
 	lines map[mem.Addr]*dirLine
 	stats DirStats
+	// reqCounts densely counts processed requests by message kind;
+	// Stats() materializes the name-keyed map from it on demand, keeping
+	// the per-message path allocation- and hash-free.
+	reqCounts [MsgOwnerDataEx + 1]uint64
+
+	// Directory-line arena (rewound wholesale by Reset): slots retain
+	// their sharers bitset, queue capacity, and served map across runs.
+	// Sharers bitsets are sized for cfg.NumProcs, so a pooled directory
+	// must be reused only for machines with the same processor count.
+	lineChunks [][]dirLine
+	lineN      int
+
+	replyFree []*replyTask
 }
 
 // DirStats counts directory activity.
@@ -148,18 +179,51 @@ func NewDirectory(k *sim.Kernel, net network.Network, cfg DirConfig) *Directory 
 		net:   net,
 		cfg:   cfg,
 		lines: make(map[mem.Addr]*dirLine),
-		stats: DirStats{Requests: make(map[string]uint64)},
 	}
 	net.Attach(cfg.ID, d.handle)
 	return d
 }
 
+// Reset rewinds the directory for a fresh run on the same wiring: all
+// line state and statistics are cleared while the arena, map buckets,
+// and pooled reply tasks are retained. The caller guarantees the kernel
+// is drained (no replies in flight) and that the processor count is
+// unchanged (arena bitsets are sized for it).
+func (d *Directory) Reset() {
+	clear(d.lines)
+	d.lineN = 0
+	d.stats = DirStats{}
+	clear(d.reqCounts[:])
+}
+
 func (d *Directory) line(a mem.Addr) *dirLine {
 	l, ok := d.lines[a]
 	if !ok {
-		l = &dirLine{state: DirUncached, sharers: bitset.New(d.cfg.NumProcs), owner: -1}
+		l = d.newLine()
 		d.lines[a] = l
 	}
+	return l
+}
+
+// newLine hands out a fresh dirLine from the arena, recycling the
+// slot's sharers bitset, queue capacity, and served map.
+func (d *Directory) newLine() *dirLine {
+	ci, li := d.lineN/dirLineChunk, d.lineN%dirLineChunk
+	if ci == len(d.lineChunks) {
+		d.lineChunks = append(d.lineChunks, make([]dirLine, dirLineChunk))
+	}
+	d.lineN++
+	l := &d.lineChunks[ci][li]
+	sharers, queue, served := l.sharers, l.queue[:0], l.served
+	if sharers == nil {
+		sharers = bitset.New(d.cfg.NumProcs)
+	} else {
+		sharers.Clear()
+	}
+	if served != nil {
+		clear(served)
+	}
+	*l = dirLine{state: DirUncached, sharers: sharers, owner: -1, queue: queue, served: served}
 	return l
 }
 
@@ -205,12 +269,22 @@ func (d *Directory) PendingLines() []mem.Addr {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
-// Stats returns directory statistics.
-func (d *Directory) Stats() DirStats { return d.stats }
+// Stats returns directory statistics. The Requests map is materialized
+// per call; callers own the returned map.
+func (d *Directory) Stats() DirStats {
+	s := d.stats
+	s.Requests = make(map[string]uint64)
+	for k, n := range d.reqCounts {
+		if n > 0 {
+			s.Requests[MsgName(network.Msg{Kind: network.MsgKind(k)})] = n
+		}
+	}
+	return s
+}
 
 // QueueDepth returns the number of requests queued behind a's pending
 // transaction (0 for an idle or unknown line) — liveness diagnostics.
@@ -226,36 +300,28 @@ func (d *Directory) handle(src int, m network.Msg) {
 	if debugTrace != nil {
 		debugTrace(d.cfg.ID, src, m)
 	}
-	d.stats.Requests[MsgName(m)]++
-	switch msg := m.(type) {
-	case MsgGetS:
-		if d.duplicate(msg.Addr, src, msg.ReqID) {
+	if int(m.Kind) < len(d.reqCounts) {
+		d.reqCounts[m.Kind]++
+	}
+	switch m.Kind {
+	case MsgGetS, MsgGetX, MsgSyncRead:
+		if d.duplicate(m.Addr, src, m.ReqID) {
 			return
 		}
-		d.request(src, msg.Addr, m)
-	case MsgGetX:
-		if d.duplicate(msg.Addr, src, msg.ReqID) {
-			return
-		}
-		d.request(src, msg.Addr, m)
-	case MsgSyncRead:
-		if d.duplicate(msg.Addr, src, msg.ReqID) {
-			return
-		}
-		d.request(src, msg.Addr, m)
+		d.request(src, m.Addr, m)
 	case MsgPutX:
-		if d.duplicate(msg.Addr, src, msg.ReqID) {
+		if d.duplicate(m.Addr, src, m.ReqID) {
 			return
 		}
-		d.putX(src, msg)
+		d.putX(src, m)
 	case MsgInvAck:
-		d.invAck(src, msg)
+		d.invAck(src, m)
 	case MsgXferDone:
-		d.xferDone(src, msg)
+		d.xferDone(src, m)
 	case MsgSyncReadDone:
-		d.syncReadDone(src, msg)
+		d.syncReadDone(src, m)
 	default:
-		panic(fmt.Sprintf("directory %d: unexpected message %T from %d", d.cfg.ID, m, src))
+		panic(fmt.Sprintf("directory %d: unexpected message %s from %d", d.cfg.ID, MsgName(m), src))
 	}
 }
 
@@ -301,25 +367,25 @@ func (d *Directory) request(src int, a mem.Addr, m network.Msg) {
 
 // process handles a request on an unblocked line.
 func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
-	switch msg := m.(type) {
+	switch m.Kind {
 	case MsgGetS:
 		switch l.state {
 		case DirUncached, DirShared:
 			l.state = DirShared
 			l.sharers.Add(src)
-			d.reply(src, MsgData{Addr: a, Value: l.val})
+			d.reply(src, Data(a, l.val))
 		case DirExclusive:
 			d.stats.Forwards++
 			l.pending = pendFwdS
 			l.requester = src
-			d.reply(l.owner, MsgFwdGetS{Addr: a, Requester: src})
+			d.reply(l.owner, FwdGetS(a, src))
 		}
 	case MsgGetX:
 		switch l.state {
 		case DirUncached:
 			l.state = DirExclusive
 			l.owner = src
-			d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+			d.reply(src, DataEx(a, l.val, false))
 		case DirShared:
 			others := 0
 			l.sharers.ForEach(func(i int) bool {
@@ -333,20 +399,20 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 				l.sharers.Clear()
 				l.state = DirExclusive
 				l.owner = src
-				d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+				d.reply(src, DataEx(a, l.val, false))
 				return
 			}
 			// Forward the line to the requester in parallel with the
 			// invalidations (the paper's protocol); collect acks here and
 			// send the final MemAck when all arrive.
-			d.reply(src, MsgDataEx{Addr: a, Value: l.val, AcksPending: true})
+			d.reply(src, DataEx(a, l.val, true))
 			l.pending = pendAcks
 			l.acksLeft = others
 			l.requester = src
 			l.sharers.ForEach(func(i int) bool {
 				if i != src {
 					d.stats.Invalidations++
-					d.reply(i, MsgInv{Addr: a})
+					d.reply(i, Inv(a))
 				}
 				return true
 			})
@@ -364,29 +430,29 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 			d.stats.Forwards++
 			l.pending = pendFwdX
 			l.requester = src
-			d.reply(l.owner, MsgFwdGetX{Addr: a, Requester: src, Sync: msg.Sync})
+			d.reply(l.owner, FwdGetX(a, src, flag(m, FlagSync)))
 		}
 	case MsgSyncRead:
 		switch l.state {
 		case DirUncached, DirShared:
 			// Memory is current: answer directly, no state change, no
 			// cached copy for the reader.
-			d.reply(src, MsgSyncReadReply{Addr: a, Value: l.val})
+			d.reply(src, SyncReadReply(a, l.val))
 		case DirExclusive:
 			d.stats.Forwards++
 			l.pending = pendFwdSyncRead
 			l.requester = src
-			d.reply(l.owner, MsgFwdSyncRead{Addr: a, Requester: src})
+			d.reply(l.owner, FwdSyncRead(a, src))
 		}
 	default:
-		panic(fmt.Sprintf("directory %d: cannot process %T", d.cfg.ID, m))
+		panic(fmt.Sprintf("directory %d: cannot process %s", d.cfg.ID, MsgName(m)))
 	}
 }
 
 // putX handles a writeback. A PutX crossing a forwarded request resolves
 // that transaction from memory: the (former) owner no longer has the line
 // and will drop the forward.
-func (d *Directory) putX(src int, msg MsgPutX) {
+func (d *Directory) putX(src int, msg network.Msg) {
 	a := msg.Addr
 	l := d.line(a)
 	switch {
@@ -395,14 +461,14 @@ func (d *Directory) putX(src int, msg MsgPutX) {
 			panic(fmt.Sprintf("directory %d: unexpected PutX from %d for %d (state %v owner %d)",
 				d.cfg.ID, src, a, l.state, l.owner))
 		}
-		l.val = msg.Data
+		l.val = msg.Value
 		l.state = DirUncached
 		l.owner = -1
-		d.reply(src, MsgWBAck{Addr: a})
+		d.reply(src, WBAck(a))
 	case (l.pending == pendFwdS || l.pending == pendFwdX || l.pending == pendFwdSyncRead) && l.owner == src:
 		// The writeback crossed our forward. Satisfy the blocked request
 		// from the written-back data.
-		l.val = msg.Data
+		l.val = msg.Value
 		req := l.requester
 		switch l.pending {
 		case pendFwdS:
@@ -410,17 +476,17 @@ func (d *Directory) putX(src int, msg MsgPutX) {
 			l.owner = -1
 			l.sharers.Clear()
 			l.sharers.Add(req)
-			d.reply(req, MsgData{Addr: a, Value: l.val})
+			d.reply(req, Data(a, l.val))
 		case pendFwdX:
 			l.state = DirExclusive
 			l.owner = req
-			d.reply(req, MsgDataEx{Addr: a, Value: l.val, AcksPending: false})
+			d.reply(req, DataEx(a, l.val, false))
 		case pendFwdSyncRead:
 			l.state = DirUncached
 			l.owner = -1
-			d.reply(req, MsgSyncReadReply{Addr: a, Value: l.val})
+			d.reply(req, SyncReadReply(a, l.val))
 		}
-		d.reply(src, MsgWBAck{Addr: a})
+		d.reply(src, WBAck(a))
 		d.unblock(a, l)
 	default:
 		panic(fmt.Sprintf("directory %d: PutX from %d for %d during %v (owner %d)",
@@ -429,27 +495,27 @@ func (d *Directory) putX(src int, msg MsgPutX) {
 }
 
 // invAck collects one invalidation acknowledgement.
-func (d *Directory) invAck(src int, msg MsgInvAck) {
+func (d *Directory) invAck(src int, msg network.Msg) {
 	l := d.line(msg.Addr)
 	if l.pending != pendAcks || l.acksLeft <= 0 {
 		panic(fmt.Sprintf("directory %d: stray InvAck from %d for %d", d.cfg.ID, src, msg.Addr))
 	}
 	l.acksLeft--
 	if l.acksLeft == 0 {
-		d.reply(l.requester, MsgMemAck{Addr: msg.Addr})
+		d.reply(l.requester, MemAck(msg.Addr))
 		d.unblock(msg.Addr, l)
 	}
 }
 
 // xferDone completes a forwarded GetS/GetX.
-func (d *Directory) xferDone(src int, msg MsgXferDone) {
+func (d *Directory) xferDone(src int, msg network.Msg) {
 	l := d.line(msg.Addr)
 	switch l.pending {
 	case pendFwdS:
-		if !msg.Shared {
+		if !flag(msg, FlagShared) {
 			panic(fmt.Sprintf("directory %d: FwdGetS completed without Shared flag for %d", d.cfg.ID, msg.Addr))
 		}
-		l.val = msg.MemData
+		l.val = msg.Value
 		l.state = DirShared
 		l.sharers.Clear()
 		l.sharers.Add(src)         // previous owner keeps a shared copy
@@ -457,7 +523,7 @@ func (d *Directory) xferDone(src int, msg MsgXferDone) {
 		l.owner = -1
 	case pendFwdX:
 		l.state = DirExclusive
-		l.owner = msg.NewOwner
+		l.owner = int(msg.Peer)
 	default:
 		panic(fmt.Sprintf("directory %d: XferDone for %d with pending=%v", d.cfg.ID, msg.Addr, l.pending))
 	}
@@ -465,7 +531,7 @@ func (d *Directory) xferDone(src int, msg MsgXferDone) {
 }
 
 // syncReadDone completes a forwarded MsgSyncRead.
-func (d *Directory) syncReadDone(src int, msg MsgSyncReadDone) {
+func (d *Directory) syncReadDone(src int, msg network.Msg) {
 	l := d.line(msg.Addr)
 	if l.pending != pendFwdSyncRead {
 		panic(fmt.Sprintf("directory %d: SyncReadDone for %d with pending=%v", d.cfg.ID, msg.Addr, l.pending))
@@ -493,7 +559,17 @@ func (d *Directory) unblock(a mem.Addr, l *dirLine) {
 	}
 }
 
-// reply sends a message after the configured memory latency.
+// reply sends a message after the configured memory latency, via a
+// pooled task so steady-state replies schedule zero new closures.
 func (d *Directory) reply(dst int, m network.Msg) {
-	d.k.After(d.cfg.Latency, func() { d.net.Send(d.cfg.ID, dst, m) })
+	var t *replyTask
+	if n := len(d.replyFree); n > 0 {
+		t = d.replyFree[n-1]
+		d.replyFree = d.replyFree[:n-1]
+	} else {
+		t = &replyTask{d: d}
+		t.run = t.fire
+	}
+	t.dst, t.m = dst, m
+	d.k.After(d.cfg.Latency, t.run)
 }

@@ -29,143 +29,117 @@ import (
 	"fmt"
 
 	"weakorder/internal/mem"
+	"weakorder/internal/network"
 )
 
-// Messages from a cache to a directory. The request-class messages
-// (GetS, GetX, SyncRead, PutX) carry a per-cache transaction id (ReqID)
-// so the directory can absorb duplicates: a retry after a timeout
-// re-sends the same id, and the directory serves each (source, id) pair
-// at most once. A ReqID of zero means "no dedup" (hand-assembled test
-// messages). These four are also the only messages a fault plan may
-// perturb (see Faultable).
-type (
-	// MsgGetS requests a shared copy (data read miss).
-	MsgGetS struct {
-		Addr  mem.Addr
-		ReqID uint64
-	}
+// Protocol message kinds, carried in network.Msg.Kind. Messages travel
+// as compact value structs (see network.Msg) — the kinds below define
+// the coherence vocabulary and which envelope fields each kind uses.
+//
+// The request-class messages (GetS, GetX, SyncRead, PutX) carry a
+// per-cache transaction id (ReqID) so the directory can absorb
+// duplicates: a retry after a timeout re-sends the same id, and the
+// directory serves each (source, id) pair at most once. A ReqID of zero
+// means "no dedup" (hand-assembled test messages). These four are also
+// the only messages a fault plan may perturb (see Faultable).
+const (
+	// MsgGetS requests a shared copy (data read miss). Uses Addr, ReqID.
+	MsgGetS network.MsgKind = iota + 1
 	// MsgGetX requests an exclusive copy (write miss, upgrade, or
 	// synchronization operation — all synchronization operations are
-	// treated as writes by the protocol, Section 5.2). Sync distinguishes
-	// synchronization requests so owners can apply reserve-bit stalling.
-	MsgGetX struct {
-		Addr  mem.Addr
-		Sync  bool
-		ReqID uint64
-	}
+	// treated as writes by the protocol, Section 5.2). FlagSync
+	// distinguishes synchronization requests so owners can apply
+	// reserve-bit stalling. Uses Addr, Flags, ReqID.
+	MsgGetX
 	// MsgSyncRead requests the current value of a location without
 	// taking a cached copy: the Section 6 read-only-synchronization
-	// path (Test). Only issued under the WO-Def2+RO policy.
-	MsgSyncRead struct {
-		Addr  mem.Addr
-		ReqID uint64
-	}
-	// MsgPutX writes back a dirty line on eviction.
-	MsgPutX struct {
-		Addr  mem.Addr
-		Data  mem.Value
-		ReqID uint64
-	}
-	// MsgInvAck acknowledges an invalidation to the directory.
-	MsgInvAck struct {
-		Addr mem.Addr
-	}
+	// path (Test). Only issued under the WO-Def2+RO policy. Uses Addr,
+	// ReqID.
+	MsgSyncRead
+	// MsgPutX writes back a dirty line on eviction. Uses Addr, Value,
+	// ReqID.
+	MsgPutX
+	// MsgInvAck acknowledges an invalidation to the directory. Uses Addr.
+	MsgInvAck
 	// MsgXferDone tells the directory a forwarded request was serviced:
-	// ownership moved to NewOwner (exclusive transfer) or, when Shared is
-	// set, the owner downgraded and MemData carries the up-to-date value
-	// for memory.
-	MsgXferDone struct {
-		Addr     mem.Addr
-		NewOwner int
-		Shared   bool
-		MemData  mem.Value
-	}
+	// ownership moved to Peer (exclusive transfer) or, when FlagShared is
+	// set, the owner downgraded and Value carries the up-to-date data for
+	// memory. Uses Addr, Peer, Flags, Value.
+	MsgXferDone
 	// MsgSyncReadDone tells the directory a forwarded MsgSyncRead was
-	// answered, unblocking the line.
-	MsgSyncReadDone struct {
-		Addr mem.Addr
-	}
-)
-
-// Messages from a directory to a cache.
-type (
-	// MsgData fills a shared copy in response to MsgGetS.
-	MsgData struct {
-		Addr  mem.Addr
-		Value mem.Value
-	}
+	// answered, unblocking the line. Uses Addr.
+	MsgSyncReadDone
+	// MsgData fills a shared copy in response to MsgGetS. Uses Addr,
+	// Value.
+	MsgData
 	// MsgDataEx grants an exclusive copy in response to MsgGetX. When
-	// AcksPending is set, other caches held shared copies: their
+	// FlagAcksPending is set, other caches held shared copies: their
 	// invalidations were sent in parallel and the requester's write is
-	// globally performed only when the matching MsgMemAck arrives.
-	MsgDataEx struct {
-		Addr        mem.Addr
-		Value       mem.Value
-		AcksPending bool
-	}
+	// globally performed only when the matching MsgMemAck arrives. Uses
+	// Addr, Value, Flags.
+	MsgDataEx
 	// MsgMemAck reports that all invalidation acknowledgements for the
 	// requester's earlier MsgGetX have been collected: the write is now
-	// globally performed.
-	MsgMemAck struct {
-		Addr mem.Addr
-	}
-	// MsgInv invalidates a shared copy.
-	MsgInv struct {
-		Addr mem.Addr
-	}
-	// MsgWBAck acknowledges a MsgPutX writeback.
-	MsgWBAck struct {
-		Addr mem.Addr
-	}
-	// MsgFwdGetS forwards a read request to the exclusive owner.
-	MsgFwdGetS struct {
-		Addr      mem.Addr
-		Requester int
-	}
+	// globally performed. Uses Addr.
+	MsgMemAck
+	// MsgInv invalidates a shared copy. Uses Addr.
+	MsgInv
+	// MsgWBAck acknowledges a MsgPutX writeback. Uses Addr.
+	MsgWBAck
+	// MsgFwdGetS forwards a read request to the exclusive owner. Peer is
+	// the requester. Uses Addr, Peer.
+	MsgFwdGetS
 	// MsgFwdGetX forwards an exclusive request to the current owner.
-	MsgFwdGetX struct {
-		Addr      mem.Addr
-		Requester int
-		Sync      bool
-	}
+	// Peer is the requester; FlagSync marks synchronization requests.
+	// Uses Addr, Peer, Flags.
+	MsgFwdGetX
 	// MsgFwdSyncRead forwards an uncached synchronization read to the
-	// exclusive owner.
-	MsgFwdSyncRead struct {
-		Addr      mem.Addr
-		Requester int
-	}
+	// exclusive owner. Peer is the requester. Uses Addr, Peer.
+	MsgFwdSyncRead
 	// MsgSyncReadReply answers a MsgSyncRead with the current value
-	// (sent by the directory or by the forwarded-to owner).
-	MsgSyncReadReply struct {
-		Addr  mem.Addr
-		Value mem.Value
-	}
-)
-
-// Messages between caches (owner to requester).
-type (
+	// (sent by the directory or by the forwarded-to owner). Uses Addr,
+	// Value.
+	MsgSyncReadReply
 	// MsgOwnerData supplies a shared copy from the previous exclusive
-	// owner (response to MsgFwdGetS).
-	MsgOwnerData struct {
-		Addr  mem.Addr
-		Value mem.Value
-	}
+	// owner (response to MsgFwdGetS). Uses Addr, Value.
+	MsgOwnerData
 	// MsgOwnerDataEx transfers the exclusive copy from the previous
 	// owner (response to MsgFwdGetX). Exactly one copy existed, so the
-	// receiving write is globally performed on receipt.
-	MsgOwnerDataEx struct {
-		Addr  mem.Addr
-		Value mem.Value
-	}
+	// receiving write is globally performed on receipt. Uses Addr, Value.
+	MsgOwnerDataEx
 )
+
+// Flag bits carried in network.Msg.Flags by the kinds above.
+const (
+	// FlagSync marks a GetX/FwdGetX issued for a synchronization
+	// operation.
+	FlagSync uint8 = 1 << iota
+	// FlagShared marks an XferDone where the owner downgraded to shared
+	// (FwdGetS) rather than transferring ownership.
+	FlagShared
+	// FlagAcksPending marks a DataEx whose invalidations are still being
+	// collected by the directory.
+	FlagAcksPending
+)
+
+// flag reports whether bit is set in m.Flags.
+func flag(m network.Msg, bit uint8) bool { return m.Flags&bit != 0 }
+
+// boolFlag returns bit when set is true, 0 otherwise.
+func boolFlag(bit uint8, set bool) uint8 {
+	if set {
+		return bit
+	}
+	return 0
+}
 
 // Faultable reports whether a fault plan may drop, duplicate, or delay
 // m: exactly the retried-and-deduplicated request-class messages. Every
 // other protocol message is protected — replies carry state transfers
 // the protocol cannot re-request, and the ack-phase messages rely on
 // point-to-point ordering relative to them.
-func Faultable(m interface{}) bool {
-	switch m.(type) {
+func Faultable(m network.Msg) bool {
+	switch m.Kind {
 	case MsgGetS, MsgGetX, MsgSyncRead, MsgPutX:
 		return true
 	default:
@@ -173,46 +147,131 @@ func Faultable(m interface{}) bool {
 	}
 }
 
+// msgNames maps protocol kinds to their short statistic names.
+var msgNames = [...]string{
+	MsgGetS:          "GetS",
+	MsgGetX:          "GetX",
+	MsgSyncRead:      "SyncRead",
+	MsgPutX:          "PutX",
+	MsgInvAck:        "InvAck",
+	MsgXferDone:      "XferDone",
+	MsgSyncReadDone:  "SyncReadDone",
+	MsgData:          "Data",
+	MsgDataEx:        "DataEx",
+	MsgMemAck:        "MemAck",
+	MsgInv:           "Inv",
+	MsgWBAck:         "WBAck",
+	MsgFwdGetS:       "FwdGetS",
+	MsgFwdGetX:       "FwdGetX",
+	MsgFwdSyncRead:   "FwdSyncRead",
+	MsgSyncReadReply: "SyncReadReply",
+	MsgOwnerData:     "OwnerData",
+	MsgOwnerDataEx:   "OwnerDataEx",
+}
+
 // MsgName returns a short name for a protocol message, for statistics.
-func MsgName(m interface{}) string {
-	switch m.(type) {
-	case MsgGetS:
-		return "GetS"
-	case MsgGetX:
-		return "GetX"
-	case MsgSyncRead:
-		return "SyncRead"
-	case MsgPutX:
-		return "PutX"
-	case MsgInvAck:
-		return "InvAck"
-	case MsgXferDone:
-		return "XferDone"
-	case MsgSyncReadDone:
-		return "SyncReadDone"
-	case MsgData:
-		return "Data"
-	case MsgDataEx:
-		return "DataEx"
-	case MsgMemAck:
-		return "MemAck"
-	case MsgInv:
-		return "Inv"
-	case MsgWBAck:
-		return "WBAck"
-	case MsgFwdGetS:
-		return "FwdGetS"
-	case MsgFwdGetX:
-		return "FwdGetX"
-	case MsgFwdSyncRead:
-		return "FwdSyncRead"
-	case MsgSyncReadReply:
-		return "SyncReadReply"
-	case MsgOwnerData:
-		return "OwnerData"
-	case MsgOwnerDataEx:
-		return "OwnerDataEx"
-	default:
-		return fmt.Sprintf("%T", m)
+func MsgName(m network.Msg) string {
+	if int(m.Kind) < len(msgNames) && msgNames[m.Kind] != "" {
+		return msgNames[m.Kind]
 	}
+	return fmt.Sprintf("MsgKind(%d)", m.Kind)
+}
+
+// Constructors for the protocol messages. Each returns the value
+// envelope with exactly the fields its kind uses.
+
+// GetS builds a shared-copy request.
+func GetS(addr mem.Addr, reqID uint64) network.Msg {
+	return network.Msg{Kind: MsgGetS, Addr: addr, ReqID: reqID}
+}
+
+// GetX builds an exclusive-copy request.
+func GetX(addr mem.Addr, sync bool, reqID uint64) network.Msg {
+	return network.Msg{Kind: MsgGetX, Addr: addr, Flags: boolFlag(FlagSync, sync), ReqID: reqID}
+}
+
+// SyncRead builds an uncached synchronization-read request.
+func SyncRead(addr mem.Addr, reqID uint64) network.Msg {
+	return network.Msg{Kind: MsgSyncRead, Addr: addr, ReqID: reqID}
+}
+
+// PutX builds a dirty-line writeback.
+func PutX(addr mem.Addr, data mem.Value, reqID uint64) network.Msg {
+	return network.Msg{Kind: MsgPutX, Addr: addr, Value: data, ReqID: reqID}
+}
+
+// InvAck builds an invalidation acknowledgement.
+func InvAck(addr mem.Addr) network.Msg {
+	return network.Msg{Kind: MsgInvAck, Addr: addr}
+}
+
+// XferDoneShared reports a FwdGetS serviced: the owner downgraded and
+// memData carries the current value for memory.
+func XferDoneShared(addr mem.Addr, memData mem.Value) network.Msg {
+	return network.Msg{Kind: MsgXferDone, Addr: addr, Flags: FlagShared, Value: memData}
+}
+
+// XferDoneOwner reports a FwdGetX serviced: ownership moved to newOwner.
+func XferDoneOwner(addr mem.Addr, newOwner int) network.Msg {
+	return network.Msg{Kind: MsgXferDone, Addr: addr, Peer: int32(newOwner)}
+}
+
+// SyncReadDone reports a forwarded MsgSyncRead answered.
+func SyncReadDone(addr mem.Addr) network.Msg {
+	return network.Msg{Kind: MsgSyncReadDone, Addr: addr}
+}
+
+// Data builds a shared-copy fill.
+func Data(addr mem.Addr, v mem.Value) network.Msg {
+	return network.Msg{Kind: MsgData, Addr: addr, Value: v}
+}
+
+// DataEx builds an exclusive-copy grant.
+func DataEx(addr mem.Addr, v mem.Value, acksPending bool) network.Msg {
+	return network.Msg{Kind: MsgDataEx, Addr: addr, Value: v, Flags: boolFlag(FlagAcksPending, acksPending)}
+}
+
+// MemAck reports all invalidation acks collected.
+func MemAck(addr mem.Addr) network.Msg {
+	return network.Msg{Kind: MsgMemAck, Addr: addr}
+}
+
+// Inv builds an invalidation.
+func Inv(addr mem.Addr) network.Msg {
+	return network.Msg{Kind: MsgInv, Addr: addr}
+}
+
+// WBAck acknowledges a writeback.
+func WBAck(addr mem.Addr) network.Msg {
+	return network.Msg{Kind: MsgWBAck, Addr: addr}
+}
+
+// FwdGetS forwards a read request to the exclusive owner.
+func FwdGetS(addr mem.Addr, requester int) network.Msg {
+	return network.Msg{Kind: MsgFwdGetS, Addr: addr, Peer: int32(requester)}
+}
+
+// FwdGetX forwards an exclusive request to the current owner.
+func FwdGetX(addr mem.Addr, requester int, sync bool) network.Msg {
+	return network.Msg{Kind: MsgFwdGetX, Addr: addr, Peer: int32(requester), Flags: boolFlag(FlagSync, sync)}
+}
+
+// FwdSyncRead forwards an uncached synchronization read to the owner.
+func FwdSyncRead(addr mem.Addr, requester int) network.Msg {
+	return network.Msg{Kind: MsgFwdSyncRead, Addr: addr, Peer: int32(requester)}
+}
+
+// SyncReadReply answers a MsgSyncRead.
+func SyncReadReply(addr mem.Addr, v mem.Value) network.Msg {
+	return network.Msg{Kind: MsgSyncReadReply, Addr: addr, Value: v}
+}
+
+// OwnerData supplies a shared copy from the previous owner.
+func OwnerData(addr mem.Addr, v mem.Value) network.Msg {
+	return network.Msg{Kind: MsgOwnerData, Addr: addr, Value: v}
+}
+
+// OwnerDataEx transfers the exclusive copy from the previous owner.
+func OwnerDataEx(addr mem.Addr, v mem.Value) network.Msg {
+	return network.Msg{Kind: MsgOwnerDataEx, Addr: addr, Value: v}
 }

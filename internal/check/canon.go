@@ -1,0 +1,223 @@
+package check
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"weakorder/internal/lang"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Oracle cache canonicalization. The appears-SC oracle is the campaign's
+// most expensive computation, and its verdict is invariant under two
+// cheap program isomorphisms: permuting whole threads (the idealized
+// interleaving semantics treat threads symmetrically) and bijectively
+// renaming addresses (conflicts and init values are preserved; address
+// identity never otherwise matters). Generated programs collide under
+// these isomorphisms constantly — the generators draw thread bodies and
+// variable layouts from seed streams, so "the same litmus shape with x
+// and y swapped" recurs across program indices — and canonicalizing the
+// cache key lets every isomorphic copy share one enumeration.
+//
+// canonicalize picks, over all thread permutations, the lexicographically
+// minimal serialization of the program with addresses renamed in first-
+// use order, and returns the winning renaming. Outcome sets are stored
+// in canonical coordinates: every result (enumerated or observed) is
+// mapped through the renaming before it is used as a key, so two
+// isomorphic programs agree on every cached verdict. Programs with a
+// litmus postcondition are exempt (the Cond references concrete threads
+// and symbols), as are programs with more threads than the permutation
+// budget; they fall back to a raw-text hash with identity renaming.
+
+// canonMaxThreads bounds the permutation search (4! = 24 serializations;
+// campaign generators emit 2-3 threads).
+const canonMaxThreads = 4
+
+// canonUnmappedBase offsets addresses that escape the renaming (which
+// cannot happen for any address an instruction can touch) clear of the
+// dense canonical id space.
+const canonUnmappedBase mem.Addr = 1 << 20
+
+// canon is a program's canonicalization: the cache hash plus the
+// renaming that maps this program's coordinates into canonical ones.
+type canon struct {
+	hash string
+	// inv[orig] = canonical position of original thread orig; nil means
+	// the identity renaming (raw fallback).
+	inv []int
+	// addr maps original addresses to canonical ids; nil means identity.
+	addr map[mem.Addr]mem.Addr
+}
+
+// canonicalize computes p's canonical cache key and renaming.
+func canonicalize(p *program.Program) canon {
+	n := p.NumThreads()
+	if p.Cond != nil || n > canonMaxThreads {
+		sum := sha256.Sum256([]byte("raw|" + lang.Format(p)))
+		return canon{hash: hex.EncodeToString(sum[:])}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var (
+		best     []byte
+		bestInv  []int
+		bestAddr map[mem.Addr]mem.Addr
+	)
+	permute(perm, 0, func(order []int) {
+		ser, amap := serializeCanonical(p, order)
+		if best != nil && bytes.Compare(ser, best) >= 0 {
+			return
+		}
+		best = append(best[:0], ser...)
+		bestInv = make([]int, n)
+		for c, orig := range order {
+			bestInv[orig] = c
+		}
+		bestAddr = amap
+	})
+	sum := sha256.Sum256(append([]byte("canon|"), best...))
+	return canon{hash: hex.EncodeToString(sum[:]), inv: bestInv, addr: bestAddr}
+}
+
+// permute visits every permutation of s in a deterministic order,
+// calling visit with each; s is restored between calls.
+func permute(s []int, k int, visit func([]int)) {
+	if k == len(s) {
+		visit(s)
+		return
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		permute(s, k+1, visit)
+		s[k], s[i] = s[i], s[k]
+	}
+}
+
+// serializeCanonical renders p with its threads in the given order and
+// addresses renamed by first use, returning the bytes and the renaming.
+// The serialization covers exactly the semantic content: per-thread
+// instruction streams (opcode, registers, immediates, branch targets,
+// canonical addresses) and the explicit init values — names and symbols
+// are cosmetic and excluded.
+func serializeCanonical(p *program.Program, order []int) ([]byte, map[mem.Addr]mem.Addr) {
+	amap := make(map[mem.Addr]mem.Addr)
+	canonAddr := func(a mem.Addr) mem.Addr {
+		id, ok := amap[a]
+		if !ok {
+			id = mem.Addr(len(amap))
+			amap[a] = id
+		}
+		return id
+	}
+	var b []byte
+	for c, orig := range order {
+		b = append(b, 'T', byte(c))
+		for _, in := range p.Threads[orig].Instrs {
+			b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt))
+			b = binary.AppendVarint(b, int64(in.Imm))
+			if in.UseImm {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.AppendVarint(b, int64(in.Target))
+			if in.Op.IsMemory() {
+				b = binary.AppendVarint(b, int64(canonAddr(in.Addr)))
+			}
+		}
+	}
+	// Init values: instruction-referenced addresses already have ids;
+	// init-only addresses get ids in value order. Ties among init-only
+	// addresses are harmless — such addresses are never read or written,
+	// so equal-valued ones are fully interchangeable.
+	var initOnly []mem.Addr
+	for a := range p.Init {
+		if _, ok := amap[a]; !ok {
+			initOnly = append(initOnly, a)
+		}
+	}
+	for swept := true; swept; { // tiny n: sort by (value, stability irrelevant)
+		swept = false
+		for i := 1; i < len(initOnly); i++ {
+			if p.Init[initOnly[i]] < p.Init[initOnly[i-1]] {
+				initOnly[i], initOnly[i-1] = initOnly[i-1], initOnly[i]
+				swept = true
+			}
+		}
+	}
+	for _, a := range initOnly {
+		canonAddr(a)
+	}
+	type initPair struct {
+		id mem.Addr
+		v  mem.Value
+	}
+	pairs := make([]initPair, 0, len(p.Init))
+	for a, v := range p.Init {
+		pairs = append(pairs, initPair{amap[a], v})
+	}
+	for swept := true; swept; {
+		swept = false
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].id < pairs[i-1].id {
+				pairs[i], pairs[i-1] = pairs[i-1], pairs[i]
+				swept = true
+			}
+		}
+	}
+	b = append(b, 'I')
+	for _, pr := range pairs {
+		b = binary.AppendVarint(b, int64(pr.id))
+		b = binary.AppendVarint(b, int64(pr.v))
+	}
+	return b, amap
+}
+
+// key maps res into canonical coordinates and fingerprints it. With the
+// identity renaming this is res.Key() itself.
+func (c canon) key(res mem.Result) string {
+	if c.inv == nil && c.addr == nil {
+		return res.Key()
+	}
+	return c.rename(res).Key()
+}
+
+// rename maps a result observed on the original program into canonical
+// coordinates: read observations move to the canonical thread position
+// (indices within a thread are unchanged) and addresses to their
+// canonical ids. Addresses outside the renaming can only be untouched
+// (zero-valued) — no instruction references them — and zero entries are
+// invisible to Result.Key, so they are dropped.
+func (c canon) rename(res mem.Result) mem.Result {
+	out := mem.Result{
+		Reads: make(map[mem.OpID]mem.ReadObservation, len(res.Reads)),
+		Final: make(map[mem.Addr]mem.Value, len(res.Final)),
+	}
+	for id, obs := range res.Reads {
+		nid := id
+		if id.Proc >= 0 && id.Proc < len(c.inv) {
+			nid.Proc = c.inv[id.Proc]
+		}
+		na, ok := c.addr[obs.Addr]
+		if !ok {
+			na = obs.Addr + canonUnmappedBase // unreachable; avoid id collision
+		}
+		out.Reads[nid] = mem.ReadObservation{ID: nid, Addr: na, Value: obs.Value}
+	}
+	for a, v := range res.Final {
+		na, ok := c.addr[a]
+		if !ok {
+			if v == 0 {
+				continue
+			}
+			na = a + canonUnmappedBase
+		}
+		out.Final[na] = v
+	}
+	return out
+}

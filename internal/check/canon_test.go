@@ -1,0 +1,129 @@
+package check
+
+import (
+	"testing"
+
+	"weakorder/internal/gen"
+	"weakorder/internal/ideal"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// isoCopy builds an isomorphic copy of p: threads rotated by one
+// position and every address mapped through a bijection, with symbols
+// and names scrambled (they are cosmetic).
+func isoCopy(p *program.Program) *program.Program {
+	remap := func(a mem.Addr) mem.Addr { return a*3 + 11 }
+	q := &program.Program{
+		Name:    p.Name + "-iso",
+		Threads: make([]program.Thread, len(p.Threads)),
+		Init:    make(map[mem.Addr]mem.Value, len(p.Init)),
+		Symbols: make(map[string]mem.Addr, len(p.Symbols)),
+	}
+	for i := range p.Threads {
+		src := p.Threads[(i+1)%len(p.Threads)]
+		th := program.Thread{Name: src.Name + "x", Instrs: make([]program.Instr, len(src.Instrs))}
+		copy(th.Instrs, src.Instrs)
+		for j := range th.Instrs {
+			if th.Instrs[j].Op.IsMemory() {
+				th.Instrs[j].Addr = remap(th.Instrs[j].Addr)
+				th.Instrs[j].Sym = ""
+			}
+		}
+		q.Threads[i] = th
+	}
+	for a, v := range p.Init {
+		q.Init[remap(a)] = v
+	}
+	for s, a := range p.Symbols {
+		q.Symbols[s+"x"] = remap(a)
+	}
+	return q
+}
+
+// enumerateCanonKeys collects a program's full SC outcome set in
+// canonical coordinates.
+func enumerateCanonKeys(t *testing.T, p *program.Program, cn canon) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	if _, err := ideal.Enumerate(p, oracleEnumConfig(), func(it *ideal.Interp) error {
+		out[cn.key(mem.ResultOf(it.Execution()))] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Isomorphic programs (threads permuted, addresses renamed) must share a
+// canonical hash, and their SC outcome sets must coincide exactly in
+// canonical coordinates — that is the property the shared oracle entry
+// relies on for soundness.
+func TestCanonicalizationMergesIsomorphicPrograms(t *testing.T) {
+	progs := []*program.Program{
+		gen.Racy(gen.RacyConfig{Procs: 2, Vars: 3, OpsPerProc: 4, SyncFraction: 4}, 9),
+		gen.RaceFree(gen.RaceFreeConfig{
+			Procs: 2, Locks: 1, SharedPerLock: 2, PrivatePerProc: 1,
+			Sections: 1, OpsPerSection: 2, PrivateOps: 1,
+		}, 3),
+		gen.Racy(gen.RacyConfig{Procs: 3, Vars: 2, OpsPerProc: 3, SyncFraction: 3}, 21),
+	}
+	for _, p := range progs {
+		q := isoCopy(p)
+		cnP, cnQ := canonicalize(p), canonicalize(q)
+		if cnP.inv == nil {
+			t.Fatalf("%s: campaign-shaped program fell back to the raw hash", p.Name)
+		}
+		if cnP.hash != cnQ.hash {
+			t.Fatalf("%s: isomorphic copy hashed differently:\n p %s\n q %s", p.Name, cnP.hash, cnQ.hash)
+		}
+		keysP := enumerateCanonKeys(t, p, cnP)
+		keysQ := enumerateCanonKeys(t, q, cnQ)
+		if len(keysP) != len(keysQ) {
+			t.Fatalf("%s: canonical outcome sets differ in size: %d vs %d", p.Name, len(keysP), len(keysQ))
+		}
+		for k := range keysP {
+			if !keysQ[k] {
+				t.Fatalf("%s: canonical outcome %q missing from isomorphic copy's set", p.Name, k)
+			}
+		}
+	}
+}
+
+// Distinct programs must not collide: changing one immediate changes the
+// canonical hash.
+func TestCanonicalizationSeparatesDistinctPrograms(t *testing.T) {
+	p := gen.Racy(gen.RacyConfig{Procs: 2, Vars: 3, OpsPerProc: 4, SyncFraction: 4}, 9)
+	q := isoCopy(p)
+	for i := range q.Threads[0].Instrs {
+		in := &q.Threads[0].Instrs[i]
+		if in.UseImm || in.Op == program.OpLoadImm {
+			in.Imm++
+			break
+		}
+	}
+	if canonicalize(p).hash == canonicalize(q).hash {
+		t.Fatal("programs differing in an immediate share a canonical hash")
+	}
+}
+
+// Programs carrying a litmus postcondition fall back to the raw hash
+// with the identity renaming: the Cond references concrete threads and
+// addresses, which canonical renaming would silently detach.
+func TestCanonicalizationSkipsPostconditions(t *testing.T) {
+	p := gen.Racy(gen.RacyConfig{Procs: 2, Vars: 2, OpsPerProc: 3, SyncFraction: 4}, 2)
+	p.Cond = &program.Cond{}
+	cn := canonicalize(p)
+	if cn.inv != nil || cn.addr != nil {
+		t.Fatal("postcondition program was canonically renamed")
+	}
+	res := mem.Result{
+		Reads: map[mem.OpID]mem.ReadObservation{
+			{Proc: 1, Index: 0}: {ID: mem.OpID{Proc: 1, Index: 0}, Addr: 7, Value: 3},
+		},
+		Final: map[mem.Addr]mem.Value{7: 3},
+	}
+	if got, want := cn.key(res), res.Key(); got != want {
+		t.Fatalf("identity renaming altered the key: %q vs %q", got, want)
+	}
+}

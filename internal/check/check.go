@@ -25,8 +25,6 @@
 package check
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,7 +35,6 @@ import (
 	"weakorder/internal/faults"
 	"weakorder/internal/gen"
 	"weakorder/internal/ideal"
-	"weakorder/internal/lang"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/policy"
@@ -250,16 +247,22 @@ func deriveSeed(campaign int64, parts ...uint64) int64 {
 
 func simTime(v int64) sim.Time { return sim.Time(v) }
 
-// oracleEntry caches the SC oracle for one distinct program: the
-// enumerated outcome-key set (complete or budget-truncated) plus a memo
-// of result-directed searches for keys outside an incomplete set.
+// oracleEntry caches the SC oracle for one distinct *canonical* program:
+// the enumerated outcome-key set (complete or budget-truncated) in
+// canonical coordinates, plus a memo of result-directed searches for
+// keys outside an incomplete set, plus the memoized DRF classification.
+// Programs that are isomorphic up to thread permutation and address
+// renaming share one entry (see canon.go).
 type oracleEntry struct {
 	once     sync.Once
 	outcomes map[string]bool
 	complete bool
 
+	classOnce sync.Once
+	class     string
+
 	mu    sync.Mutex
-	memo  map[string]bool // result key -> appears SC (fallback searches)
+	memo  map[string]bool // canonical result key -> appears SC (fallback searches)
 	stats entryStats
 }
 
@@ -267,30 +270,49 @@ type entryStats struct {
 	queries, enumHits, fallbacks, memoHits, budget int
 }
 
-// oracle is the campaign-wide appears-SC cache, keyed by program hash.
+// oracle is the campaign-wide appears-SC cache, keyed by canonical
+// program hash and striped to keep entry lookup off the workers' shared
+// critical path — with one global mutex every simulation result
+// serialized on the same lock.
 type oracle struct {
+	stripes [oracleStripes]oracleStripe
+}
+
+type oracleStripe struct {
 	mu      sync.Mutex
 	entries map[string]*oracleEntry
 }
 
-func newOracle() *oracle { return &oracle{entries: make(map[string]*oracleEntry)} }
+// oracleStripes is the shard count (power of two; comfortably above any
+// realistic worker count so stripe collisions are rare).
+const oracleStripes = 64
+
+func newOracle() *oracle {
+	o := &oracle{}
+	for i := range o.stripes {
+		o.stripes[i].entries = make(map[string]*oracleEntry)
+	}
+	return o
+}
 
 func (o *oracle) entry(hash string) *oracleEntry {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	e, ok := o.entries[hash]
+	// hash is hex, so single characters carry 4 bits; mix two.
+	s := &o.stripes[(hash[0]*31+hash[1])&(oracleStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[hash]
 	if !ok {
 		e = &oracleEntry{memo: make(map[string]bool)}
-		o.entries[hash] = e
+		s.entries[hash] = e
 	}
 	return e
 }
 
-func (e *oracleEntry) enumerate(p *program.Program) {
+func (e *oracleEntry) enumerate(p *program.Program, cn canon) {
 	e.once.Do(func() {
 		e.outcomes = make(map[string]bool)
 		stats, err := ideal.Enumerate(p, oracleEnumConfig(), func(it *ideal.Interp) error {
-			e.outcomes[mem.ResultOf(it.Execution()).Key()] = true
+			e.outcomes[cn.key(mem.ResultOf(it.Execution()))] = true
 			return nil
 		})
 		// The set decides non-membership only when enumeration visited
@@ -304,12 +326,13 @@ func (e *oracleEntry) enumerate(p *program.Program) {
 }
 
 // appearsSC is the per-entry oracle decision for one observed result:
-// the first call enumerates the program's SC outcome set once; later
-// calls are set lookups, with a memoized result-directed search when the
-// set is incomplete.
-func (e *oracleEntry) appearsSC(p *program.Program, res mem.Result) (bool, error) {
-	e.enumerate(p)
-	key := res.Key()
+// the first call enumerates the program's SC outcome set once (whichever
+// isomorphic program instance gets there first — the set is stored in
+// canonical coordinates, so all instances agree); later calls are set
+// lookups, with a memoized result-directed search when the set is
+// incomplete. key must be cn.key(res).
+func (e *oracleEntry) appearsSC(p *program.Program, cn canon, key string, res mem.Result) (bool, error) {
+	e.enumerate(p, cn)
 	e.mu.Lock()
 	e.stats.queries++
 	if e.outcomes[key] {
@@ -352,28 +375,26 @@ func (e *oracleEntry) appearsSC(p *program.Program, res mem.Result) (bool, error
 }
 
 func (o *oracle) stats() OracleStats {
-	o.mu.Lock()
-	defer o.mu.Unlock()
 	var s OracleStats
-	for _, e := range o.entries {
-		e.mu.Lock()
-		s.Enumerations++
-		if !e.complete {
-			s.Incomplete++
+	for i := range o.stripes {
+		st := &o.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.entries {
+			e.mu.Lock()
+			s.Enumerations++
+			if !e.complete {
+				s.Incomplete++
+			}
+			s.Queries += e.stats.queries
+			s.EnumHits += e.stats.enumHits
+			s.Fallbacks += e.stats.fallbacks
+			s.FallbackMemoHits += e.stats.memoHits
+			s.BudgetExceeded += e.stats.budget
+			e.mu.Unlock()
 		}
-		s.Queries += e.stats.queries
-		s.EnumHits += e.stats.enumHits
-		s.Fallbacks += e.stats.fallbacks
-		s.FallbackMemoHits += e.stats.memoHits
-		s.BudgetExceeded += e.stats.budget
-		e.mu.Unlock()
+		st.mu.Unlock()
 	}
 	return s
-}
-
-func hashProgram(p *program.Program) string {
-	sum := sha256.Sum256([]byte(lang.Format(p)))
-	return hex.EncodeToString(sum[:])
 }
 
 // Run executes a campaign and returns its deterministic summary.
@@ -415,6 +436,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	covSims := make(map[CoverageRow]int)
 	covNonSC := make(map[CoverageRow]int)
 	covKeys := make(map[CoverageRow]map[string]bool)
+	l1Hits := 0
 	for _, out := range outs {
 		s.ByClass[out.class]++
 		s.Sims += len(out.sims)
@@ -431,6 +453,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 			}
 		}
 		s.Violations = append(s.Violations, out.violations...)
+		l1Hits += out.l1Hits
 	}
 	for cell, sims := range covSims {
 		s.Coverage = append(s.Coverage, CoverageRow{
@@ -442,12 +465,14 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 		})
 	}
 	s.Oracle = c.oracle.stats()
+	s.Oracle.L1Hits = l1Hits
+	s.Oracle.Queries += l1Hits
 	sortSummary(s)
 
 	elapsed := time.Since(start).Seconds()
 	hit := 0.0
 	if s.Oracle.Queries > 0 {
-		hit = float64(s.Oracle.EnumHits+s.Oracle.FallbackMemoHits) / float64(s.Oracle.Queries)
+		hit = float64(s.Oracle.EnumHits+s.Oracle.FallbackMemoHits+s.Oracle.L1Hits) / float64(s.Oracle.Queries)
 	}
 	s.Perf = &Perf{
 		Elapsed:        elapsed,

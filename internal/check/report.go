@@ -123,8 +123,12 @@ type CoverageRow struct {
 // OracleStats counts the SC-oracle cache's work. All fields are
 // deterministic for a fixed campaign configuration.
 type OracleStats struct {
-	// Queries is the number of appears-SC decisions requested.
+	// Queries is the number of appears-SC decisions requested (including
+	// those absorbed by program-local L1 memos).
 	Queries int `json:"queries"`
+	// L1Hits counts queries answered by a program-local memo without
+	// touching the shared (striped) cache.
+	L1Hits int `json:"l1Hits"`
 	// Enumerations is the number of full outcome enumerations performed
 	// (once per distinct program).
 	Enumerations int `json:"enumerations"`

@@ -66,6 +66,11 @@ type progOutcome struct {
 	sims       []simRecord
 	violations []ViolationReport
 	watchdogs  int
+	// l1Hits counts oracle queries absorbed by the program-local L1 memo
+	// without touching the shared cache. The memo is per program — not
+	// per worker — so the count (and the shared cache's stats) stay
+	// deterministic for any Workers value.
+	l1Hits int
 }
 
 // runPool fans the program indices over a bounded worker pool. Each
@@ -83,8 +88,15 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a machine pool: simulations reuse one
+			// assembled machine per structural configuration instead of
+			// rebuilding the component graph per run. Pools are worker-local
+			// (machine.Pool is not goroutine-safe) and influence only
+			// allocation behavior — results are byte-identical to fresh
+			// machines, so the Summary stays worker-count-invariant.
+			pool := machine.NewPool()
 			for idx := range jobs {
-				outs[idx], errs[idx] = c.runProgram(idx)
+				outs[idx], errs[idx] = c.runProgram(idx, pool)
 				c.noteProgress(outs[idx])
 			}
 		}()
@@ -103,25 +115,30 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 }
 
 // runProgram generates program idx, classifies it, simulates it across
-// the whole config matrix, and shrinks any violation it finds.
-func (c *campaign) runProgram(idx int) (progOutcome, error) {
+// the whole config matrix, and shrinks any violation it finds. pool is
+// the calling worker's machine pool.
+func (c *campaign) runProgram(idx int, pool *machine.Pool) (progOutcome, error) {
 	specs := generators()
 	spec := specs[idx%len(specs)]
 	genSeed := deriveSeed(c.cfg.Seed, uint64(idx), 0x67656e) // "gen" stream
 	prog := spec.make(genSeed)
-	hash := hashProgram(prog)
-	entry := c.oracle.entry(hash)
+	cn := canonicalize(prog)
+	entry := c.oracle.entry(cn.hash)
 
 	class := spec.class
 	if class == "" {
-		class = c.classify(prog)
+		class = entry.classify(prog)
 	}
 
 	out := progOutcome{class: class}
+	// l1 memoizes appears-SC verdicts for this program's own runs: the
+	// matrix × seeds loop observes the same few outcomes over and over,
+	// and a local map answers repeats without the shared entry's lock.
+	l1 := make(map[string]bool, 8)
 	for cfgIdx, mcfg := range c.matrix {
 		for s := 0; s < c.cfg.SeedsPerConfig; s++ {
 			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
-			res, err := machine.Run(prog, mcfg, machineSeed)
+			res, err := pool.RunPooled(prog, mcfg, machineSeed)
 			if err != nil {
 				var le *machine.LivenessError
 				if !errors.As(err, &le) {
@@ -132,7 +149,7 @@ func (c *campaign) runProgram(idx int) (progOutcome, error) {
 				// not abort the campaign.
 				out.watchdogs++
 				rep, rerr := c.report(KindLiveness, spec, genSeed, idx, prog, mcfg, machineSeed,
-					mem.Result{}, le.Report.String())
+					mem.Result{}, le.Report.String(), pool)
 				if rerr != nil {
 					return out, rerr
 				}
@@ -146,9 +163,16 @@ func (c *campaign) runProgram(idx int) (progOutcome, error) {
 			if c.cfg.Fault != nil {
 				c.cfg.Fault(mcfg, prog, res)
 			}
-			sc, err := entry.appearsSC(prog, res.Result)
-			if err != nil {
-				return out, fmt.Errorf("%s on %s: oracle: %w", prog.Name, mcfg.Name(), err)
+			canonKey := cn.key(res.Result)
+			sc, hit := l1[canonKey]
+			if hit {
+				out.l1Hits++
+			} else {
+				sc, err = entry.appearsSC(prog, cn, canonKey, res.Result)
+				if err != nil {
+					return out, fmt.Errorf("%s on %s: oracle: %w", prog.Name, mcfg.Name(), err)
+				}
+				l1[canonKey] = sc
 			}
 			out.sims = append(out.sims, simRecord{
 				policy:    mcfg.Policy.String(),
@@ -159,7 +183,7 @@ func (c *campaign) runProgram(idx int) (progOutcome, error) {
 			if kind == "" {
 				continue
 			}
-			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result, "")
+			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result, "", pool)
 			if err != nil {
 				return out, err
 			}
@@ -199,13 +223,19 @@ func isWeaklyOrdered(pol policy.Kind) bool {
 
 // classify decides whether a generated program obeys DRF0 by bounded
 // exhaustive check; budget overruns conservatively classify as racy
-// (coverage only, no violation oracle).
-func (c *campaign) classify(p *program.Program) string {
-	v, err := drf.Check(p, hb.SyncAll, boundedDRFConfig())
-	if err != nil || !v.DRF {
-		return ClassRacy
-	}
-	return ClassDRF
+// (coverage only, no violation oracle). The verdict is memoized on the
+// canonical oracle entry — DRF0 is invariant under thread reordering and
+// address renaming, so canonically equal programs share one check.
+func (e *oracleEntry) classify(p *program.Program) string {
+	e.classOnce.Do(func() {
+		v, err := drf.Check(p, hb.SyncAll, boundedDRFConfig())
+		if err != nil || !v.DRF {
+			e.class = ClassRacy
+			return
+		}
+		e.class = ClassDRF
+	})
+	return e.class
 }
 
 // report shrinks a violating program and assembles its ViolationReport,
@@ -214,9 +244,9 @@ func (c *campaign) classify(p *program.Program) string {
 // observed result is then empty — a wedged run commits no outcome).
 func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
 	prog *program.Program, mcfg machine.Config, machineSeed int64,
-	observed mem.Result, liveness string) (ViolationReport, error) {
+	observed mem.Result, liveness string, pool *machine.Pool) (ViolationReport, error) {
 
-	pred := c.violates(kind, mcfg, machineSeed)
+	pred := c.violates(kind, mcfg, machineSeed, pool)
 	shrunk, steps := Shrink(prog, pred, c.cfg.MaxShrinkTries)
 	outcome := observed.Key()
 	if kind == KindLiveness {
@@ -249,7 +279,7 @@ func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
 // Definition 2 candidates must additionally stay DRF0 — otherwise
 // shrinking could land on a legitimately-racy program whose non-SC
 // outcome is no bug, making the corpus entry spurious.
-func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64) func(*program.Program) bool {
+func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64, pool *machine.Pool) func(*program.Program) bool {
 	shrinkCfg := mcfg
 	shrinkCfg.MaxCycles = shrinkMaxCycles
 	if kind == KindLiveness {
@@ -257,7 +287,7 @@ func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64)
 		// burns its entire cycle budget, so use the tight one.
 		shrinkCfg.MaxCycles = livenessShrinkMaxCycles
 		return func(cand *program.Program) bool {
-			_, err := machine.Run(cand, shrinkCfg, machineSeed)
+			_, err := pool.RunPooled(cand, shrinkCfg, machineSeed)
 			var le *machine.LivenessError
 			return errors.As(err, &le)
 		}
@@ -269,7 +299,7 @@ func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64)
 				return false
 			}
 		}
-		res, err := machine.Run(cand, shrinkCfg, machineSeed)
+		res, err := pool.RunPooled(cand, shrinkCfg, machineSeed)
 		if err != nil {
 			return false
 		}

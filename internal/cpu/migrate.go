@@ -71,7 +71,7 @@ func (p *Proc) Install(st ThreadState) error {
 	p.suspendReq = false
 	p.state = stRun
 	p.stats.DoneAt = 0
-	p.finalSnap = nil
+	p.hasFinal = false
 	return nil
 }
 

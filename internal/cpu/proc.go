@@ -196,16 +196,131 @@ type Proc struct {
 	wbuf         []wbEntry
 	issuedWrites int // writes issued to the port, not yet committed
 
-	// finalSnap holds the registers at the thread's natural halt (nil
-	// while running or after a migration export).
-	finalSnap *program.RegFile
+	// finalRegs holds the registers at the thread's natural halt
+	// (hasFinal false while running or after a migration export).
+	finalRegs program.RegFile
+	hasFinal  bool
+
+	// free pools retired procReqs: every memory dispatch borrows one,
+	// so steady-state execution allocates no requests or callback
+	// closures (see procReq).
+	free []*procReq
+
+	// Poll-based stall predicates, bound once per processor so parking
+	// on them never allocates a closure.
+	fenceDone        func() bool
+	bufferNotFull    func() bool
+	drainPreSyncDone func() bool
+	bufferEmpty      func() bool
 
 	stats Stats
 	err   error
 }
 
+// reqVariant selects a pooled request's commit/global behavior.
+type reqVariant uint8
+
+const (
+	reqRead       reqVariant = iota
+	reqSync                  // synchronization op issued by the front end
+	reqDrainWrite            // buffered write issued by Drain
+	reqPAWrite               // per-access-global (SC) write
+)
+
+// procReq is one pooled in-flight memory request: the cache.Req envelope
+// plus the state its callbacks need, with the OnCommit/OnGlobal closures
+// allocated once per pool entry and reused for every operation.
+type procReq struct {
+	p          *Proc
+	variant    reqVariant
+	rd         program.Reg
+	kind       mem.Kind
+	waitGlobal bool
+	op         mem.Op
+	req        cache.Req
+	commitFn   func(mem.Value)
+	globalFn   func()
+}
+
+func (r *procReq) onCommit(v mem.Value) {
+	p := r.p
+	switch r.variant {
+	case reqRead:
+		p.regs[r.rd] = v
+		r.op.Got = v
+		p.emit(r.op)
+		if !r.waitGlobal {
+			p.resume()
+			p.release(r)
+		}
+	case reqSync:
+		if r.kind.ReadsMemory() {
+			p.regs[r.rd] = v
+			r.op.Got = v
+		}
+		p.emit(r.op)
+		if !r.waitGlobal {
+			p.resume()
+			p.release(r)
+		}
+	case reqDrainWrite:
+		p.issuedWrites--
+		p.emit(r.op)
+		p.release(r)
+	case reqPAWrite:
+		p.emit(r.op) // released by onGlobal
+	}
+}
+
+func (r *procReq) onGlobal() {
+	p := r.p
+	p.resume()
+	p.release(r)
+}
+
+// newReq borrows a pooled request and resets its envelope.
+func (p *Proc) newReq(variant reqVariant, kind mem.Kind, addr mem.Addr, data mem.Value, waitGlobal bool) *procReq {
+	var r *procReq
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		r = &procReq{p: p}
+		r.commitFn = r.onCommit
+		r.globalFn = r.onGlobal
+	}
+	r.variant, r.kind, r.waitGlobal = variant, kind, waitGlobal
+	r.req = cache.Req{Kind: kind, Addr: addr, Data: data, OnCommit: r.commitFn}
+	if waitGlobal || variant == reqPAWrite {
+		r.req.OnGlobal = r.globalFn
+	}
+	return r
+}
+
+// release returns a request whose final callback has fired. The memory
+// system holds no live reference at that point: a request's last
+// callback is invoked only after the port has retired it.
+func (p *Proc) release(r *procReq) { p.free = append(p.free, r) }
+
 // New constructs a processor running thread over port.
 func New(k *sim.Kernel, cfg Config, thread program.Thread, port MemPort, sink TraceSink) *Proc {
+	p := &Proc{k: k, port: port, sink: sink}
+	p.fenceDone = func() bool {
+		return len(p.wbuf) == 0 && p.issuedWrites == 0 && p.port.Counter() == 0
+	}
+	p.bufferNotFull = func() bool { return len(p.wbuf) < p.cfg.WriteBufferSize }
+	p.drainPreSyncDone = func() bool {
+		return len(p.wbuf) == 0 && p.port.Counter() == 0 && p.issuedWrites == 0
+	}
+	p.bufferEmpty = func() bool { return len(p.wbuf) == 0 }
+	p.Reset(cfg, thread)
+	return p
+}
+
+// Reset rewinds the processor to run a new thread on the same kernel and
+// port, retaining the request pool and buffer capacity. It applies the
+// same defaults as New.
+func (p *Proc) Reset(cfg Config, thread program.Thread) {
 	if cfg.WriteBufferSize == 0 {
 		cfg.WriteBufferSize = 8
 	}
@@ -215,7 +330,21 @@ func New(k *sim.Kernel, cfg Config, thread program.Thread, port MemPort, sink Tr
 	if cfg.MaxLocalRun == 0 {
 		cfg.MaxLocalRun = 10_000
 	}
-	p := &Proc{k: k, cfg: cfg, port: port, thread: thread, sink: sink}
+	p.cfg = cfg
+	p.thread = thread
+	p.pc = 0
+	p.regs = [program.NumRegs]mem.Value{}
+	p.nextIx = 0
+	p.suspendReq = false
+	p.state = stRun
+	p.stallReason = 0
+	p.unstall = nil
+	p.wbuf = p.wbuf[:0]
+	p.issuedWrites = 0
+	p.finalRegs = program.RegFile{}
+	p.hasFinal = false
+	p.stats = Stats{}
+	p.err = nil
 	p.tid = cfg.ThreadID
 	if p.tid == 0 {
 		p.tid = cfg.ID
@@ -223,7 +352,6 @@ func New(k *sim.Kernel, cfg Config, thread program.Thread, port MemPort, sink Tr
 	if len(thread.Instrs) == 0 {
 		p.state = stHalted
 	}
-	return p
 }
 
 // Err returns the first execution error (e.g. local infinite loop).
@@ -243,10 +371,10 @@ func (p *Proc) Reg(r program.Reg) mem.Value { return p.regs[r] }
 // false while the thread is still running, was retired after a
 // migration export, or never ran a thread.
 func (p *Proc) FinalRegs() (program.RegFile, bool) {
-	if p.finalSnap == nil {
+	if !p.hasFinal {
 		return program.RegFile{}, false
 	}
-	return *p.finalSnap, true
+	return p.finalRegs, true
 }
 
 // StallReason returns the current stall reason; meaningful only while
@@ -326,18 +454,14 @@ func (p *Proc) Drain() {
 		return
 	}
 	e := p.wbuf[0]
-	p.wbuf = p.wbuf[1:]
+	// Pop by shifting in place: the buffer is tiny and the backing array
+	// is retained, so draining never reallocates.
+	copy(p.wbuf, p.wbuf[1:])
+	p.wbuf = p.wbuf[:len(p.wbuf)-1]
 	p.issuedWrites++
-	op := e.op
-	p.port.Issue(&cache.Req{
-		Kind: mem.Write,
-		Addr: e.addr,
-		Data: e.val,
-		OnCommit: func(v mem.Value) {
-			p.issuedWrites--
-			p.emit(op)
-		},
-	})
+	r := p.newReq(reqDrainWrite, mem.Write, e.addr, e.val, false)
+	r.op = e.op
+	p.port.Issue(&r.req)
 }
 
 // stall parks the processor; cond (optional) is polled each cycle.
@@ -377,8 +501,8 @@ func (p *Proc) step() {
 		if p.pc < 0 || p.pc >= len(p.thread.Instrs) {
 			p.state = stHalted
 			p.stats.DoneAt = uint64(p.k.Now())
-			snap := p.regs
-			p.finalSnap = &snap
+			p.finalRegs = p.regs
+			p.hasFinal = true
 			return
 		}
 		in := p.thread.Instrs[p.pc]
@@ -389,17 +513,15 @@ func (p *Proc) step() {
 		if in.Op == program.OpFence {
 			p.pc++
 			if len(p.wbuf) > 0 || p.issuedWrites > 0 || p.port.Counter() > 0 {
-				p.stall(FenceWait, func() bool {
-					return len(p.wbuf) == 0 && p.issuedWrites == 0 && p.port.Counter() == 0
-				})
+				p.stall(FenceWait, p.fenceDone)
 			}
 			return // the fence consumes the cycle even when already drained
 		}
 		if halted := p.execLocal(in); halted {
 			p.state = stHalted
 			p.stats.DoneAt = uint64(p.k.Now())
-			snap := p.regs
-			p.finalSnap = &snap
+			p.finalRegs = p.regs
+			p.hasFinal = true
 			return
 		}
 	}
@@ -511,24 +633,16 @@ func (p *Proc) dispatchRead(in program.Instr) {
 			}
 		}
 	}
-	rd := in.Rd
 	waitGlobal := p.cfg.Policy.PerAccessGlobal()
-	req := &cache.Req{Kind: mem.Read, Addr: in.Addr}
-	req.OnCommit = func(v mem.Value) {
-		p.regs[rd] = v
-		op.Got = v
-		p.emit(op)
-		if !waitGlobal {
-			p.resume()
-		}
-	}
+	r := p.newReq(reqRead, mem.Read, in.Addr, 0, waitGlobal)
+	r.rd = in.Rd
+	r.op = op
 	if waitGlobal {
-		req.OnGlobal = func() { p.resume() }
 		p.stall(PerAccessWait, nil)
 	} else {
 		p.stall(ReadWait, nil)
 	}
-	p.port.Issue(req)
+	p.port.Issue(&r.req)
 }
 
 func (p *Proc) dispatchWrite(in program.Instr) {
@@ -538,17 +652,15 @@ func (p *Proc) dispatchWrite(in program.Instr) {
 		op.Data = val
 		p.pc++
 		p.stall(PerAccessWait, nil)
-		p.port.Issue(&cache.Req{
-			Kind: mem.Write, Addr: in.Addr, Data: val,
-			OnCommit: func(v mem.Value) { p.emit(op) },
-			OnGlobal: func() { p.resume() },
-		})
+		r := p.newReq(reqPAWrite, mem.Write, in.Addr, val, false)
+		r.op = op
+		p.port.Issue(&r.req)
 		return
 	}
 	if len(p.wbuf) >= p.cfg.WriteBufferSize {
 		// Buffer full: retry this instruction once drainBuffer frees an
 		// entry.
-		p.stall(BufferFull, func() bool { return len(p.wbuf) < p.cfg.WriteBufferSize })
+		p.stall(BufferFull, p.bufferNotFull)
 		return
 	}
 	op := p.opTemplate(in, mem.Write)
@@ -573,9 +685,7 @@ func (p *Proc) dispatchSync(in program.Instr, kind mem.Kind) {
 		p.issueSync(in, kind, true)
 	case pol.DrainBeforeSync(): // Definition 1
 		if len(p.wbuf) > 0 || p.port.Counter() > 0 || p.issuedWrites > 0 {
-			p.stall(DrainPreSync, func() bool {
-				return len(p.wbuf) == 0 && p.port.Counter() == 0 && p.issuedWrites == 0
-			})
+			p.stall(DrainPreSync, p.drainPreSyncDone)
 			return
 		}
 		p.issueSync(in, kind, pol.WaitSyncGlobal())
@@ -583,7 +693,7 @@ func (p *Proc) dispatchSync(in program.Instr, kind mem.Kind) {
 		if len(p.wbuf) > 0 {
 			// Program-order generation: previous writes must at least be
 			// issued (counted) before the synchronization operation.
-			p.stall(BufferDrain, func() bool { return len(p.wbuf) == 0 })
+			p.stall(BufferDrain, p.bufferEmpty)
 			return
 		}
 		p.issueSync(in, kind, false)
@@ -603,23 +713,13 @@ func (p *Proc) issueSync(in program.Instr, kind mem.Kind, waitGlobal bool) {
 		data = p.storeValue(in)
 	}
 	op.Data = data
-	rd := in.Rd
-	req := &cache.Req{Kind: kind, Addr: in.Addr, Data: data}
-	req.OnCommit = func(v mem.Value) {
-		if kind.ReadsMemory() {
-			p.regs[rd] = v
-			op.Got = v
-		}
-		p.emit(op)
-		if !waitGlobal {
-			p.resume()
-		}
-	}
+	r := p.newReq(reqSync, kind, in.Addr, data, waitGlobal)
+	r.rd = in.Rd
+	r.op = op
 	if waitGlobal {
-		req.OnGlobal = func() { p.resume() }
 		p.stall(SyncGlobalWait, nil)
 	} else {
 		p.stall(SyncCommitWait, nil)
 	}
-	p.port.Issue(req)
+	p.port.Issue(&r.req)
 }

@@ -231,16 +231,49 @@ type Net struct {
 	k      *sim.Kernel
 	inner  network.Network
 	plan   Plan
-	rng    *splitmix.Stream
+	rng    splitmix.Stream
 	hooks  Hooks
 	stats  Stats
 	events []Event
+	free   []*delayTask
+}
+
+// delayTask is a pooled deferred retransmission: one heap object per
+// concurrently delayed message, reused across the run instead of
+// allocating a fresh closure for every delay decision.
+type delayTask struct {
+	n        *Net
+	src, dst int
+	m        network.Msg
+	run      func()
+}
+
+// fire recycles the task before forwarding, so the pool slot is free
+// even if the send schedules further work.
+func (t *delayTask) fire() {
+	n, src, dst, m := t.n, t.src, t.dst, t.m
+	n.free = append(n.free, t)
+	n.inner.Send(src, dst, m)
 }
 
 // New wraps inner with the fault plan, seeding the decision stream from
 // seed.
 func New(k *sim.Kernel, inner network.Network, plan Plan, seed uint64, hooks Hooks) *Net {
-	return &Net{k: k, inner: inner, plan: plan, rng: splitmix.New(seed), hooks: hooks}
+	n := &Net{k: k, inner: inner, plan: plan, hooks: hooks}
+	n.rng.Reseed(seed)
+	return n
+}
+
+// Reset reprograms the injector in place for a new run: a fresh plan and
+// decision-stream seed, zeroed counters, and an emptied event log. The
+// kernel, inner network, and hooks persist — pooled machines reuse one
+// injector across runs. A Reset(plan, seed) injector behaves
+// byte-identically to New(k, inner, plan, seed, hooks).
+func (n *Net) Reset(plan Plan, seed uint64) {
+	n.plan = plan
+	n.rng.Reseed(seed)
+	n.stats = Stats{}
+	n.events = n.events[:0]
 }
 
 // Attach implements network.Network.
@@ -275,7 +308,16 @@ func (n *Net) transmit(src, dst int, m network.Msg) {
 		n.stats.Delays++
 		n.stats.ExtraDelayCycles += uint64(extra)
 		n.event(Event{Kind: KindDelay, Src: src, Dst: dst, Msg: n.describe(m), Extra: uint64(extra)})
-		n.k.After(extra, func() { n.inner.Send(src, dst, m) })
+		var t *delayTask
+		if k := len(n.free); k > 0 {
+			t = n.free[k-1]
+			n.free = n.free[:k-1]
+		} else {
+			t = &delayTask{n: n}
+			t.run = t.fire
+		}
+		t.src, t.dst, t.m = src, dst, m
+		n.k.After(extra, t.run)
 		return
 	}
 	n.inner.Send(src, dst, m)

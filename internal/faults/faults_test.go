@@ -8,13 +8,11 @@ import (
 	"weakorder/internal/sim"
 )
 
-// fakeMsg is a faultable test payload; plain ints pass through unfaulted.
-type fakeMsg struct{ id int }
+// Faultable test payloads carry kind 42 with the message id in ReqID;
+// kind 7 payloads are protected and pass through unfaulted.
+func fakeMsg(id int) network.Msg { return network.Msg{Kind: 42, ReqID: uint64(id)} }
 
-func faultableFake(m network.Msg) bool {
-	_, ok := m.(fakeMsg)
-	return ok
-}
+func faultableFake(m network.Msg) bool { return m.Kind == 42 }
 
 type arrival struct {
 	at       sim.Time
@@ -40,9 +38,9 @@ func run(t *testing.T, seed uint64, plan Plan, record bool) ([]arrival, *Net) {
 	for i := 0; i < 64; i++ {
 		i := i
 		k.At(sim.Time(1+i*2), func() {
-			n.Send(i%2, 2+i%2, fakeMsg{id: i})
+			n.Send(i%2, 2+i%2, fakeMsg(i))
 			if i%4 == 0 {
-				n.Send(i%2, 3, "protected") // never faulted
+				n.Send(i%2, 3, network.Msg{Kind: 7}) // never faulted
 			}
 		})
 	}
@@ -94,7 +92,7 @@ func TestProtectedMessagesNeverFaulted(t *testing.T) {
 	// string survives.
 	got, n := run(t, 5, Plan{Drop: 1}, false)
 	for _, d := range got {
-		if _, ok := d.m.(fakeMsg); ok {
+		if faultableFake(d.m) {
 			t.Fatalf("faultable message delivered under Drop=1: %+v", d)
 		}
 	}
@@ -111,8 +109,8 @@ func TestDupDeliversTwice(t *testing.T) {
 	got, n := run(t, 11, Plan{Dup: 1}, false)
 	counts := make(map[int]int)
 	for _, d := range got {
-		if fm, ok := d.m.(fakeMsg); ok {
-			counts[fm.id]++
+		if faultableFake(d.m) {
+			counts[int(d.m.ReqID)]++
 		}
 	}
 	for id, c := range counts {
@@ -134,14 +132,14 @@ func TestDelayAddsBoundedLatency(t *testing.T) {
 	// Base latency 3, sends at 1+2i: a faultable delivery at send+3+e
 	// with 1 <= e <= maxExtra.
 	for _, d := range got {
-		fm, ok := d.m.(fakeMsg)
-		if !ok {
+		if !faultableFake(d.m) {
 			continue
 		}
-		sent := sim.Time(1 + fm.id*2)
+		id := int(d.m.ReqID)
+		sent := sim.Time(1 + id*2)
 		extra := d.at - sent - 3
 		if extra < 1 || extra > maxExtra {
-			t.Fatalf("message %d: extra delay %d outside [1,%d]", fm.id, extra, maxExtra)
+			t.Fatalf("message %d: extra delay %d outside [1,%d]", id, extra, maxExtra)
 		}
 	}
 	st := n.FaultStats()

@@ -80,13 +80,14 @@ type Visitor func(*Interp) error
 // snapshot.
 func Enumerate(p *program.Program, cfg EnumConfig, visit Visitor) (EnumStats, error) {
 	var stats EnumStats
+	var ar Arena
 	root := New(p, cfg.Interp)
 	var err error
 	if cfg.Reduce && p.NumThreads() <= maxReduceThreads {
-		r := &reducer{cfg: cfg, stats: &stats, visit: visit, memo: make(map[string][]uint64)}
+		r := &reducer{cfg: cfg, stats: &stats, visit: visit, memo: make(map[string][]uint64), ar: &ar}
 		err = r.explore(root, 0, make([][]byte, p.NumThreads()))
 	} else {
-		err = enumerate(root, cfg, &stats, visit)
+		err = enumerate(root, cfg, &stats, &ar, visit)
 	}
 	if errors.Is(err, ErrStop) {
 		return stats, nil
@@ -94,7 +95,7 @@ func Enumerate(p *program.Program, cfg EnumConfig, visit Visitor) (EnumStats, er
 	return stats, err
 }
 
-func enumerate(it *Interp, cfg EnumConfig, stats *EnumStats, visit Visitor) error {
+func enumerate(it *Interp, cfg EnumConfig, stats *EnumStats, ar *Arena, visit Visitor) error {
 	if cfg.MaxPaths > 0 && stats.Steps > cfg.MaxPaths {
 		return ErrBudget
 	}
@@ -105,24 +106,30 @@ func enumerate(it *Interp, cfg EnumConfig, stats *EnumStats, visit Visitor) erro
 		}
 		return visit(it)
 	}
-	for _, tid := range it.Runnable() {
-		child := it.Clone()
+	run := it.RunnableInto(ar.Ints())
+	for _, tid := range run {
+		child := ar.Clone(it)
 		stats.Steps++
 		_, _, err := child.Step(tid)
 		switch {
 		case errors.Is(err, ErrTruncated):
+			ar.Release(child)
 			stats.Truncated++
 			if cfg.SkipTruncated {
 				continue
 			}
 			return ErrTruncated
 		case err != nil:
+			ar.Release(child)
 			return err
 		}
-		if err := enumerate(child, cfg, stats, visit); err != nil {
+		err = enumerate(child, cfg, stats, ar, visit)
+		ar.Release(child)
+		if err != nil {
 			return err
 		}
 	}
+	ar.ReleaseInts(run)
 	return nil
 }
 

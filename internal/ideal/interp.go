@@ -15,7 +15,7 @@ package ideal
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -74,6 +74,10 @@ type Interp struct {
 	threads []threadState
 	memory  map[mem.Addr]mem.Value
 	trace   []mem.Op
+
+	// keyAddrs is AppendStateKey's address-sorting scratch; it carries no
+	// state and is deliberately not copied by Clone/copyFrom.
+	keyAddrs []mem.Addr
 }
 
 // New returns an interpreter positioned at the start of p.
@@ -114,18 +118,45 @@ func (it *Interp) Clone() *Interp {
 	return out
 }
 
+// copyFrom overwrites it with src's state, reusing it's existing
+// storage. Equivalent to Clone from the caller's perspective; this is
+// what lets Arena.Clone recycle retired interpreters.
+func (it *Interp) copyFrom(src *Interp) {
+	it.prog = src.prog
+	it.cfg = src.cfg
+	if cap(it.threads) < len(src.threads) {
+		it.threads = make([]threadState, len(src.threads))
+	}
+	it.threads = it.threads[:len(src.threads)]
+	copy(it.threads, src.threads)
+	it.trace = append(it.trace[:0], src.trace...)
+	if it.memory == nil {
+		it.memory = make(map[mem.Addr]mem.Value, len(src.memory))
+	} else {
+		clear(it.memory)
+	}
+	for a, v := range src.memory {
+		it.memory[a] = v
+	}
+}
+
 // Program returns the program under interpretation.
 func (it *Interp) Program() *program.Program { return it.prog }
 
 // Runnable returns the ids of threads that have not halted.
-func (it *Interp) Runnable() []int {
-	var out []int
+func (it *Interp) Runnable() []int { return it.RunnableInto(nil) }
+
+// RunnableInto appends the ids of non-halted threads to dst[:0] and
+// returns the result — the allocation-free form of Runnable for search
+// hot loops holding their own scratch.
+func (it *Interp) RunnableInto(dst []int) []int {
+	dst = dst[:0]
 	for i := range it.threads {
 		if !it.threads[i].halted {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // Done reports whether every thread has halted.
@@ -358,7 +389,13 @@ func (it *Interp) EvalCond(c *program.Cond) bool {
 // is compact binary (varints), not human-readable — StateKey exists to
 // be a map key, and memoized searches build millions of them.
 func (it *Interp) StateKey() string {
-	buf := make([]byte, 0, 16*len(it.threads)+8*len(it.memory))
+	return string(it.AppendStateKey(make([]byte, 0, 16*len(it.threads)+8*len(it.memory))))
+}
+
+// AppendStateKey appends the StateKey encoding to buf and returns the
+// result. Searches that key a memo map can look up with
+// string(AppendStateKey(scratch[:0])) without allocating on hits.
+func (it *Interp) AppendStateKey(buf []byte) []byte {
 	for i := range it.threads {
 		ts := &it.threads[i]
 		buf = appendVarint(buf, int64(ts.pc))
@@ -373,18 +410,19 @@ func (it *Interp) StateKey() string {
 		}
 	}
 	buf = append(buf, 0xFF) // section separator
-	addrs := make([]mem.Addr, 0, len(it.memory))
+	addrs := it.keyAddrs[:0]
 	for a := range it.memory {
 		if it.memory[a] != 0 {
 			addrs = append(addrs, a)
 		}
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
+	it.keyAddrs = addrs
 	for _, a := range addrs {
 		buf = appendVarint(buf, int64(a))
 		buf = appendVarint(buf, int64(it.memory[a]))
 	}
-	return string(buf)
+	return buf
 }
 
 // appendVarint appends a zig-zag varint.

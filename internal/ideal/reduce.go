@@ -48,6 +48,11 @@ type reducer struct {
 	// memo maps state+reads keys to the sleep sets under which the
 	// state was already fully explored.
 	memo map[string][]uint64
+	// ar recycles per-step interpreter clones and runnable scratch;
+	// keyBuf is memoKey's build buffer (safe to share across levels
+	// because the memo is read and written before any recursion).
+	ar     *Arena
+	keyBuf []byte
 }
 
 // explore enumerates representatives of the complete executions
@@ -65,7 +70,7 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 		return r.visit(it)
 	}
 	key := r.memoKey(it, reads)
-	for _, m := range r.memo[key] {
+	for _, m := range r.memo[string(key)] {
 		if m&^sleep == 0 {
 			r.stats.MemoHits++
 			return nil
@@ -74,18 +79,20 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 	// Mark on entry: the interleaving graph is acyclic (every step
 	// lengthens the trace), so a state can never re-reach itself and a
 	// revisit only happens after this call completes.
-	r.memo[key] = append(r.memo[key], sleep)
-	for _, tid := range it.Runnable() {
+	r.memo[string(key)] = append(r.memo[string(key)], sleep)
+	run := it.RunnableInto(r.ar.Ints())
+	for _, tid := range run {
 		bit := uint64(1) << uint(tid)
 		if sleep&bit != 0 {
 			r.stats.SleepPruned++
 			continue
 		}
-		child := it.Clone()
+		child := r.ar.Clone(it)
 		r.stats.Steps++
 		op, ok, err := child.Step(tid)
 		switch {
 		case errors.Is(err, ErrTruncated):
+			r.ar.Release(child)
 			r.stats.Truncated++
 			if r.cfg.SkipTruncated {
 				// tid's budget is exhausted in every state of this
@@ -97,6 +104,7 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 			}
 			return ErrTruncated
 		case err != nil:
+			r.ar.Release(child)
 			return err
 		}
 		childSleep := sleep
@@ -107,7 +115,9 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 				childReads = appendRead(reads, tid, op.Got)
 			}
 		}
-		if err := r.explore(child, childSleep, childReads); err != nil {
+		err = r.explore(child, childSleep, childReads)
+		r.ar.Release(child)
+		if err != nil {
 			return err
 		}
 		// Every trace from it starting with tid now has an explored
@@ -115,6 +125,7 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 		// dependent operation wakes it.
 		sleep |= bit
 	}
+	r.ar.ReleaseInts(run)
 	return nil
 }
 
@@ -149,14 +160,18 @@ func dependent(addr mem.Addr, kind mem.Kind, op mem.Op, syncOrder bool) bool {
 }
 
 // memoKey fingerprints the interpreter state plus the read-value
-// history that determines the eventual mem.Result.
-func (r *reducer) memoKey(it *Interp, reads [][]byte) string {
-	key := []byte(it.StateKey())
+// history that determines the eventual mem.Result. The returned slice
+// aliases r.keyBuf and is valid only until the next memoKey call; map
+// lookups via string(key) do not allocate, and the store's string
+// conversion copies.
+func (r *reducer) memoKey(it *Interp, reads [][]byte) []byte {
+	key := it.AppendStateKey(r.keyBuf[:0])
 	for _, log := range reads {
 		key = appendVarint(key, int64(len(log)))
 		key = append(key, log...)
 	}
-	return string(key)
+	r.keyBuf = key
+	return key
 }
 
 // appendRead extends thread tid's read log with value v, copying so

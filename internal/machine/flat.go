@@ -15,27 +15,57 @@ import (
 // module (single copy), with the reply carrying the read value or the
 // write acknowledgement.
 
-// flatReq asks a memory module to perform one operation.
-type flatReq struct {
-	Tag  int
-	Kind mem.Kind
-	Addr mem.Addr
-	Data mem.Value
+// Flat-model message kinds, in a range disjoint from the cache
+// protocol's so a mixed trace is unambiguous. A request packs the
+// operation kind into Flags and the tag into ReqID; the reply echoes
+// the tag with the value.
+const (
+	msgFlatReq network.MsgKind = iota + 200
+	msgFlatReply
+)
+
+func flatReq(tag int, kind mem.Kind, addr mem.Addr, data mem.Value) network.Msg {
+	return network.Msg{Kind: msgFlatReq, Flags: uint8(kind), Addr: addr, Value: data, ReqID: uint64(tag)}
 }
 
-// flatReply returns the result to the issuing processor.
-type flatReply struct {
-	Tag   int
-	Value mem.Value
+func flatReply(tag int, v mem.Value) network.Msg {
+	return network.Msg{Kind: msgFlatReply, Value: v, ReqID: uint64(tag)}
 }
 
 // flatModule is one memory module.
 type flatModule struct {
-	k   *sim.Kernel
-	net network.Network
-	id  int
-	lat sim.Time
-	mem map[mem.Addr]mem.Value
+	k    *sim.Kernel
+	net  network.Network
+	id   int
+	lat  sim.Time
+	mem  map[mem.Addr]mem.Value
+	free []*flatTask
+}
+
+// flatTask is one pooled in-flight module access: the kernel callback is
+// allocated once per task and reused.
+type flatTask struct {
+	m   *flatModule
+	src int
+	msg network.Msg
+	run func()
+}
+
+func (t *flatTask) fire() {
+	m, src, req := t.m, t.src, t.msg
+	m.free = append(m.free, t)
+	var v mem.Value
+	switch mem.Kind(req.Flags) {
+	case mem.Read, mem.SyncRead:
+		v = m.mem[req.Addr]
+	case mem.Write, mem.SyncWrite:
+		m.mem[req.Addr] = req.Value
+		v = req.Value
+	case mem.SyncRMW:
+		v = m.mem[req.Addr]
+		m.mem[req.Addr] = req.Value
+	}
+	m.net.Send(m.id, src, flatReply(int(req.ReqID), v))
 }
 
 func newFlatModule(k *sim.Kernel, net network.Network, id int, lat sim.Time) *flatModule {
@@ -44,25 +74,23 @@ func newFlatModule(k *sim.Kernel, net network.Network, id int, lat sim.Time) *fl
 	return m
 }
 
+// reset clears the module's memory for a fresh run on the same wiring.
+func (m *flatModule) reset() { clear(m.mem) }
+
 func (m *flatModule) handle(src int, msg network.Msg) {
-	req, ok := msg.(flatReq)
-	if !ok {
-		panic(fmt.Sprintf("flat module %d: unexpected message %T", m.id, msg))
+	if msg.Kind != msgFlatReq {
+		panic(fmt.Sprintf("flat module %d: unexpected message kind %d", m.id, msg.Kind))
 	}
-	m.k.After(m.lat, func() {
-		var v mem.Value
-		switch req.Kind {
-		case mem.Read, mem.SyncRead:
-			v = m.mem[req.Addr]
-		case mem.Write, mem.SyncWrite:
-			m.mem[req.Addr] = req.Data
-			v = req.Data
-		case mem.SyncRMW:
-			v = m.mem[req.Addr]
-			m.mem[req.Addr] = req.Data
-		}
-		m.net.Send(m.id, src, flatReply{Tag: req.Tag, Value: v})
-	})
+	var t *flatTask
+	if n := len(m.free); n > 0 {
+		t = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		t = &flatTask{m: m}
+		t.run = t.fire
+	}
+	t.src, t.msg = src, msg
+	m.k.After(m.lat, t.run)
 }
 
 // flatPort adapts the module protocol to the processor's MemPort.
@@ -81,12 +109,18 @@ func newFlatPort(k *sim.Kernel, net network.Network, id int, home func(mem.Addr)
 	return p
 }
 
+// reset clears outstanding state for a fresh run on the same wiring.
+func (p *flatPort) reset() {
+	p.nextTag = 0
+	clear(p.pending)
+}
+
 // Issue implements cpu.MemPort.
 func (p *flatPort) Issue(r *cache.Req) {
 	tag := p.nextTag
 	p.nextTag++
 	p.pending[tag] = r
-	p.net.Send(p.id, p.home(r.Addr), flatReq{Tag: tag, Kind: r.Kind, Addr: r.Addr, Data: r.Data})
+	p.net.Send(p.id, p.home(r.Addr), flatReq(tag, r.Kind, r.Addr, r.Data))
 }
 
 // Counter implements cpu.MemPort: every outstanding operation counts.
@@ -96,17 +130,17 @@ func (p *flatPort) Counter() int { return len(p.pending) }
 func (p *flatPort) Busy() bool { return len(p.pending) > 0 }
 
 func (p *flatPort) handle(src int, msg network.Msg) {
-	rep, ok := msg.(flatReply)
-	if !ok {
-		panic(fmt.Sprintf("flat port %d: unexpected message %T", p.id, msg))
+	if msg.Kind != msgFlatReply {
+		panic(fmt.Sprintf("flat port %d: unexpected message kind %d", p.id, msg.Kind))
 	}
-	r, ok := p.pending[rep.Tag]
+	tag := int(msg.ReqID)
+	r, ok := p.pending[tag]
 	if !ok {
-		panic(fmt.Sprintf("flat port %d: stray reply tag %d", p.id, rep.Tag))
+		panic(fmt.Sprintf("flat port %d: stray reply tag %d", p.id, tag))
 	}
-	delete(p.pending, rep.Tag)
+	delete(p.pending, tag)
 	if r.OnCommit != nil {
-		r.OnCommit(rep.Value)
+		r.OnCommit(msg.Value)
 	}
 	if r.OnGlobal != nil {
 		r.OnGlobal()

@@ -324,6 +324,7 @@ type Machine struct {
 	kernel      *sim.Kernel
 	rng         *rand.Rand
 	net         network.Network
+	rawNet      network.Network // the interconnect beneath any fault injector
 	fnet        *faults.Net
 	procs       []*cpu.Proc
 	caches      []*cache.Cache
@@ -337,6 +338,11 @@ type Machine struct {
 	// pendingMigrations is consumed front-to-back as cycles pass.
 	pendingMigrations []Migration
 	suspending        bool
+
+	// order and swap are Run's arbitration-shuffle scratch, allocated
+	// once so pooled machines run allocation-free.
+	order []int
+	swap  func(i, j int)
 
 	// Telemetry (nil when Config.Metrics/Timeline are off; see
 	// internal/metrics for why recording cannot perturb the run).
@@ -416,6 +422,7 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown topology %v", cfg.Topology)
 	}
+	m.rawNet = m.net
 
 	if cfg.faultsEnabled() {
 		// Wrap the interconnect before any endpoint captures it, so every
@@ -537,6 +544,8 @@ func (m *Machine) finishProcs(prog *program.Program, nProcs int) (*Machine, erro
 			return nil, fmt.Errorf("machine: invalid migration %+v (have %d processors)", mg, nProcs)
 		}
 	}
+	m.order = make([]int, nProcs)
+	m.swap = func(i, j int) { m.order[i], m.order[j] = m.order[j], m.order[i] }
 	return m, nil
 }
 
@@ -572,11 +581,10 @@ func (m *Machine) done() bool {
 // interconnect ahead of older buffered writes.
 func (m *Machine) Run() (*RunResult, error) {
 	m.pendingMigrations = append([]Migration(nil), m.cfg.Migrations...)
-	order := make([]int, len(m.procs))
+	order, swap := m.order, m.swap
 	for i := range order {
 		order[i] = i
 	}
-	swap := func(i, j int) { order[i], order[j] = order[j], order[i] }
 	for cycle := uint64(1); ; cycle++ {
 		if m.done() {
 			break

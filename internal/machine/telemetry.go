@@ -44,7 +44,7 @@ func (m *Machine) netTelemetry() network.Telemetry {
 // msgClass buckets directory-protocol traffic for the per-class latency
 // histograms.
 func msgClass(m network.Msg) string {
-	switch m.(type) {
+	switch m.Kind {
 	case cache.MsgGetS, cache.MsgGetX, cache.MsgSyncRead, cache.MsgPutX:
 		return "request"
 	case cache.MsgData, cache.MsgOwnerData, cache.MsgDataEx, cache.MsgOwnerDataEx,

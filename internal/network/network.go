@@ -6,20 +6,40 @@
 //
 // Endpoints are small integers: processors/caches first, then memory
 // modules/directories; the machine assembles the numbering. A component
-// attaches a handler and sends opaque messages; delivery is scheduled on
-// the shared simulation kernel.
+// attaches a handler and sends messages; delivery is scheduled on the
+// shared simulation kernel.
 package network
 
 import (
 	"fmt"
 
+	"weakorder/internal/mem"
 	"weakorder/internal/metrics"
 	"weakorder/internal/sim"
 	"weakorder/internal/splitmix"
 )
 
-// Msg is an opaque network payload.
-type Msg interface{}
+// MsgKind discriminates a message vocabulary. Kind numbering is owned by
+// the protocol layers: internal/cache defines the coherence messages,
+// internal/machine's flat memory modules use a disjoint range.
+type MsgKind uint8
+
+// Msg is one interconnect payload. It is a compact value struct —
+// messages travel by copy through the network and the protocol handlers,
+// so sending a message never heap-allocates (the interface{} payload
+// this replaces boxed every message). Field meaning beyond Kind is
+// assigned by the protocol that owns the kind: Peer carries an endpoint
+// or tag operand (e.g. the requester of a forwarded coherence request),
+// Flags carries protocol-defined booleans, Value the data payload, and
+// ReqID the sender's transaction id for request dedup.
+type Msg struct {
+	Kind  MsgKind
+	Flags uint8
+	Peer  int32
+	Addr  mem.Addr
+	Value mem.Value
+	ReqID uint64
+}
 
 // Handler receives a delivered message and the sender's endpoint id.
 type Handler func(src int, m Msg)
@@ -27,7 +47,7 @@ type Handler func(src int, m Msg)
 // Network is the common interconnect interface.
 type Network interface {
 	// Attach registers the handler for endpoint id. Attaching twice
-	// replaces the handler.
+	// replaces the handler and records a wiring error (see Err).
 	Attach(id int, h Handler)
 	// Send schedules delivery of m from src to dst. A message addressed
 	// to an unattached endpoint is dropped at delivery time and recorded
@@ -36,9 +56,9 @@ type Network interface {
 	Send(src, dst int, m Msg)
 	// Stats returns cumulative traffic statistics.
 	Stats() Stats
-	// Err returns the first delivery error (send to an unattached
-	// endpoint), or nil. The machine run loop checks it every cycle and
-	// surfaces it as a diagnosable run failure.
+	// Err returns the first wiring error (send to an unattached endpoint,
+	// or a duplicate registration), or nil. The machine run loop checks
+	// it every cycle and surfaces it as a diagnosable run failure.
 	Err() error
 }
 
@@ -89,6 +109,51 @@ func (t *Telemetry) observe(m Msg, lat uint64) {
 }
 
 // ---------------------------------------------------------------------------
+// Dense handler table.
+
+// handlerTable is the dense endpoint → handler table shared by every
+// interconnect implementation: handler lookup is a slice index, and the
+// wiring-error paths — delivery to an unattached endpoint, duplicate
+// registration — report through one place. Endpoint ids are small and
+// contiguous by construction (the machine numbers processors first, then
+// memory modules), so the table stays tiny.
+type handlerTable struct {
+	handlers []Handler
+	err      error
+}
+
+// attach registers h for endpoint id, recording a wiring error if the
+// slot was already taken (the handler is still replaced, preserving the
+// historical last-wins semantics for hand-built rigs).
+func (t *handlerTable) attach(id int, h Handler) {
+	if id < 0 {
+		panic(fmt.Sprintf("network: negative endpoint id %d", id))
+	}
+	for id >= len(t.handlers) {
+		t.handlers = append(t.handlers, nil)
+	}
+	if t.handlers[id] != nil && t.err == nil {
+		t.err = fmt.Errorf("network: duplicate handler registration for endpoint %d", id)
+	}
+	t.handlers[id] = h
+}
+
+// lookup returns the handler for dst, or nil when dst is unattached.
+func (t *handlerTable) lookup(dst int) Handler {
+	if dst < 0 || dst >= len(t.handlers) {
+		return nil
+	}
+	return t.handlers[dst]
+}
+
+// noteUndeliverable records the first unattached-endpoint delivery.
+func (t *handlerTable) noteUndeliverable(m Msg, src, dst int) {
+	if t.err == nil {
+		t.err = fmt.Errorf("network: message kind %d from %d to unattached endpoint %d", m.Kind, src, dst)
+	}
+}
+
+// ---------------------------------------------------------------------------
 // General interconnection network.
 
 // GeneralConfig parameterizes a general network.
@@ -113,14 +178,42 @@ type GeneralConfig struct {
 type General struct {
 	k        *sim.Kernel
 	cfg      GeneralConfig
-	rng      *splitmix.Stream
-	handlers map[int]Handler
+	rng      splitmix.Stream
+	tab      handlerTable
 	stats    Stats
-	err      error
 	inFlight int
-	// lastArrival tracks, per (src,dst), the latest scheduled arrival so
-	// OrderedPairs can enforce FIFO delivery.
-	lastArrival map[[2]int]sim.Time
+	// lastArrival tracks, per [src][dst], the latest scheduled arrival so
+	// OrderedPairs can enforce FIFO delivery — a dense table grown on
+	// demand, replacing the map[[2]int]sim.Time that dominated the send
+	// path's cost.
+	lastArrival [][]sim.Time
+	// free is the delivery-task pool: each in-flight message borrows a
+	// task whose callback closure was allocated once, so steady-state
+	// sends schedule zero new closures.
+	free []*delivery
+}
+
+// delivery is one pooled in-flight message. run is the pre-bound
+// (*delivery).deliver closure, created once per task.
+type delivery struct {
+	g        *General
+	src, dst int
+	m        Msg
+	run      func()
+}
+
+func (d *delivery) deliver() {
+	g := d.g
+	src, dst, m := d.src, d.dst, d.m
+	g.free = append(g.free, d)
+	g.inFlight--
+	h := g.tab.lookup(dst)
+	if h == nil {
+		g.stats.Undeliverable++
+		g.tab.noteUndeliverable(m, src, dst)
+		return
+	}
+	h(src, m)
 }
 
 // NewGeneral returns a general network on kernel k, with all jitter
@@ -129,17 +222,42 @@ func NewGeneral(k *sim.Kernel, cfg GeneralConfig) *General {
 	if cfg.BaseLatency == 0 {
 		cfg.BaseLatency = 1
 	}
-	return &General{
-		k:           k,
-		cfg:         cfg,
-		rng:         splitmix.New(uint64(cfg.Seed)),
-		handlers:    make(map[int]Handler),
-		lastArrival: make(map[[2]int]sim.Time),
-	}
+	g := &General{k: k, cfg: cfg}
+	g.rng.Reseed(uint64(cfg.Seed))
+	return g
 }
 
 // Attach implements Network.
-func (g *General) Attach(id int, h Handler) { g.handlers[id] = h }
+func (g *General) Attach(id int, h Handler) { g.tab.attach(id, h) }
+
+// Reset clears traffic state for a fresh run on the same wiring: stats,
+// errors, FIFO bookkeeping, and the jitter stream (reseeded from seed).
+// Attached handlers persist — a pooled machine reuses its endpoints.
+func (g *General) Reset(seed int64) {
+	g.rng.Reseed(uint64(seed))
+	g.stats = Stats{}
+	g.tab.err = nil
+	g.inFlight = 0
+	for _, row := range g.lastArrival {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// pairSlot returns a pointer to the lastArrival slot for (src, dst),
+// growing the table on first use.
+func (g *General) pairSlot(src, dst int) *sim.Time {
+	for src >= len(g.lastArrival) {
+		g.lastArrival = append(g.lastArrival, nil)
+	}
+	row := g.lastArrival[src]
+	for dst >= len(row) {
+		row = append(row, 0)
+	}
+	g.lastArrival[src] = row
+	return &row[dst]
+}
 
 // Send implements Network.
 func (g *General) Send(src, dst int, m Msg) {
@@ -149,11 +267,11 @@ func (g *General) Send(src, dst int, m Msg) {
 	}
 	arrive := g.k.Now() + lat
 	if g.cfg.OrderedPairs {
-		key := [2]int{src, dst}
-		if prev := g.lastArrival[key]; arrive <= prev {
-			arrive = prev + 1
+		slot := g.pairSlot(src, dst)
+		if arrive <= *slot {
+			arrive = *slot + 1
 		}
-		g.lastArrival[key] = arrive
+		*slot = arrive
 	}
 	g.stats.Messages++
 	g.stats.TotalLatency += uint64(arrive - g.k.Now())
@@ -163,25 +281,23 @@ func (g *General) Send(src, dst int, m Msg) {
 		g.stats.MaxQueued = g.inFlight
 	}
 	g.cfg.Telemetry.QueueDepth.Observe(uint64(g.inFlight))
-	g.k.At(arrive, func() {
-		g.inFlight--
-		h, ok := g.handlers[dst]
-		if !ok {
-			g.stats.Undeliverable++
-			if g.err == nil {
-				g.err = fmt.Errorf("network: message %T from %d to unattached endpoint %d", m, src, dst)
-			}
-			return
-		}
-		h(src, m)
-	})
+	var d *delivery
+	if n := len(g.free); n > 0 {
+		d = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		d = &delivery{g: g}
+		d.run = d.deliver
+	}
+	d.src, d.dst, d.m = src, dst, m
+	g.k.At(arrive, d.run)
 }
 
 // Stats implements Network.
 func (g *General) Stats() Stats { return g.stats }
 
 // Err implements Network.
-func (g *General) Err() error { return g.err }
+func (g *General) Err() error { return g.tab.err }
 
 // ---------------------------------------------------------------------------
 // Shared bus.
@@ -200,13 +316,21 @@ type BusConfig struct {
 // transactions in the same total order — the property Figure 1's
 // bus-based rows rely on.
 type Bus struct {
-	k        *sim.Kernel
-	cfg      BusConfig
-	handlers map[int]Handler
-	stats    Stats
-	err      error
-	queue    []busMsg
-	busy     bool
+	k     *sim.Kernel
+	cfg   BusConfig
+	tab   handlerTable
+	stats Stats
+	// queue[head:] is the FIFO of waiting messages; head advances on
+	// grant and both reset to zero when the queue drains, so the backing
+	// array is reused instead of reallocated.
+	queue []busMsg
+	head  int
+	busy  bool
+	// cur is the message occupying the bus; xferDone is the pre-bound
+	// completion callback (exactly one transfer is in flight at a time,
+	// so a single reusable closure suffices).
+	cur      busMsg
+	xferDone func()
 }
 
 type busMsg struct {
@@ -220,20 +344,32 @@ func NewBus(k *sim.Kernel, cfg BusConfig) *Bus {
 	if cfg.TransferLatency == 0 {
 		cfg.TransferLatency = 1
 	}
-	return &Bus{k: k, cfg: cfg, handlers: make(map[int]Handler)}
+	b := &Bus{k: k, cfg: cfg}
+	b.xferDone = b.finishTransfer
+	return b
 }
 
 // Attach implements Network.
-func (b *Bus) Attach(id int, h Handler) { b.handlers[id] = h }
+func (b *Bus) Attach(id int, h Handler) { b.tab.attach(id, h) }
+
+// Reset clears traffic state for a fresh run on the same wiring.
+// Attached handlers persist — a pooled machine reuses its endpoints.
+func (b *Bus) Reset() {
+	b.stats = Stats{}
+	b.tab.err = nil
+	b.queue = b.queue[:0]
+	b.head = 0
+	b.busy = false
+}
 
 // Send implements Network.
 func (b *Bus) Send(src, dst int, m Msg) {
 	b.stats.Messages++
 	b.queue = append(b.queue, busMsg{src: src, dst: dst, m: m, enq: b.k.Now()})
-	if len(b.queue) > b.stats.MaxQueued {
-		b.stats.MaxQueued = len(b.queue)
+	if depth := len(b.queue) - b.head; depth > b.stats.MaxQueued {
+		b.stats.MaxQueued = depth
 	}
-	b.cfg.Telemetry.QueueDepth.Observe(uint64(len(b.queue)))
+	b.cfg.Telemetry.QueueDepth.Observe(uint64(len(b.queue) - b.head))
 	if !b.busy {
 		b.grant()
 	}
@@ -241,35 +377,39 @@ func (b *Bus) Send(src, dst int, m Msg) {
 
 // grant starts transferring the head of the queue.
 func (b *Bus) grant() {
-	if len(b.queue) == 0 {
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
 		b.busy = false
 		return
 	}
 	b.busy = true
-	head := b.queue[0]
-	b.queue = b.queue[1:]
-	b.k.After(b.cfg.TransferLatency, func() {
-		b.stats.TotalLatency += uint64(b.k.Now() - head.enq)
-		b.cfg.Telemetry.observe(head.m, uint64(b.k.Now()-head.enq))
-		h, ok := b.handlers[head.dst]
-		if !ok {
-			b.stats.Undeliverable++
-			if b.err == nil {
-				b.err = fmt.Errorf("network: message %T from %d to unattached endpoint %d", head.m, head.src, head.dst)
-			}
-			b.grant()
-			return
-		}
-		h(head.src, head.m)
+	b.cur = b.queue[b.head]
+	b.head++
+	b.k.After(b.cfg.TransferLatency, b.xferDone)
+}
+
+// finishTransfer delivers the in-flight message and grants the next.
+func (b *Bus) finishTransfer() {
+	head := b.cur
+	b.stats.TotalLatency += uint64(b.k.Now() - head.enq)
+	b.cfg.Telemetry.observe(head.m, uint64(b.k.Now()-head.enq))
+	h := b.tab.lookup(head.dst)
+	if h == nil {
+		b.stats.Undeliverable++
+		b.tab.noteUndeliverable(head.m, head.src, head.dst)
 		b.grant()
-	})
+		return
+	}
+	h(head.src, head.m)
+	b.grant()
 }
 
 // Stats implements Network.
 func (b *Bus) Stats() Stats { return b.stats }
 
 // Err implements Network.
-func (b *Bus) Err() error { return b.err }
+func (b *Bus) Err() error { return b.tab.err }
 
 // Compile-time interface checks.
 var (

@@ -6,30 +6,34 @@ import (
 	"weakorder/internal/sim"
 )
 
-type delivery struct {
+// testMsg builds a distinguishable payload: the test sequence number
+// rides in ReqID.
+func testMsg(n int) Msg { return Msg{Kind: 1, ReqID: uint64(n)} }
+
+type arrival struct {
 	src int
 	m   Msg
 	at  sim.Time
 }
 
-func collector(k *sim.Kernel, out *[]delivery) Handler {
+func collector(k *sim.Kernel, out *[]arrival) Handler {
 	return func(src int, m Msg) {
-		*out = append(*out, delivery{src: src, m: m, at: k.Now()})
+		*out = append(*out, arrival{src: src, m: m, at: k.Now()})
 	}
 }
 
 func TestGeneralDeliversWithBaseLatency(t *testing.T) {
 	k := &sim.Kernel{}
 	g := NewGeneral(k, GeneralConfig{BaseLatency: 7, Seed: 1})
-	var got []delivery
+	var got []arrival
 	g.Attach(1, collector(k, &got))
-	g.Send(0, 1, "hello")
+	g.Send(0, 1, testMsg(0))
 	k.AdvanceTo(100)
 	if len(got) != 1 {
 		t.Fatalf("deliveries = %d, want 1", len(got))
 	}
-	if got[0].at != 7 || got[0].m != "hello" || got[0].src != 0 {
-		t.Fatalf("delivery %+v, want at=7 m=hello src=0", got[0])
+	if got[0].at != 7 || got[0].m != testMsg(0) || got[0].src != 0 {
+		t.Fatalf("delivery %+v, want at=7 m=testMsg(0) src=0", got[0])
 	}
 	if s := g.Stats(); s.Messages != 1 || s.TotalLatency != 7 {
 		t.Fatalf("stats %+v", s)
@@ -42,12 +46,12 @@ func TestGeneralJitterCanReorder(t *testing.T) {
 	for seed := int64(0); seed < 50 && !reordered; seed++ {
 		k := &sim.Kernel{}
 		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, Seed: seed})
-		var got []delivery
+		var got []arrival
 		g.Attach(1, collector(k, &got))
-		g.Send(0, 1, "first")
-		g.Send(0, 1, "second")
+		g.Send(0, 1, testMsg(1))
+		g.Send(0, 1, testMsg(2))
 		k.AdvanceTo(100)
-		if len(got) == 2 && got[0].m == "second" {
+		if len(got) == 2 && got[0].m == testMsg(2) {
 			reordered = true
 		}
 	}
@@ -60,14 +64,14 @@ func TestGeneralOrderedPairsFIFO(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		k := &sim.Kernel{}
 		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true, Seed: seed})
-		var got []delivery
+		var got []arrival
 		g.Attach(1, collector(k, &got))
 		for i := 0; i < 10; i++ {
-			g.Send(0, 1, i)
+			g.Send(0, 1, testMsg(i))
 		}
 		k.AdvanceTo(1000)
 		for i, d := range got {
-			if d.m != i {
+			if d.m != testMsg(i) {
 				t.Fatalf("seed %d: delivery %d carried %v (FIFO violated)", seed, i, d.m)
 			}
 		}
@@ -79,10 +83,10 @@ func TestGeneralOrderedPairsIndependentAcrossPairs(t *testing.T) {
 	// still interleave arbitrarily.
 	k := &sim.Kernel{}
 	g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 8, OrderedPairs: true, Seed: 3})
-	var got []delivery
+	var got []arrival
 	g.Attach(2, collector(k, &got))
-	g.Send(0, 2, "a")
-	g.Send(1, 2, "b")
+	g.Send(0, 2, testMsg(0))
+	g.Send(1, 2, testMsg(1))
 	k.AdvanceTo(100)
 	if len(got) != 2 {
 		t.Fatalf("deliveries = %d, want 2", len(got))
@@ -92,22 +96,21 @@ func TestGeneralOrderedPairsIndependentAcrossPairs(t *testing.T) {
 func TestBusSerializesGlobally(t *testing.T) {
 	k := &sim.Kernel{}
 	b := NewBus(k, BusConfig{TransferLatency: 3})
-	var got []delivery
+	var got []arrival
 	b.Attach(2, collector(k, &got))
 	b.Attach(3, collector(k, &got))
-	b.Send(0, 2, "m1")
-	b.Send(1, 3, "m2")
-	b.Send(0, 3, "m3")
+	b.Send(0, 2, testMsg(1))
+	b.Send(1, 3, testMsg(2))
+	b.Send(0, 3, testMsg(3))
 	k.AdvanceTo(100)
 	if len(got) != 3 {
 		t.Fatalf("deliveries = %d, want 3", len(got))
 	}
 	// One transaction at a time: deliveries at 3, 6, 9 in send order.
 	wantAt := []sim.Time{3, 6, 9}
-	wantMsg := []string{"m1", "m2", "m3"}
 	for i, d := range got {
-		if d.at != wantAt[i] || d.m != wantMsg[i] {
-			t.Errorf("delivery %d: %+v, want at=%d m=%s", i, d, wantAt[i], wantMsg[i])
+		if d.at != wantAt[i] || d.m != testMsg(i+1) {
+			t.Errorf("delivery %d: %+v, want at=%d m=testMsg(%d)", i, d, wantAt[i], i+1)
 		}
 	}
 }
@@ -115,11 +118,11 @@ func TestBusSerializesGlobally(t *testing.T) {
 func TestBusQueuesWhileBusy(t *testing.T) {
 	k := &sim.Kernel{}
 	b := NewBus(k, BusConfig{TransferLatency: 5})
-	var got []delivery
+	var got []arrival
 	b.Attach(1, collector(k, &got))
-	b.Send(0, 1, "x")
-	k.AdvanceTo(2) // bus busy with "x"
-	b.Send(0, 1, "y")
+	b.Send(0, 1, testMsg(0))
+	k.AdvanceTo(2) // bus busy with the first message
+	b.Send(0, 1, testMsg(1))
 	k.AdvanceTo(100)
 	if len(got) != 2 || got[0].at != 5 || got[1].at != 10 {
 		t.Fatalf("deliveries %+v, want at 5 and 10", got)
@@ -135,7 +138,7 @@ func TestUnattachedEndpointRecordsError(t *testing.T) {
 	if g.Err() != nil {
 		t.Fatalf("fresh network Err = %v, want nil", g.Err())
 	}
-	g.Send(0, 9, "lost")
+	g.Send(0, 9, testMsg(0))
 	k.AdvanceTo(100)
 	if g.Err() == nil {
 		t.Fatal("delivery to unattached endpoint must record an error")
@@ -145,7 +148,7 @@ func TestUnattachedEndpointRecordsError(t *testing.T) {
 	}
 
 	b := NewBus(k, BusConfig{})
-	b.Send(0, 9, "lost")
+	b.Send(0, 9, testMsg(0))
 	k.AdvanceTo(200)
 	if b.Err() == nil {
 		t.Fatal("bus delivery to unattached endpoint must record an error")
@@ -155,14 +158,41 @@ func TestUnattachedEndpointRecordsError(t *testing.T) {
 	}
 }
 
+func TestDuplicateRegistrationRecordsError(t *testing.T) {
+	k := &sim.Kernel{}
+	g := NewGeneral(k, GeneralConfig{Seed: 1})
+	var first, second []arrival
+	g.Attach(1, collector(k, &first))
+	if g.Err() != nil {
+		t.Fatalf("single attach Err = %v, want nil", g.Err())
+	}
+	g.Attach(1, collector(k, &second))
+	if g.Err() == nil {
+		t.Fatal("duplicate attach must record an error")
+	}
+	// Last registration wins (test rigs rely on handler replacement).
+	g.Send(0, 1, testMsg(0))
+	k.AdvanceTo(100)
+	if len(first) != 0 || len(second) != 1 {
+		t.Fatalf("deliveries first=%d second=%d, want 0 and 1", len(first), len(second))
+	}
+
+	b := NewBus(k, BusConfig{})
+	b.Attach(4, collector(k, &first))
+	b.Attach(4, collector(k, &first))
+	if b.Err() == nil {
+		t.Fatal("bus duplicate attach must record an error")
+	}
+}
+
 func TestGeneralSameSeedSameSchedule(t *testing.T) {
-	run := func(seed int64) []delivery {
+	run := func(seed int64) []arrival {
 		k := &sim.Kernel{}
 		g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 16, Seed: seed})
-		var got []delivery
+		var got []arrival
 		g.Attach(1, collector(k, &got))
 		for i := 0; i < 32; i++ {
-			g.Send(0, 1, i)
+			g.Send(0, 1, testMsg(i))
 		}
 		k.AdvanceTo(1000)
 		return got
@@ -175,6 +205,37 @@ func TestGeneralSameSeedSameSchedule(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("delivery %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestGeneralResetReplaysSchedule(t *testing.T) {
+	k := &sim.Kernel{}
+	g := NewGeneral(k, GeneralConfig{BaseLatency: 2, Jitter: 16, OrderedPairs: true, Seed: 42})
+	var got []arrival
+	g.Attach(1, collector(k, &got))
+	run := func() []arrival {
+		got = nil
+		for i := 0; i < 32; i++ {
+			g.Send(0, 1, testMsg(i))
+		}
+		k.AdvanceTo(k.Now() + 1000)
+		return got
+	}
+	a := run()
+	g.Reset(42)
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ after Reset: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Arrival times shift by the kernel offset; spacing and order must
+		// replay exactly.
+		if a[i].m != b[i].m || a[i].src != b[i].src {
+			t.Fatalf("delivery %d differs after Reset: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if s := g.Stats(); s.Messages != 32 {
+		t.Fatalf("stats after Reset not rewound: %+v", s)
 	}
 }
 

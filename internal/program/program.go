@@ -344,15 +344,18 @@ func (p *Program) Validate() error {
 	for ti := range p.Threads {
 		t := &p.Threads[ti]
 		for i, in := range t.Instrs {
-			where := fmt.Sprintf("%s@%d (%s)", t.Name, i, in)
+			// The location string is built lazily: Validate runs on every
+			// generated program, and formatting each instruction eagerly
+			// dominated the campaign's allocation profile.
+			where := func() string { return fmt.Sprintf("%s@%d (%s)", t.Name, i, in) }
 			if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
-				return fmt.Errorf("%s: register out of range", where)
+				return fmt.Errorf("%s: register out of range", where())
 			}
 			if in.Op.IsBranch() {
 				// Target == len(Instrs) is legal: branching past the last
 				// instruction halts the thread.
 				if in.Target < 0 || in.Target > len(t.Instrs) {
-					return fmt.Errorf("%s: branch target %d out of range [0,%d]", where, in.Target, len(t.Instrs))
+					return fmt.Errorf("%s: branch target %d out of range [0,%d]", where(), in.Target, len(t.Instrs))
 				}
 			}
 			switch in.Op {
@@ -360,7 +363,7 @@ func (p *Program) Validate() error {
 				OpSyncLoad, OpSyncStore, OpTAS, OpSwap, OpBeq, OpBne, OpBlt, OpBge,
 				OpJmp, OpHalt, OpFence:
 			default:
-				return fmt.Errorf("%s: unknown opcode %d", where, in.Op)
+				return fmt.Errorf("%s: unknown opcode %d", where(), in.Op)
 			}
 		}
 	}

@@ -92,6 +92,9 @@ type searcher struct {
 	reduce  bool
 	states  int
 	witness *mem.Execution
+	// ar recycles per-step interpreter clones and runnable scratch for
+	// the duration of one query.
+	ar ideal.Arena
 }
 
 // search explores completions of it that match the remaining observations;
@@ -128,24 +131,28 @@ func (s *searcher) search(it *ideal.Interp, matched int, sleep uint64) (bool, er
 	if s.memo[key] {
 		return false, nil
 	}
-	for _, tid := range it.Runnable() {
+	run := it.RunnableInto(s.ar.Ints())
+	for _, tid := range run {
 		bit := uint64(1) << uint(tid)
 		if s.reduce && sleep&bit != 0 {
 			continue
 		}
-		child := it.Clone()
+		child := s.ar.Clone(it)
 		op, ok, err := child.Step(tid)
 		if errors.Is(err, ideal.ErrTruncated) {
+			s.ar.Release(child)
 			sleep |= bit
 			continue
 		}
 		if err != nil {
+			s.ar.Release(child)
 			return false, err
 		}
 		m := matched
 		if ok && op.HasReadComponent() {
 			obs, present := s.result.Reads[op.ID()]
 			if !present || obs.Value != op.Got || obs.Addr != op.Addr {
+				s.ar.Release(child)
 				sleep |= bit
 				continue // this interleaving contradicts the observation
 			}
@@ -156,6 +163,7 @@ func (s *searcher) search(it *ideal.Interp, matched int, sleep uint64) (bool, er
 			childSleep = filterSleep(it, childSleep, op)
 		}
 		found, err := s.search(child, m, childSleep)
+		s.ar.Release(child)
 		if err != nil {
 			return false, err
 		}
@@ -164,6 +172,7 @@ func (s *searcher) search(it *ideal.Interp, matched int, sleep uint64) (bool, er
 		}
 		sleep |= bit
 	}
+	s.ar.ReleaseInts(run)
 	s.memo[key] = true
 	return false, nil
 }

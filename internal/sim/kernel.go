@@ -35,6 +35,19 @@ type Kernel struct {
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
+// Reset rewinds the kernel to time zero with an empty queue, retaining
+// the heap's backing array — pooled machines reuse one kernel across
+// runs so the event heap is allocated once. Any still-scheduled events
+// are dropped (their callbacks never run).
+func (k *Kernel) Reset() {
+	k.now = 0
+	k.seq = 0
+	for i := range k.heap {
+		k.heap[i] = event{} // release dropped callbacks for GC
+	}
+	k.heap = k.heap[:0]
+}
+
 // Pending returns the number of scheduled events.
 func (k *Kernel) Pending() int { return len(k.heap) }
 

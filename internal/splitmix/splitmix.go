@@ -30,6 +30,11 @@ type Stream struct {
 // New returns a stream seeded with seed.
 func New(seed uint64) *Stream { return &Stream{state: seed} }
 
+// Reseed resets the stream to the given seed, as if freshly constructed —
+// used by pooled components to rewind their randomness between runs
+// without allocating a new stream.
+func (s *Stream) Reseed(seed uint64) { s.state = seed }
+
 // Next returns the next 64 random bits.
 func (s *Stream) Next() uint64 {
 	s.state += golden64

@@ -23,7 +23,7 @@ set -eu
 BENCHTIME=1x
 OUT=BENCH_oracle.json
 BASELINE=
-BENCHSET='BenchmarkCheckCampaign|BenchmarkFaultMatrix$|BenchmarkIdealEnumerateDekker|BenchmarkIdealEnumeratePOR|BenchmarkSCMatchOracle|BenchmarkDRF0CheckGenerated'
+BENCHSET='BenchmarkCheckCampaign|BenchmarkFaultMatrix$|BenchmarkMachineReuse|BenchmarkIdealEnumerateDekker|BenchmarkIdealEnumeratePOR|BenchmarkSCMatchOracle|BenchmarkDRF0CheckGenerated'
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -38,7 +38,10 @@ done
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$BENCHSET" -benchtime "$BENCHTIME" -count 1 . | tee "$RAW" >&2
+# -benchmem adds B/op and allocs/op; the parser below records every
+# reported metric pair, so allocation figures land in the JSON schema
+# alongside ns/op without special-casing.
+go test -run '^$' -bench "$BENCHSET" -benchtime "$BENCHTIME" -benchmem -count 1 . | tee "$RAW" >&2
 
 COMMIT=$(git describe --always --dirty 2>/dev/null || echo unknown)
 

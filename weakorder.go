@@ -301,6 +301,19 @@ func Simulate(p *Program, cfg MachineConfig, seed int64) (*RunResult, error) {
 	return machine.Run(p, cfg, seed)
 }
 
+// MachinePool reuses assembled machines across Simulate-style runs that
+// share a structural configuration, resetting caches, directories,
+// network queues, and processors in place instead of rebuilding the
+// component graph per run. Results are byte-identical to fresh
+// machines. A pool is not goroutine-safe — use one per worker, as the
+// campaign does. Returned results alias pool-owned buffers
+// (RunResult.Exec.Ops, OpCycles) that the next run on the same pooled
+// machine overwrites; copy them to retain across runs.
+type MachinePool = machine.Pool
+
+// NewMachinePool returns an empty machine pool.
+func NewMachinePool() *MachinePool { return machine.NewPool() }
+
 // Check runs a differential model-checking campaign: generated programs
 // are simulated across a policy × topology × caches matrix and every
 // outcome is adjudicated against the SC oracles — runs under the SC
