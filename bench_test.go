@@ -453,6 +453,32 @@ func BenchmarkMachineSCvsWODef2(b *testing.B) {
 	}
 }
 
+// BenchmarkAxiomSC measures the axiomatic engine enumerating the full
+// SC outcome set of Dekker (candidate construction + rf/co search +
+// constraint evaluation), the declarative counterpart of
+// BenchmarkIdealEnumerateDekker's interleaving enumeration. cands/op is
+// the number of candidate executions examined per enumeration.
+func BenchmarkAxiomSC(b *testing.B) {
+	prog := litmus.Dekker()
+	sc, err := weakorder.LoadModel("sc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := weakorder.AxiomConfig{MaxMemOpsPerThread: 6}
+	cands := 0
+	for i := 0; i < b.N; i++ {
+		_, st, err := weakorder.AxiomOutcomes(prog, sc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Complete {
+			b.Fatal("axiomatic search incomplete")
+		}
+		cands += st.Candidates
+	}
+	b.ReportMetric(float64(cands)/float64(b.N), "cands/op")
+}
+
 func BenchmarkDRF0CheckGenerated(b *testing.B) {
 	prog := gen.RaceFree(gen.RaceFreeConfig{Procs: 2, Sections: 1, OpsPerSection: 1}, 5)
 	for i := 0; i < b.N; i++ {

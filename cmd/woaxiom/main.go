@@ -1,0 +1,170 @@
+// Command woaxiom evaluates litmus programs under declarative
+// .cat-style axiomatic memory models (internal/axiom): candidate
+// executions are constructed exhaustively and filtered through the
+// model's relational axioms, printing every admitted outcome and any
+// fired flag constraints (the drf0 model flags races).
+//
+// Usage:
+//
+//	woaxiom -model sc prog.litmus         # outcomes under a bundled model
+//	woaxiom -model ./my.cat prog.litmus   # model from a .cat file
+//	woaxiom -model drf0 -litmus mp-racy   # built-in litmus program by name
+//	woaxiom -diff prog.litmus             # cross-check vs the operational oracles
+//	woaxiom -list                         # bundled models and builtin programs
+//
+// Exit status: 0 when no flag fired (or the -diff comparison agrees),
+// 1 when a flag fired or the differential disagrees, 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"weakorder"
+	"weakorder/internal/litmus"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "sc", "bundled model name (sc, tso, ra, drf0) or path to a .cat file")
+		litmusName = flag.String("litmus", "", "use the named built-in litmus program instead of a file")
+		budget     = flag.Int("budget", 0, "per-thread memory-op budget (0 = engine default)")
+		diff       = flag.Bool("diff", false, "cross-check axiomatic sc+drf0 against the operational oracles")
+		list       = flag.Bool("list", false, "list bundled models and built-in litmus programs")
+		quiet      = flag.Bool("q", false, "verdict only (suppress per-outcome lines)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:", strings.Join(weakorder.ModelNames(), " "))
+		names := make([]string, 0, len(litmus.All()))
+		for _, p := range litmus.All() {
+			names = append(names, p.Name)
+		}
+		fmt.Println("litmus:", strings.Join(names, " "))
+		return
+	}
+
+	prog, err := loadProgram(*litmusName, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *diff {
+		runDiff(prog, *budget, *quiet)
+		return
+	}
+
+	m, err := loadModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := weakorder.AxiomCheck(prog, m, weakorder.AxiomConfig{MaxMemOpsPerThread: *budget})
+	if err != nil {
+		fatal(err)
+	}
+	st := v.Stats
+	fmt.Printf("%s under %s: %d outcome(s), %d/%d candidates consistent (%d skeletons, %d pruned subtrees)\n",
+		prog.Name, m.Name, len(v.Outcomes), st.Consistent, st.Candidates, st.Skeletons, st.Pruned)
+	if !st.Complete {
+		fmt.Println("WARNING: search incomplete (budget exceeded); outcome set may be partial")
+	}
+	if !*quiet {
+		keys := make([]string, 0, len(v.Outcomes))
+		for k := range v.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Println("  ", k)
+		}
+	}
+	fired := false
+	flags := make([]string, 0, len(v.Flags))
+	for name := range v.Flags {
+		flags = append(flags, name)
+	}
+	sort.Strings(flags)
+	for _, name := range flags {
+		if n := v.Flags[name]; n > 0 {
+			fired = true
+			fmt.Printf("flag %s fired in %d candidate(s)\n", name, n)
+		}
+	}
+	if fired {
+		os.Exit(1)
+	}
+}
+
+// runDiff cross-checks the axiomatic engine against the operational
+// oracles (scmatch outcome sets, drf race classification) and exits
+// non-zero on disagreement.
+func runDiff(prog *weakorder.Program, budget int, quiet bool) {
+	res, err := weakorder.AxiomDiff(prog, weakorder.AxiomDiffConfig{MemOpsPerThread: budget})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.String())
+	if !quiet && !res.SCAgree {
+		for _, k := range res.AxiomOnly {
+			fmt.Println("  axiomatic only:", k)
+		}
+		for _, k := range res.OperOnly {
+			fmt.Println("  operational only:", k)
+		}
+	}
+	if !res.Skipped && !res.Agree() {
+		os.Exit(1)
+	}
+}
+
+// loadModel resolves a bundled model name, or parses a .cat file when
+// the argument looks like a path.
+func loadModel(name string) (*weakorder.MemoryModel, error) {
+	if strings.HasSuffix(name, ".cat") || strings.ContainsRune(name, os.PathSeparator) {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		base := strings.TrimSuffix(filepath.Base(name), ".cat")
+		return weakorder.ParseModel(base, string(src))
+	}
+	return weakorder.LoadModel(name)
+}
+
+// loadProgram resolves -litmus by built-in name, else parses the litmus
+// file argument ("-" for stdin).
+func loadProgram(builtin, path string) (*weakorder.Program, error) {
+	if builtin != "" {
+		for _, p := range litmus.All() {
+			if p.Name == builtin {
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown built-in litmus program %q (see -list)", builtin)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("usage: woaxiom [flags] prog.litmus  (or - for stdin, or -litmus NAME)")
+	}
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return weakorder.ParseProgram(string(b))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "woaxiom:", err)
+	os.Exit(2)
+}

@@ -11,6 +11,7 @@
 //	wofuzz -seed 7 -n 50 -policies WO-Def2,SC -topos bus -corpus out/
 //	wofuzz -seed 1 -n 2 -policies WO-Def2 -topos bus -fault WO-Def2 -corpus out/
 //	wofuzz -seed 1 -n 200 -faults severe
+//	wofuzz -axiom -n 100
 //
 // The same seed and flags always produce a byte-identical summary,
 // regardless of -workers. The -fault flag deliberately corrupts one read
@@ -19,7 +20,10 @@
 // arms the deterministic interconnect fault injector (none, mild,
 // severe) on every cached matrix row: the hardened protocol must still
 // satisfy every oracle, and any watchdog death becomes a shrunk
-// liveness reproducer.
+// liveness reproducer. The -axiom flag switches to the oracle-vs-oracle
+// differential: every litmus and generated program is checked between
+// the declarative axiomatic engine (internal/axiom) and the operational
+// oracles, with -n spread across the generator catalog.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"weakorder/internal/check"
 	"weakorder/internal/faults"
 	"weakorder/internal/machine"
+	"weakorder/internal/metrics"
 	"weakorder/internal/policy"
 )
 
@@ -49,6 +54,7 @@ func main() {
 		metricsF = flag.Bool("metrics", false, "print campaign metrics (Prometheus text) to stderr and emit periodic progress lines")
 		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
 		faultsIn = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe")
+		axiomF   = flag.Bool("axiom", false, "run the axiomatic-vs-operational oracle differential instead of the simulation campaign")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the campaign) to this file")
@@ -59,6 +65,12 @@ func main() {
 	// so profile teardown is funneled through an explicit stop hook that
 	// every exit path below runs first.
 	stopProfiles := startProfiles(*cpuProf, *memProf)
+
+	if *axiomF {
+		runAxiomDiff(*seed, *n, *metricsF, *quiet)
+		stopProfiles()
+		return
+	}
 
 	pols, err := parsePolicies(*policies)
 	if err != nil {
@@ -133,6 +145,43 @@ func main() {
 	stopProfiles()
 	if len(sum.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "wofuzz: %d contract violation(s) found\n", len(sum.Violations))
+		os.Exit(1)
+	}
+}
+
+// runAxiomDiff runs the axiomatic-vs-operational differential (see
+// check.AxiomCampaign): the litmus suite plus n generated programs
+// spread over the generator catalog, every one cross-checked between
+// the declarative axiomatic engine and the operational oracles. Any
+// disagreement exits non-zero — it is an engine bug, not a model
+// difference.
+func runAxiomDiff(seed int64, n int, wantMetrics, quiet bool) {
+	cfg := check.AxiomCampaignConfig{Seed: seed, PerSpec: (n + 3) / 4}
+	if !quiet {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "wofuzz: "+format+"\n", args...)
+		}
+	}
+	var reg *metrics.Registry
+	if wantMetrics {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	sum, err := check.AxiomCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("axiom differential: %d programs, %d compared, %d skipped (budget), %d disagreement(s)\n",
+		sum.Programs, sum.Compared, sum.Skipped, len(sum.Disagreements))
+	if reg != nil {
+		fmt.Fprintln(os.Stderr)
+		os.Stderr.Write(reg.Snapshot().Prometheus())
+	}
+	if len(sum.Disagreements) > 0 {
+		for i := range sum.Disagreements {
+			fmt.Fprintln(os.Stderr, "wofuzz:", sum.Disagreements[i].String())
+		}
+		atExit()
 		os.Exit(1)
 	}
 }

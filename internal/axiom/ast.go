@@ -1,0 +1,221 @@
+package axiom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The cat-model AST. Expressions are untyped at parse time; the evaluator
+// infers set-versus-relation from the primitives (see eval.go).
+
+// Expr is a cat expression.
+type Expr interface {
+	// dump renders the expression as an s-expression for the golden
+	// parse-tree tests.
+	dump(b *strings.Builder)
+}
+
+// Name references a primitive or let-bound set or relation.
+type Name struct{ Ident string }
+
+// Univ is the universal event set `_`.
+type Univ struct{}
+
+// Binary operators, in increasing binding strength: union `|`, difference
+// `\`, intersection `&`, composition `;`, cross product `*`.
+type BinOp uint8
+
+// Binary operator kinds.
+const (
+	OpUnion BinOp = iota
+	OpDiff
+	OpInter
+	OpSeq
+	OpCross
+)
+
+func (o BinOp) String() string {
+	switch o {
+	case OpUnion:
+		return "|"
+	case OpDiff:
+		return "\\"
+	case OpInter:
+		return "&"
+	case OpSeq:
+		return ";"
+	case OpCross:
+		return "*"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(o))
+	}
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Postfix operators: irreflexive transitive closure `+`, reflexive
+// transitive closure `*`, reflexive closure `?`, inverse `^-1`.
+type PostOp uint8
+
+// Postfix operator kinds.
+const (
+	OpPlus PostOp = iota
+	OpStar
+	OpOpt
+	OpInv
+)
+
+func (o PostOp) String() string {
+	switch o {
+	case OpPlus:
+		return "+"
+	case OpStar:
+		return "*"
+	case OpOpt:
+		return "?"
+	case OpInv:
+		return "^-1"
+	default:
+		return fmt.Sprintf("PostOp(%d)", uint8(o))
+	}
+}
+
+// Post applies a postfix operator.
+type Post struct {
+	Op PostOp
+	E  Expr
+}
+
+// Diag is the identity restriction `[S]`: the identity relation on the
+// members of set S.
+type Diag struct{ S Expr }
+
+func (e *Name) dump(b *strings.Builder) { b.WriteString(e.Ident) }
+func (e *Univ) dump(b *strings.Builder) { b.WriteString("_") }
+func (e *Bin) dump(b *strings.Builder) {
+	fmt.Fprintf(b, "(%s ", e.Op)
+	e.L.dump(b)
+	b.WriteByte(' ')
+	e.R.dump(b)
+	b.WriteByte(')')
+}
+func (e *Post) dump(b *strings.Builder) {
+	fmt.Fprintf(b, "(%s ", e.Op)
+	e.E.dump(b)
+	b.WriteByte(')')
+}
+func (e *Diag) dump(b *strings.Builder) {
+	b.WriteString("(diag ")
+	e.S.dump(b)
+	b.WriteByte(')')
+}
+
+// ConstraintKind classifies a model constraint.
+type ConstraintKind uint8
+
+// Constraint kinds.
+const (
+	// Acyclic requires the relation to have no cycles.
+	Acyclic ConstraintKind = iota
+	// Irreflexive requires the relation to relate no event to itself.
+	Irreflexive
+	// Empty requires the relation (or set) to be empty.
+	Empty
+)
+
+func (k ConstraintKind) String() string {
+	switch k {
+	case Acyclic:
+		return "acyclic"
+	case Irreflexive:
+		return "irreflexive"
+	case Empty:
+		return "empty"
+	default:
+		return fmt.Sprintf("ConstraintKind(%d)", uint8(k))
+	}
+}
+
+// Let is one `let name = expr` binding.
+type Let struct {
+	Name string
+	Expr Expr
+}
+
+// Constraint is one model requirement: `acyclic e as name`,
+// `irreflexive e`, `empty e`, or their negated (`~`) and flagged (`flag`)
+// forms. A plain constraint rejects candidate executions that violate it;
+// a `flag` constraint never rejects — it marks the candidate with its
+// name (the cat idiom for race detection: `flag ~empty races as race`).
+type Constraint struct {
+	Flag bool
+	Kind ConstraintKind
+	// Neg inverts the test: `~empty e` is violated when e IS empty.
+	Neg  bool
+	Expr Expr
+	As   string
+}
+
+// Dump renders the constraint as an s-expression.
+func (c *Constraint) Dump(b *strings.Builder) {
+	b.WriteByte('(')
+	if c.Flag {
+		b.WriteString("flag ")
+	}
+	if c.Neg {
+		b.WriteByte('~')
+	}
+	b.WriteString(c.Kind.String())
+	b.WriteByte(' ')
+	c.Expr.dump(b)
+	if c.As != "" {
+		fmt.Fprintf(b, " as %s", c.As)
+	}
+	b.WriteByte(')')
+}
+
+// Model is one parsed cat memory model: an ordered list of let bindings
+// plus the constraints to check on each candidate execution.
+type Model struct {
+	// Name is the model's declared or assigned name.
+	Name string
+	// Lets holds the bindings in source order; later bindings may
+	// reference earlier ones.
+	Lets []Let
+	// Constraints holds the checks in source order.
+	Constraints []Constraint
+
+	// usesSO caches whether any expression references the enumerated
+	// synchronization order `so` (computed at parse time).
+	usesSO bool
+	// letType records each binding's inferred type (see eval.go).
+	letType map[string]exprType
+}
+
+// UsesSyncOrder reports whether the model references the primitive `so`,
+// in which case the engine enumerates per-location synchronization total
+// orders for each candidate (see enumerate.go).
+func (m *Model) UsesSyncOrder() bool { return m.usesSO }
+
+// Dump renders the whole model as an s-expression tree, one statement per
+// line — the format pinned by the golden parse-tree tests.
+func (m *Model) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(model %s\n", m.Name)
+	for _, l := range m.Lets {
+		fmt.Fprintf(&b, "  (let %s ", l.Name)
+		l.Expr.dump(&b)
+		b.WriteString(")\n")
+	}
+	for i := range m.Constraints {
+		b.WriteString("  ")
+		m.Constraints[i].Dump(&b)
+		b.WriteByte('\n')
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

@@ -1,0 +1,398 @@
+package axiom
+
+import (
+	"fmt"
+
+	"weakorder/internal/bitset"
+)
+
+// Primitive sets and relations. Sets classify events; relations order
+// them. The dynamic relations rf, co, fr and so vary per candidate
+// execution, everything else is fixed by the candidate skeleton.
+//
+// Sets:
+//
+//	_     all events (including fences and initial writes)
+//	M     memory events: R | W (no fences)
+//	R     events with a read component (Read, SyncRead, SyncRMW)
+//	W     events with a write component (Write, SyncWrite, SyncRMW, IW)
+//	RMW   atomic read-modify-writes (SyncRMW)
+//	F     fences
+//	SYNC  synchronization operations (SyncRead, SyncWrite, SyncRMW)
+//	IW    the initial writes (one per address, co-minimal)
+//
+// Relations:
+//
+//	po    per-thread program order (total per thread, includes fences;
+//	      initial writes are po-unrelated to everything)
+//	rf    reads-from: write → read it satisfies
+//	co    coherence: per-address total order on writes, IW first
+//	fr    from-reads: rf⁻¹ ; co, minus identity
+//	so    enumerated synchronization order (per-address total order on
+//	      SYNC events); only available to models that mention it
+//	loc   same non-fence events on the same address (reflexive)
+//	ext   pairs from different processors
+//	int   pairs from the same processor (reflexive)
+//	id    identity on all events
+var (
+	primSets = map[string]bool{
+		"M": true, "R": true, "W": true, "RMW": true,
+		"F": true, "SYNC": true, "IW": true,
+	}
+	primRels = map[string]bool{
+		"po": true, "rf": true, "co": true, "fr": true, "so": true,
+		"loc": true, "ext": true, "int": true, "id": true,
+	}
+	// dynPrims are the relations chosen by the enumerator rather than
+	// fixed by the skeleton — the inputs of the monotonicity analysis.
+	dynPrims = map[string]bool{"rf": true, "co": true, "fr": true, "so": true}
+)
+
+func isPrimitive(name string) bool { return primSets[name] || primRels[name] }
+
+// exprType distinguishes event sets from binary relations.
+type exprType uint8
+
+const (
+	typeSet exprType = iota
+	typeRel
+)
+
+func (t exprType) String() string {
+	if t == typeSet {
+		return "set"
+	}
+	return "relation"
+}
+
+// typecheck infers set-versus-relation for every expression and rejects
+// ill-typed models (e.g. composing two sets). Let types are recorded for
+// the evaluator.
+func (m *Model) typecheck() error {
+	m.letType = make(map[string]exprType, len(m.Lets))
+	var infer func(e Expr) (exprType, error)
+	infer = func(e Expr) (exprType, error) {
+		switch e := e.(type) {
+		case *Name:
+			if primSets[e.Ident] {
+				return typeSet, nil
+			}
+			if primRels[e.Ident] {
+				return typeRel, nil
+			}
+			t, ok := m.letType[e.Ident]
+			if !ok {
+				return 0, fmt.Errorf("model %s: unknown name %q", m.Name, e.Ident)
+			}
+			return t, nil
+		case *Univ:
+			return typeSet, nil
+		case *Bin:
+			lt, err := infer(e.L)
+			if err != nil {
+				return 0, err
+			}
+			rt, err := infer(e.R)
+			if err != nil {
+				return 0, err
+			}
+			switch e.Op {
+			case OpUnion, OpDiff, OpInter:
+				if lt != rt {
+					return 0, fmt.Errorf("model %s: %q mixes a %s and a %s", m.Name, e.Op, lt, rt)
+				}
+				return lt, nil
+			case OpSeq:
+				if lt != typeRel || rt != typeRel {
+					return 0, fmt.Errorf("model %s: %q needs relations", m.Name, e.Op)
+				}
+				return typeRel, nil
+			case OpCross:
+				if lt != typeSet || rt != typeSet {
+					return 0, fmt.Errorf("model %s: %q needs sets", m.Name, e.Op)
+				}
+				return typeRel, nil
+			}
+		case *Post:
+			t, err := infer(e.E)
+			if err != nil {
+				return 0, err
+			}
+			if t != typeRel {
+				return 0, fmt.Errorf("model %s: %q needs a relation", m.Name, e.Op)
+			}
+			return typeRel, nil
+		case *Diag:
+			t, err := infer(e.S)
+			if err != nil {
+				return 0, err
+			}
+			if t != typeSet {
+				return 0, fmt.Errorf("model %s: [.] needs a set", m.Name)
+			}
+			return typeRel, nil
+		}
+		panic(fmt.Sprintf("axiom: unknown expression %T", e))
+	}
+	for _, l := range m.Lets {
+		t, err := infer(l.Expr)
+		if err != nil {
+			return err
+		}
+		m.letType[l.Name] = t
+	}
+	for i := range m.Constraints {
+		c := &m.Constraints[i]
+		t, err := infer(c.Expr)
+		if err != nil {
+			return err
+		}
+		if t != typeRel && c.Kind != Empty {
+			return fmt.Errorf("model %s: %s needs a relation", m.Name, c.Kind)
+		}
+	}
+	return nil
+}
+
+func (m *Model) letDef(name string) (Expr, bool) {
+	for i := range m.Lets {
+		if m.Lets[i].Name == name {
+			return m.Lets[i].Expr, true
+		}
+	}
+	return nil, false
+}
+
+// negDyn reports whether e mentions a dynamic primitive (rf, co, fr, so)
+// at negative polarity, expanding let references. neg tracks the current
+// polarity: only the right operand of `\` flips it — every other operator
+// in the language is monotone.
+func (m *Model) negDyn(e Expr, neg bool) bool {
+	switch e := e.(type) {
+	case *Name:
+		if dynPrims[e.Ident] {
+			return neg
+		}
+		if def, ok := m.letDef(e.Ident); ok {
+			return m.negDyn(def, neg)
+		}
+		return false
+	case *Bin:
+		if e.Op == OpDiff {
+			return m.negDyn(e.L, neg) || m.negDyn(e.R, !neg)
+		}
+		return m.negDyn(e.L, neg) || m.negDyn(e.R, neg)
+	case *Post:
+		return m.negDyn(e.E, neg)
+	case *Diag:
+		return m.negDyn(e.S, neg)
+	}
+	return false
+}
+
+// prunable reports whether a violation of c on a partial candidate (a
+// subset of the final rf, a prefix of the final co insertion order, a
+// prefix of so) persists in every completion, so the enumerator may cut
+// the subtree. That holds exactly when the constraint's expression is
+// monotone in the dynamic relations: a nonempty monotone relation stays
+// nonempty, a cycle stays a cycle, a reflexive pair stays. Flag
+// constraints never reject, and negated ones assert non-monotone facts.
+func (m *Model) prunable(c *Constraint) bool {
+	return !c.Flag && !c.Neg && !m.negDyn(c.Expr, false)
+}
+
+// val is an evaluated expression: exactly one of set or rel is non-nil.
+type val struct {
+	set *bitset.Set
+	rel *Rel
+}
+
+// evaluator evaluates model expressions against one candidate skeleton.
+// The static sets and relations are fixed at construction; the dynamic
+// relations are installed per pass with begin, and all temporaries handed
+// out during a pass return to the arena on end — constraint checks run at
+// every node of the enumeration tree, so a pass must not allocate after
+// warm-up.
+type evaluator struct {
+	m  *Model
+	n  int
+	ar *relArena
+
+	sets map[string]*bitset.Set // primitive sets, plus "_" for Univ
+	rels map[string]*Rel        // static relations: po, loc, ext, int, id
+
+	rf, co, fr, so *Rel
+
+	lets      map[string]val
+	ownedRels []*Rel
+	ownedSets []*bitset.Set
+}
+
+func newEvaluator(m *Model, n int, ar *relArena, sets map[string]*bitset.Set, rels map[string]*Rel) *evaluator {
+	return &evaluator{
+		m: m, n: n, ar: ar,
+		sets: sets, rels: rels,
+		lets: make(map[string]val, len(m.Lets)),
+	}
+}
+
+// begin installs the candidate's dynamic relations for one evaluation
+// pass. so may be nil when the model never mentions it.
+func (ev *evaluator) begin(rf, co, fr, so *Rel) {
+	ev.rf, ev.co, ev.fr, ev.so = rf, co, fr, so
+	for k := range ev.lets {
+		delete(ev.lets, k)
+	}
+}
+
+// end retires every temporary handed out since begin.
+func (ev *evaluator) end() {
+	for _, r := range ev.ownedRels {
+		ev.ar.PutRel(r)
+	}
+	ev.ownedRels = ev.ownedRels[:0]
+	for _, s := range ev.ownedSets {
+		ev.ar.PutSet(s)
+	}
+	ev.ownedSets = ev.ownedSets[:0]
+	ev.rf, ev.co, ev.fr, ev.so = nil, nil, nil, nil
+}
+
+func (ev *evaluator) newRel() *Rel {
+	r := ev.ar.Rel()
+	ev.ownedRels = append(ev.ownedRels, r)
+	return r
+}
+
+func (ev *evaluator) newSet() *bitset.Set {
+	s := ev.ar.Set()
+	ev.ownedSets = append(ev.ownedSets, s)
+	return s
+}
+
+// eval evaluates a typechecked expression. Returned values are read-only
+// and valid until end; operator results are arena temporaries, primitive
+// and cached-let references are shared.
+func (ev *evaluator) eval(e Expr) val {
+	switch e := e.(type) {
+	case *Name:
+		return ev.evalName(e.Ident)
+	case *Univ:
+		return val{set: ev.sets["_"]}
+	case *Bin:
+		l, r := ev.eval(e.L), ev.eval(e.R)
+		switch e.Op {
+		case OpUnion, OpDiff, OpInter:
+			if l.set != nil {
+				out := ev.newSet()
+				out.CopyFrom(l.set)
+				switch e.Op {
+				case OpUnion:
+					out.UnionWith(r.set)
+				case OpDiff:
+					out.DifferenceWith(r.set)
+				case OpInter:
+					out.IntersectWith(r.set)
+				}
+				return val{set: out}
+			}
+			out := ev.newRel()
+			out.CopyFrom(l.rel)
+			switch e.Op {
+			case OpUnion:
+				out.UnionWith(r.rel)
+			case OpDiff:
+				out.DifferenceWith(r.rel)
+			case OpInter:
+				out.IntersectWith(r.rel)
+			}
+			return val{rel: out}
+		case OpSeq:
+			out := ev.newRel()
+			out.SeqInto(l.rel, r.rel)
+			return val{rel: out}
+		case OpCross:
+			out := ev.newRel()
+			out.CrossInto(l.set, r.set)
+			return val{rel: out}
+		}
+	case *Post:
+		in := ev.eval(e.E)
+		out := ev.newRel()
+		switch e.Op {
+		case OpPlus:
+			out.CopyFrom(in.rel)
+			out.Close()
+		case OpStar:
+			out.CopyFrom(in.rel)
+			out.Close()
+			out.AddID()
+		case OpOpt:
+			out.CopyFrom(in.rel)
+			out.AddID()
+		case OpInv:
+			out.InverseInto(in.rel)
+		}
+		return val{rel: out}
+	case *Diag:
+		s := ev.eval(e.S)
+		out := ev.newRel()
+		out.DiagInto(s.set)
+		return val{rel: out}
+	}
+	panic(fmt.Sprintf("axiom: unknown expression %T", e))
+}
+
+func (ev *evaluator) evalName(name string) val {
+	if v, ok := ev.lets[name]; ok {
+		return v
+	}
+	switch name {
+	case "rf":
+		return val{rel: ev.rf}
+	case "co":
+		return val{rel: ev.co}
+	case "fr":
+		return val{rel: ev.fr}
+	case "so":
+		if ev.so == nil {
+			panic("axiom: so referenced outside a sync-order pass")
+		}
+		return val{rel: ev.so}
+	}
+	if s, ok := ev.sets[name]; ok {
+		return val{set: s}
+	}
+	if r, ok := ev.rels[name]; ok {
+		return val{rel: r}
+	}
+	def, ok := ev.m.letDef(name)
+	if !ok {
+		panic(fmt.Sprintf("axiom: unresolved name %q", name))
+	}
+	v := ev.eval(def)
+	ev.lets[name] = v
+	return v
+}
+
+// violated reports whether the installed candidate breaks constraint c.
+func (ev *evaluator) violated(c *Constraint) bool {
+	v := ev.eval(c.Expr)
+	var ok bool
+	switch c.Kind {
+	case Acyclic:
+		ok = v.rel.Acyclic()
+	case Irreflexive:
+		ok = v.rel.Irreflexive()
+	case Empty:
+		if v.rel != nil {
+			ok = v.rel.Empty()
+		} else {
+			ok = v.set.Empty()
+		}
+	}
+	if c.Neg {
+		ok = !ok
+	}
+	return !ok
+}

@@ -1,0 +1,66 @@
+package axiom
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+//go:embed testdata/models/*.cat
+var modelFS embed.FS
+
+const modelDir = "testdata/models"
+
+// ModelNames lists the bundled models, sorted: "drf0", "ra", "sc",
+// "tso".
+func ModelNames() []string {
+	entries, err := modelFS.ReadDir(modelDir)
+	if err != nil {
+		panic(fmt.Sprintf("axiom: embedded models missing: %v", err))
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".cat"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	loadMu sync.Mutex
+	loaded map[string]*Model
+)
+
+// Load parses and returns a bundled model by name ("sc", "tso", "ra",
+// "drf0"). Parsed models are immutable and cached.
+func Load(name string) (*Model, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if m, ok := loaded[name]; ok {
+		return m, nil
+	}
+	src, err := modelFS.ReadFile(modelDir + "/" + name + ".cat")
+	if err != nil {
+		return nil, fmt.Errorf("axiom: no bundled model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+	}
+	m, err := Parse(name, string(src))
+	if err != nil {
+		return nil, err
+	}
+	if loaded == nil {
+		loaded = make(map[string]*Model)
+	}
+	loaded[name] = m
+	return m, nil
+}
+
+// MustLoad is Load for the bundled models in tests and benchmarks.
+func MustLoad(name string) *Model {
+	m, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

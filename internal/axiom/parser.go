@@ -1,0 +1,509 @@
+package axiom
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a cat-style model source into a Model. The language is the
+// herd7 cat fragment the bundled models need:
+//
+//	model      := name? (let | constraint)*
+//	let        := "let" ident "=" expr
+//	constraint := "flag"? "~"? kind expr ("as" ident)?
+//	kind       := "acyclic" | "irreflexive" | "empty"
+//	expr       := expr "|" expr          (union, loosest)
+//	            | expr "\" expr          (difference)
+//	            | expr "&" expr          (intersection)
+//	            | expr ";" expr          (composition)
+//	            | expr "*" expr          (cross product, tightest binary)
+//	            | expr "+"               (transitive closure)
+//	            | expr "*"               (reflexive transitive closure)
+//	            | expr "?"               (reflexive closure)
+//	            | expr "^-1"             (inverse)
+//	            | "[" expr "]"           (identity on a set)
+//	            | "_"                    (universal event set)
+//	            | ident | "(" expr ")"
+//
+// `(* ... *)` comments nest. A bare leading identifier (herd's model
+// title) names the model. The only lexical subtlety is `*`, which is
+// postfix closure when the next token cannot start an expression and the
+// cross product otherwise; binary operators associate left. Identifiers
+// may contain `-` (po-loc), matching herd usage.
+func Parse(name, src string) (*Model, error) {
+	p := &parser{lex: newLexer(src)}
+	m, err := p.parseModel(name)
+	if err != nil {
+		return nil, fmt.Errorf("axiom: parsing model %s: %w", name, err)
+	}
+	return m, nil
+}
+
+// token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLet
+	tokAs
+	tokFlag
+	tokKind_ // acyclic | irreflexive | empty (value in tok.text)
+	tokEq
+	tokTilde
+	tokPipe
+	tokBackslash
+	tokAmp
+	tokSemi
+	tokStar
+	tokPlus
+	tokQuestion
+	tokInv // ^-1
+	tokLParen
+	tokRParen
+	tokLBrack
+	tokRBrack
+	tokUnderscore
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			if err := l.skipComment(); err != nil {
+				return token{}, err
+			}
+		default:
+			goto lex
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+lex:
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	single := func(k tokKind) (token, error) {
+		l.pos++
+		return token{kind: k, text: l.src[start:l.pos], line: line}, nil
+	}
+	switch c {
+	case '=':
+		return single(tokEq)
+	case '~':
+		return single(tokTilde)
+	case '|':
+		return single(tokPipe)
+	case '\\':
+		return single(tokBackslash)
+	case '&':
+		return single(tokAmp)
+	case ';':
+		return single(tokSemi)
+	case '*':
+		return single(tokStar)
+	case '+':
+		return single(tokPlus)
+	case '?':
+		return single(tokQuestion)
+	case '(':
+		return single(tokLParen)
+	case ')':
+		return single(tokRParen)
+	case '[':
+		return single(tokLBrack)
+	case ']':
+		return single(tokRBrack)
+	case '^':
+		if strings.HasPrefix(l.src[l.pos:], "^-1") {
+			l.pos += 3
+			return token{kind: tokInv, text: "^-1", line: line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected %q (only ^-1 is supported)", line, "^")
+	}
+	if c == '_' && (l.pos+1 >= len(l.src) || !identByte(l.src[l.pos+1])) {
+		return single(tokUnderscore)
+	}
+	if identStart(c) {
+		for l.pos < len(l.src) && identByte(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		switch text {
+		case "let":
+			return token{kind: tokLet, text: text, line: line}, nil
+		case "as":
+			return token{kind: tokAs, text: text, line: line}, nil
+		case "flag":
+			return token{kind: tokFlag, text: text, line: line}, nil
+		case "acyclic", "irreflexive", "empty":
+			return token{kind: tokKind_, text: text, line: line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line}, nil
+	}
+	return token{}, fmt.Errorf("line %d: unexpected character %q", line, string(rune(c)))
+}
+
+func identStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+// identByte allows letters, digits, '-', '_' and '.' inside identifiers
+// (po-loc, rf.ext-style names).
+func identByte(c byte) bool {
+	return c == '-' || c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) skipComment() error {
+	depth := 0
+	for l.pos < len(l.src) {
+		switch {
+		case strings.HasPrefix(l.src[l.pos:], "(*"):
+			depth++
+			l.pos += 2
+		case strings.HasPrefix(l.src[l.pos:], "*)"):
+			depth--
+			l.pos += 2
+			if depth == 0 {
+				return nil
+			}
+		default:
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			l.pos++
+		}
+	}
+	return fmt.Errorf("line %d: unterminated comment", l.line)
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token // current token
+	peek *token
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) parseModel(name string) (*Model, error) {
+	m := &Model{Name: name}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// Optional herd-style title line: a bare identifier before the first
+	// statement names the model.
+	if p.tok.kind == tokIdent {
+		m.Name = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokLet:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokIdent {
+				return nil, fmt.Errorf("line %d: let needs a name, got %s", p.tok.line, p.tok)
+			}
+			lname := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokEq {
+				return nil, fmt.Errorf("line %d: let %s needs '=', got %s", p.tok.line, lname, p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			m.Lets = append(m.Lets, Let{Name: lname, Expr: e})
+		case tokFlag, tokTilde, tokKind_:
+			c, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			m.Constraints = append(m.Constraints, c)
+		default:
+			return nil, fmt.Errorf("line %d: expected let or a constraint, got %s", p.tok.line, p.tok)
+		}
+	}
+	if len(m.Constraints) == 0 {
+		return nil, fmt.Errorf("model declares no constraints")
+	}
+	if err := m.resolve(); err != nil {
+		return nil, err
+	}
+	if err := m.typecheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseConstraint() (Constraint, error) {
+	var c Constraint
+	if p.tok.kind == tokFlag {
+		c.Flag = true
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+	}
+	if p.tok.kind == tokTilde {
+		c.Neg = true
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+	}
+	if p.tok.kind != tokKind_ {
+		return c, fmt.Errorf("line %d: expected acyclic, irreflexive or empty, got %s", p.tok.line, p.tok)
+	}
+	switch p.tok.text {
+	case "acyclic":
+		c.Kind = Acyclic
+	case "irreflexive":
+		c.Kind = Irreflexive
+	case "empty":
+		c.Kind = Empty
+	}
+	if err := p.advance(); err != nil {
+		return c, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return c, err
+	}
+	c.Expr = e
+	if p.tok.kind == tokAs {
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+		if p.tok.kind != tokIdent {
+			return c, fmt.Errorf("line %d: 'as' needs a name, got %s", p.tok.line, p.tok)
+		}
+		c.As = p.tok.text
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// Binary operator precedence, loosest first.
+var binPrec = map[tokKind]int{
+	tokPipe:      1,
+	tokBackslash: 2,
+	tokAmp:       3,
+	tokSemi:      4,
+	tokStar:      5, // cross product; see starIsCross
+}
+
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, isBin := binPrec[p.tok.kind]
+		if !isBin || prec < minPrec {
+			return left, nil
+		}
+		var op BinOp
+		switch p.tok.kind {
+		case tokPipe:
+			op = OpUnion
+		case tokBackslash:
+			op = OpDiff
+		case tokAmp:
+			op = OpInter
+		case tokSemi:
+			op = OpSeq
+		case tokStar:
+			op = OpCross
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Bin{Op: op, L: left, R: right}
+	}
+}
+
+// exprStart reports whether a token can begin an expression — the
+// disambiguator between postfix closure `e*` and cross product `a * b`.
+func exprStart(t token) bool {
+	switch t.kind {
+	case tokIdent, tokLParen, tokLBrack, tokUnderscore:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokPlus:
+			e = &Post{Op: OpPlus, E: e}
+		case tokQuestion:
+			e = &Post{Op: OpOpt, E: e}
+		case tokInv:
+			e = &Post{Op: OpInv, E: e}
+		case tokStar:
+			nxt, err := p.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			if exprStart(nxt) {
+				return e, nil // binary cross product; leave for parseExpr
+			}
+			e = &Post{Op: OpStar, E: e}
+		default:
+			return e, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		e := &Name{Ident: p.tok.text}
+		return e, p.advance()
+	case tokUnderscore:
+		return &Univ{}, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("line %d: expected ')', got %s", p.tok.line, p.tok)
+		}
+		return e, p.advance()
+	case tokLBrack:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRBrack {
+			return nil, fmt.Errorf("line %d: expected ']', got %s", p.tok.line, p.tok)
+		}
+		return &Diag{S: e}, p.advance()
+	default:
+		return nil, fmt.Errorf("line %d: expected an expression, got %s", p.tok.line, p.tok)
+	}
+}
+
+// resolve checks that every referenced name is a primitive or bound by an
+// earlier let, rejects duplicate bindings, and records whether the model
+// uses the enumerated synchronization order `so`.
+func (m *Model) resolve() error {
+	bound := make(map[string]bool)
+	var check func(e Expr) error
+	check = func(e Expr) error {
+		switch e := e.(type) {
+		case *Name:
+			if e.Ident == "so" {
+				m.usesSO = true
+			}
+			if !bound[e.Ident] && !isPrimitive(e.Ident) {
+				return fmt.Errorf("model %s: unknown name %q", m.Name, e.Ident)
+			}
+		case *Bin:
+			if err := check(e.L); err != nil {
+				return err
+			}
+			return check(e.R)
+		case *Post:
+			return check(e.E)
+		case *Diag:
+			return check(e.S)
+		}
+		return nil
+	}
+	for _, l := range m.Lets {
+		if bound[l.Name] {
+			return fmt.Errorf("model %s: duplicate let %q", m.Name, l.Name)
+		}
+		if isPrimitive(l.Name) {
+			return fmt.Errorf("model %s: let %q shadows a primitive", m.Name, l.Name)
+		}
+		if err := check(l.Expr); err != nil {
+			return err
+		}
+		bound[l.Name] = true
+	}
+	for i := range m.Constraints {
+		if err := check(m.Constraints[i].Expr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

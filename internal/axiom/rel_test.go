@@ -1,0 +1,130 @@
+package axiom
+
+import (
+	"reflect"
+	"testing"
+
+	"weakorder/internal/bitset"
+)
+
+func relOf(n int, pairs ...[2]int) *Rel {
+	r := NewRel(n)
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	return r
+}
+
+func wantPairs(t *testing.T, label string, r *Rel, want ...[2]int) {
+	t.Helper()
+	got := r.Pairs()
+	if len(want) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s = %v, want %v", label, got, want)
+	}
+}
+
+func TestRelAlgebra(t *testing.T) {
+	a := relOf(4, [2]int{0, 1}, [2]int{1, 2})
+	b := relOf(4, [2]int{1, 2}, [2]int{2, 3})
+
+	u := NewRel(4)
+	u.CopyFrom(a)
+	u.UnionWith(b)
+	wantPairs(t, "union", u, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+
+	i := NewRel(4)
+	i.CopyFrom(a)
+	i.IntersectWith(b)
+	wantPairs(t, "intersection", i, [2]int{1, 2})
+
+	d := NewRel(4)
+	d.CopyFrom(a)
+	d.DifferenceWith(b)
+	wantPairs(t, "difference", d, [2]int{0, 1})
+
+	seq := NewRel(4)
+	seq.SeqInto(a, b)
+	wantPairs(t, "composition", seq, [2]int{0, 2}, [2]int{1, 3})
+
+	inv := NewRel(4)
+	inv.InverseInto(a)
+	wantPairs(t, "inverse", inv, [2]int{1, 0}, [2]int{2, 1})
+
+	s := bitset.New(4)
+	s.Add(1)
+	s.Add(3)
+	diag := NewRel(4)
+	diag.DiagInto(s)
+	wantPairs(t, "diag", diag, [2]int{1, 1}, [2]int{3, 3})
+
+	tt := bitset.New(4)
+	tt.Add(0)
+	cross := NewRel(4)
+	cross.CrossInto(s, tt)
+	wantPairs(t, "cross", cross, [2]int{1, 0}, [2]int{3, 0})
+}
+
+func TestRelClosure(t *testing.T) {
+	// A chain, including a back edge to exercise the fixpoint iteration.
+	r := relOf(5, [2]int{0, 1}, [2]int{1, 2}, [2]int{3, 0}, [2]int{2, 3})
+	r.Close()
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 3}, {3, 2}, {0, 0}, {2, 2}} {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("closure missing (%d,%d)", p[0], p[1])
+		}
+	}
+	if r.Has(4, 0) || r.Has(0, 4) {
+		t.Error("closure invented pairs for isolated node")
+	}
+}
+
+func TestRelChecks(t *testing.T) {
+	acy := relOf(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2})
+	if !acy.Acyclic() {
+		t.Error("DAG reported cyclic")
+	}
+	cyc := relOf(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})
+	if cyc.Acyclic() {
+		t.Error("cycle reported acyclic")
+	}
+	self := relOf(3, [2]int{1, 1})
+	if self.Acyclic() {
+		t.Error("self-loop reported acyclic")
+	}
+	if self.Irreflexive() {
+		t.Error("self-loop reported irreflexive")
+	}
+	if !acy.Irreflexive() {
+		t.Error("irreflexive relation misreported")
+	}
+	if !NewRel(3).Empty() || acy.Empty() {
+		t.Error("emptiness misreported")
+	}
+}
+
+func TestRelArenaRecycles(t *testing.T) {
+	ar := newRelArena(8)
+	r := ar.Rel()
+	r.Add(1, 2)
+	ar.PutRel(r)
+	r2 := ar.Rel()
+	if r2 != r {
+		t.Error("arena did not recycle the relation")
+	}
+	if !r2.Empty() {
+		t.Error("recycled relation not cleared")
+	}
+	s := ar.Set()
+	s.Add(3)
+	ar.PutSet(s)
+	s2 := ar.Set()
+	if s2 != s {
+		t.Error("arena did not recycle the set")
+	}
+	if !s2.Empty() {
+		t.Error("recycled set not cleared")
+	}
+}

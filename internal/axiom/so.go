@@ -1,0 +1,190 @@
+package axiom
+
+import (
+	"weakorder/internal/mem"
+)
+
+// Synchronization-order enumeration. The paper's weak-ordering contract
+// (hb = (po ∪ so)+ under DRF0) quantifies over the per-address total
+// orders in which synchronization operations complete. On the idealized
+// architecture those orders are exactly the per-address restrictions of
+// some interleaving, so for each consistent candidate the engine
+// enumerates every family of per-address total orders over SYNC events
+// that is a linear extension of the communication order
+// (po ∪ rf ∪ co ∪ fr)+ and jointly acyclic with it — per-address
+// extensions can still cycle with each other through po across
+// addresses, so acyclicity is maintained globally: a transitive closure
+// is updated incrementally as each sync event is appended, and an
+// append that would close a cycle is rejected.
+
+// soSearch enumerates synchronization orders for one complete candidate.
+type soSearch struct {
+	s      *searcher
+	evs    [][]int  // sync event ids, grouped by address
+	used   [][]bool // per group: already placed
+	placed [][]int  // per group: placement order so far
+	C      *Rel     // transitive closure of po|rf|co|fr|so-so-far
+	so     *Rel     // union of the per-address orders built so far
+	fired  map[string]bool
+	soOK   bool
+	done   bool
+}
+
+// enumerateSO explores the candidate's synchronization orders. It
+// reports whether at least one order satisfied every so-dependent
+// non-flag constraint (when there are none, the first order suffices),
+// accumulating so-dependent flags into fired across all valid orders.
+func (s *searcher) enumerateSO(fired map[string]bool) (bool, error) {
+	sk := s.sk
+	groups := make(map[mem.Addr][]int)
+	for i := sk.firstReal; i < len(sk.events); i++ {
+		ev := &sk.events[i]
+		if !ev.fence && ev.kind.IsSync() {
+			groups[ev.addr] = append(groups[ev.addr], i)
+		}
+	}
+	ss := &soSearch{s: s, fired: fired}
+	for _, a := range s.p.Addresses() {
+		if evs := groups[a]; len(evs) > 0 {
+			ss.evs = append(ss.evs, evs)
+			ss.used = append(ss.used, make([]bool, len(evs)))
+			ss.placed = append(ss.placed, make([]int, 0, len(evs)))
+		}
+	}
+	ss.C = s.ar.Rel()
+	ss.so = s.ar.Rel()
+	defer func() {
+		s.ar.PutRel(ss.C)
+		s.ar.PutRel(ss.so)
+	}()
+	ss.C.CopyFrom(s.rels["po"])
+	ss.C.UnionWith(s.rf)
+	ss.C.UnionWith(s.co)
+	ss.C.UnionWith(s.fr)
+	ss.C.Close()
+
+	var err error
+	if len(ss.evs) == 0 {
+		err = ss.complete()
+	} else {
+		err = ss.place(0)
+	}
+	return ss.soOK, err
+}
+
+// place extends group ai's order by one event and recurses, moving to
+// the next group when the current one is fully placed.
+func (ss *soSearch) place(ai int) error {
+	if ss.done {
+		return nil
+	}
+	evs := ss.evs[ai]
+	placed := ss.placed[ai]
+	if len(placed) == len(evs) {
+		if ai+1 == len(ss.evs) {
+			return ss.complete()
+		}
+		return ss.place(ai + 1)
+	}
+	last := -1
+	if len(placed) > 0 {
+		last = placed[len(placed)-1]
+	}
+	for i, x := range evs {
+		if ss.used[ai][i] {
+			continue
+		}
+		// x may come next only if no unplaced same-address event is
+		// already forced before it, and appending it after last closes
+		// no cycle through the current closure.
+		blocked := false
+		for j, y := range evs {
+			if j != i && !ss.used[ai][j] && ss.C.Has(y, x) {
+				blocked = true
+				break
+			}
+		}
+		if blocked || (last >= 0 && ss.C.Has(x, last)) {
+			continue
+		}
+		if err := ss.s.step(); err != nil {
+			return err
+		}
+		var saved *Rel
+		if last >= 0 {
+			saved = ss.s.ar.Rel()
+			saved.CopyFrom(ss.C)
+			ss.addClosureEdge(last, x)
+		}
+		for _, p := range placed {
+			ss.so.Add(p, x)
+		}
+		ss.used[ai][i] = true
+		ss.placed[ai] = append(placed, x)
+
+		err := ss.place(ai)
+
+		ss.placed[ai] = placed
+		ss.used[ai][i] = false
+		for _, p := range placed {
+			ss.so.Remove(p, x)
+		}
+		if saved != nil {
+			ss.C.CopyFrom(saved)
+			ss.s.ar.PutRel(saved)
+		}
+		if err != nil {
+			return err
+		}
+		if ss.done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// addClosureEdge adds (f, x) to the closure C: everything at or before f
+// now also reaches x and everything x reaches.
+func (ss *soSearch) addClosureEdge(f, x int) {
+	xr := ss.C.Row(x)
+	for u := 0; u < ss.C.N(); u++ {
+		if u == f || ss.C.Has(u, f) {
+			row := ss.C.Row(u)
+			row.UnionWith(xr)
+			row.Add(x)
+		}
+	}
+}
+
+// complete evaluates the so-dependent constraints and flags against one
+// fully built synchronization order.
+func (ss *soSearch) complete() error {
+	s := ss.s
+	s.verdict.Stats.SyncOrders++
+	s.ev.begin(s.rf, s.co, s.fr, ss.so)
+	defer s.ev.end()
+	for _, c := range s.soCs {
+		if s.ev.violated(c) {
+			return nil
+		}
+	}
+	ss.soOK = true
+	if !s.wantFlags {
+		ss.done = true
+		return nil
+	}
+	all := true
+	for _, c := range s.flagSoCs {
+		name := s.flagName[c]
+		if !s.ev.violated(c) {
+			ss.fired[name] = true
+		}
+		if !ss.fired[name] {
+			all = false
+		}
+	}
+	if all {
+		ss.done = true
+	}
+	return nil
+}

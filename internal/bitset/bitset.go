@@ -96,6 +96,78 @@ func (s *Set) UnionWith(other *Set) bool {
 	return changed
 }
 
+// IntersectWith ands other into s; both must have equal capacity.
+func (s *Set) IntersectWith(other *Set) {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+	for i, w := range other.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith removes other's members from s; both must have equal
+// capacity.
+func (s *Set) DifferenceWith(other *Set) {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+	for i, w := range other.words {
+		s.words[i] &^= w
+	}
+}
+
+// CopyFrom overwrites s with other's contents; both must have equal
+// capacity.
+func (s *Set) CopyFrom(other *Set) {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+	copy(s.words, other.words)
+}
+
+// Fill sets every bit in [0, Len()).
+func (s *Set) Fill() {
+	if s.n == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Clear the tail bits beyond n in the last word.
+	if rem := s.n % wordBits; rem != 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Intersects reports whether s and other share any member; both must have
+// equal capacity.
+func (s *Set) Intersects(other *Set) bool {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+	for i, w := range other.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and other hold exactly the same members; both
+// must have equal capacity.
+func (s *Set) Equal(other *Set) bool {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+	for i, w := range other.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns an independent copy.
 func (s *Set) Clone() *Set {
 	out := New(s.n)

@@ -6,7 +6,8 @@
 #
 # The benchmark set covers the hot paths reworked by the POR oracle and
 # simulation-kernel overhaul: the differential campaign, the fault-injection
-# matrix, the SC enumeration/matching oracles, and the DRF0 checker. Output is
+# matrix, the SC enumeration/matching oracles, the DRF0 checker, and the
+# axiomatic candidate-execution engine. Output is
 # a JSON document mapping benchmark names to their measured metrics (ns/op
 # plus any benchmark-reported extras such as steps/op or sims/op).
 #
@@ -23,7 +24,7 @@ set -eu
 BENCHTIME=1x
 OUT=BENCH_oracle.json
 BASELINE=
-BENCHSET='BenchmarkCheckCampaign|BenchmarkFaultMatrix$|BenchmarkMachineReuse|BenchmarkIdealEnumerateDekker|BenchmarkIdealEnumeratePOR|BenchmarkSCMatchOracle|BenchmarkDRF0CheckGenerated'
+BENCHSET='BenchmarkCheckCampaign|BenchmarkFaultMatrix$|BenchmarkMachineReuse|BenchmarkIdealEnumerateDekker|BenchmarkIdealEnumeratePOR|BenchmarkSCMatchOracle|BenchmarkDRF0CheckGenerated|BenchmarkAxiomSC'
 
 while [ $# -gt 0 ]; do
     case "$1" in

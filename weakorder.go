@@ -19,6 +19,11 @@
 //     (CheckDRF0) and scalable vector-clock race detection (DetectRaces);
 //     an appears-sequentially-consistent oracle for observed hardware
 //     results (AppearsSC).
+//   - Axiomatic models: a declarative .cat-style engine (LoadModel,
+//     AxiomOutcomes, AxiomCheck) that filters exhaustively constructed
+//     candidate executions through relational axioms — the same memory
+//     models stated as consistency predicates instead of machines, and
+//     differentially checked against them (AxiomDiff).
 //   - Machines: assembled multiprocessor simulations (Simulate) across
 //     the paper's Figure 1 system classes and consistency policies, with
 //     per-processor stall accounting.
@@ -51,6 +56,7 @@
 package weakorder
 
 import (
+	"weakorder/internal/axiom"
 	"weakorder/internal/check"
 	"weakorder/internal/drf"
 	"weakorder/internal/faults"
@@ -152,6 +158,22 @@ type (
 	// CampaignViolation records one contract violation and its minimal
 	// reproducer.
 	CampaignViolation = check.ViolationReport
+
+	// MemoryModel is a parsed declarative (.cat-style) axiomatic memory
+	// model: named relations over candidate-execution events plus
+	// acyclicity/irreflexivity/emptiness axioms (see internal/axiom).
+	MemoryModel = axiom.Model
+	// AxiomConfig bounds the axiomatic candidate-execution search.
+	AxiomConfig = axiom.Config
+	// AxiomVerdict is an axiomatic check outcome: admitted outcomes,
+	// fired flags (e.g. drf0's "race"), and search statistics.
+	AxiomVerdict = axiom.Verdict
+	// AxiomStats is the axiomatic search telemetry.
+	AxiomStats = axiom.Stats
+	// AxiomDiffConfig bounds one axiomatic-vs-operational comparison.
+	AxiomDiffConfig = check.AxiomDiffConfig
+	// AxiomDiffResult reports one axiomatic-vs-operational comparison.
+	AxiomDiffResult = check.AxiomDiffResult
 )
 
 // Operation kinds.
@@ -339,6 +361,40 @@ func ParseFaultPlan(name string) (FaultPlan, error) { return faults.Parse(name) 
 
 // Policies lists every policy in presentation order.
 func Policies() []Policy { return policy.All() }
+
+// LoadModel returns a bundled axiomatic memory model by name ("sc",
+// "tso", "ra", "drf0"); see ModelNames.
+func LoadModel(name string) (*MemoryModel, error) { return axiom.Load(name) }
+
+// ModelNames lists the bundled axiomatic models.
+func ModelNames() []string { return axiom.ModelNames() }
+
+// ParseModel parses .cat-style model source (see internal/axiom for the
+// grammar). name labels errors and metrics.
+func ParseModel(name, src string) (*MemoryModel, error) { return axiom.Parse(name, src) }
+
+// AxiomOutcomes enumerates every program outcome the axiomatic model
+// admits: candidate executions (events + po + rf + co) are constructed
+// exhaustively under cfg's budgets and filtered by the model's axioms.
+// The zero AxiomConfig uses sane defaults (8 memory ops per thread).
+func AxiomOutcomes(p *Program, m *MemoryModel, cfg AxiomConfig) (map[string]Result, AxiomStats, error) {
+	return axiom.Outcomes(p, m, cfg)
+}
+
+// AxiomCheck evaluates the model over every consistent candidate
+// execution of p, including flag constraints — under the bundled "drf0"
+// model, Verdict.Flags["race"] counts racy candidates, giving an
+// axiomatic DRF0 classification to compare with CheckDRF0.
+func AxiomCheck(p *Program, m *MemoryModel, cfg AxiomConfig) (*AxiomVerdict, error) {
+	return axiom.Check(p, m, cfg)
+}
+
+// AxiomDiff cross-checks the axiomatic engine against the operational
+// oracles on one program: axiomatic-SC outcomes vs exhaustive idealized
+// interleaving, and the drf0 race flag vs CheckDRF0's classification.
+func AxiomDiff(p *Program, cfg AxiomDiffConfig) (AxiomDiffResult, error) {
+	return check.AxiomDiff(p, cfg)
+}
 
 func boundedEnum() ideal.EnumConfig {
 	return ideal.EnumConfig{

@@ -279,3 +279,62 @@ func TestFacadeRefinedModes(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeAxiomaticModels exercises the axiomatic layer end to end
+// through the public API: bundled models load, a custom model parses,
+// outcome sets match the operational SCOutcomes, the drf0 race flag
+// matches CheckDRF0, and the engine differential agrees.
+func TestFacadeAxiomaticModels(t *testing.T) {
+	prog := buildMP(t)
+	if names := weakorder.ModelNames(); len(names) != 4 {
+		t.Fatalf("ModelNames() = %v, want 4 bundled models", names)
+	}
+	sc, err := weakorder.LoadModel("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mp spins, so bound both sides identically.
+	cfg := weakorder.AxiomConfig{MaxMemOpsPerThread: 6}
+	axOuts, st, err := weakorder.AxiomOutcomes(prog, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete {
+		t.Fatalf("axiomatic search incomplete: %+v", st)
+	}
+	if len(axOuts) == 0 {
+		t.Fatal("axiomatic SC admitted no outcomes")
+	}
+
+	v, err := weakorder.AxiomCheck(prog, mustModel(t, "drf0"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Flags["race"] != 0 {
+		t.Errorf("drf0 model flagged %d races on synchronized message passing", v.Flags["race"])
+	}
+
+	if _, err := weakorder.ParseModel("custom", "acyclic po | rf | co | fr as sc"); err != nil {
+		t.Fatalf("ParseModel: %v", err)
+	}
+
+	res, err := weakorder.AxiomDiff(prog, weakorder.AxiomDiffConfig{MemOpsPerThread: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped {
+		t.Fatalf("differential skipped: %s", res.SkipReason)
+	}
+	if !res.Agree() {
+		t.Errorf("axiomatic engine disagrees with operational oracles: %s", res.String())
+	}
+}
+
+func mustModel(t *testing.T, name string) *weakorder.MemoryModel {
+	t.Helper()
+	m, err := weakorder.LoadModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
