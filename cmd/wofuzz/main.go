@@ -53,7 +53,10 @@ func main() {
 		table    = flag.Bool("table", true, "print the coverage table to stderr")
 		metricsF = flag.Bool("metrics", false, "print campaign metrics (Prometheus text) to stderr and emit periodic progress lines")
 		fault    = flag.String("fault", "", "corrupt one read per run on this policy (violation-pipeline test)")
-		faultsIn = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe")
+		faultsIn = flag.String("faults", "none", "interconnect fault plan: a preset (none, mild, severe) or drop=/dup=/delay=/maxdelay=/noretry spec")
+		journal  = flag.String("journal", "", "append-only campaign journal: every completed program is checkpointed here")
+		resume   = flag.Bool("resume", false, "resume from an existing -journal instead of starting over")
+		deadline = flag.Duration("check-deadline", 0, "wall-clock budget per oracle decision (0 = unbounded; nonzero trades reproducibility for liveness)")
 		axiomF   = flag.Bool("axiom", false, "run the axiomatic-vs-operational oracle differential instead of the simulation campaign")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -74,11 +77,14 @@ func main() {
 
 	pols, err := parsePolicies(*policies)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 	tps, err := parseTopos(*topos)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
+	}
+	if *resume && *journal == "" {
+		fatalUsage(fmt.Errorf("-resume requires -journal"))
 	}
 
 	cfg := check.CampaignConfig{
@@ -89,6 +95,9 @@ func main() {
 		SeedsPerConfig: *runs,
 		Workers:        *workers,
 		CorpusDir:      *corpus,
+		Journal:        *journal,
+		Resume:         *resume,
+		CheckDeadline:  *deadline,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...interface{}) {
@@ -105,13 +114,13 @@ func main() {
 	if *fault != "" {
 		pol, err := policy.Parse(*fault)
 		if err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 		cfg.Fault = check.CorruptReadFault(pol)
 	}
 	plan, err := faults.Parse(*faultsIn)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 	if plan.Enabled() {
 		cfg.Faults = &plan
@@ -270,4 +279,13 @@ func fatal(err error) {
 	atExit()
 	fmt.Fprintln(os.Stderr, "wofuzz:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a malformed flag value and exits 2 (usage error),
+// distinguishing operator mistakes from campaign failures (exit 1) for
+// scripts driving the fuzzer.
+func fatalUsage(err error) {
+	atExit()
+	fmt.Fprintln(os.Stderr, "wofuzz: usage:", err)
+	os.Exit(2)
 }

@@ -56,7 +56,7 @@ func main() {
 		metricsOut  = flag.String("metrics", "", "write the last run's metrics snapshot as JSON to this file (- for stdout)")
 		timelineOut = flag.String("timeline", "", "write the last run's Chrome trace_event timeline to this file (- for stdout)")
 		traceFirst  = flag.Bool("trace", false, "print the first seed's full timeline (inspecting shrunk reproducers)")
-		faultsIn    = flag.String("faults", "none", "interconnect fault plan: none, mild, or severe (requires -caches)")
+		faultsIn    = flag.String("faults", "none", "interconnect fault plan: a preset (none, mild, severe) or drop=/dup=/delay=/maxdelay=/noretry spec (requires -caches)")
 		checkSC     = flag.Bool("check-sc", true, "check each result against the SC oracle")
 		suite       = flag.Bool("suite", false, "run the classic litmus suite across all policies and exit")
 	)
@@ -99,11 +99,11 @@ func main() {
 	case "network":
 		cfg.Topology = weakorder.Network
 	default:
-		fatal(fmt.Errorf("unknown topology %q (want bus or network)", *topo))
+		fatalUsage(fmt.Errorf("unknown topology %q (want bus or network)", *topo))
 	}
 	plan, err := weakorder.ParseFaultPlan(*faultsIn)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 	if plan.Enabled() {
 		cfg.Faults = &plan
@@ -310,4 +310,11 @@ func runSuite(seeds int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wosim:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports a malformed flag value and exits 2 (usage error)
+// rather than 1 (simulation failure).
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "wosim: usage:", err)
+	os.Exit(2)
 }

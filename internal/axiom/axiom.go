@@ -51,6 +51,12 @@ type Config struct {
 	// MaxSteps caps search-tree nodes across rf, co and so enumeration.
 	// Zero means DefaultMaxSteps.
 	MaxSteps int
+	// Cancel, when non-nil, is polled periodically (every few hundred
+	// search-tree nodes) during candidate enumeration; returning true
+	// aborts the search with ErrCanceled. Cancellation is cooperative —
+	// no goroutines — so an abandoned search leaks nothing. It is how
+	// callers impose wall-clock deadlines on a check.
+	Cancel func() bool
 	// StopWhenFlagged stops a Check as soon as every flag constraint has
 	// fired at least once (Outcomes are then partial) — the analogue of
 	// drf.Check's stop-at-first-race default.

@@ -1,0 +1,31 @@
+package axiom
+
+import (
+	"errors"
+	"testing"
+
+	"weakorder/internal/litmus"
+)
+
+// TestOutcomesCancel: an immediate cancel aborts the candidate search
+// with ErrCanceled instead of returning a partial outcome set.
+func TestOutcomesCancel(t *testing.T) {
+	_, _, err := Outcomes(litmus.Dekker(), MustLoad("sc"), Config{
+		Cancel: func() bool { return true },
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCheckNilCancelUnaffected: without the hook the engine still
+// decides Dekker under SC.
+func TestCheckNilCancelUnaffected(t *testing.T) {
+	v, err := Check(litmus.Dekker(), MustLoad("sc"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Outcomes) != 3 {
+		t.Fatalf("Dekker SC outcomes = %d, want 3", len(v.Outcomes))
+	}
+}

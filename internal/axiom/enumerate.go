@@ -53,6 +53,13 @@ type Verdict struct {
 // errBudget aborts the search when a step or candidate cap is hit.
 var errBudget = errors.New("axiom: search budget exhausted")
 
+// ErrCanceled reports that Config.Cancel asked the search to stop.
+var ErrCanceled = errors.New("axiom: search canceled")
+
+// cancelPollMask throttles Config.Cancel polling to every 256 search
+// nodes; the hook typically reads a clock, too expensive per node.
+const cancelPollMask = 255
+
 // searcher enumerates the candidate executions of one program under one
 // model and streams the consistent ones into the verdict.
 type searcher struct {
@@ -402,11 +409,15 @@ func (s *searcher) buildStatics(sk *skeleton, ar *relArena) (map[string]*bitset.
 	return sets, rels, owned
 }
 
-// step accounts one search-tree node against the step budget.
+// step accounts one search-tree node against the step budget and polls
+// the cooperative cancellation hook.
 func (s *searcher) step() error {
 	s.verdict.Stats.Steps++
 	if s.verdict.Stats.Steps > s.cfg.MaxSteps {
 		return errBudget
+	}
+	if s.cfg.Cancel != nil && s.verdict.Stats.Steps&cancelPollMask == 1 && s.cfg.Cancel() {
+		return ErrCanceled
 	}
 	return nil
 }

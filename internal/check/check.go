@@ -86,6 +86,25 @@ type CampaignConfig struct {
 	MaxShrinkTries int
 	// Fault is the test-only fault hook; see FaultHook.
 	Fault FaultHook
+	// Journal, when non-empty, is the path of the campaign's append-only
+	// progress journal: every completed program's outcome is written as a
+	// checksummed record, fsynced, before the campaign moves on. A killed
+	// campaign restarted with the same configuration plus Resume replays
+	// the journaled outcomes and re-checks only the remainder, producing
+	// a Summary byte-identical to an uninterrupted run (deadlines off).
+	Journal string
+	// Resume replays an existing journal (see Journal) instead of
+	// truncating it. The journal's recorded campaign identity — seed,
+	// program count, config matrix, fault plan, deadline, and checker
+	// code generation — must match this configuration exactly.
+	Resume bool
+	// CheckDeadline, when positive, bounds the wall-clock time of each
+	// oracle decision (outcome-set enumeration, result-directed search,
+	// DRF classification). An over-budget check is cooperatively
+	// canceled and recorded as a SkipRecord in the Summary instead of
+	// hanging its worker. Zero disables deadlines, which is required for
+	// byte-reproducible summaries (a skip depends on host speed).
+	CheckDeadline time.Duration
 	// Faults, when non-nil and enabled, arms the deterministic
 	// interconnect fault injector on every cached matrix row (the
 	// no-cache rows have no retry protocol and run fault-free). The
@@ -253,22 +272,50 @@ func simTime(v int64) sim.Time { return sim.Time(v) }
 // keys outside an incomplete set, plus the memoized DRF classification.
 // Programs that are isomorphic up to thread permutation and address
 // renaming share one entry (see canon.go).
+//
+// The entry keeps no statistics: oracle accounting lives in the
+// per-program progOutcome records (simRecord's L1/Enum/Budget flags) and
+// is aggregated into OracleStats by summarize. Attributing every event
+// to a program — never to shared entry state — is what lets a resumed
+// campaign (journal.go) rebuild the exact statistics of an uninterrupted
+// one from a mix of journaled and freshly computed outcomes.
 type oracleEntry struct {
 	once     sync.Once
 	outcomes map[string]bool
 	complete bool
 
-	classOnce sync.Once
-	class     string
+	classOnce    sync.Once
+	class        string
+	classSkipped bool // DRF classification abandoned on deadline
 
-	mu    sync.Mutex
-	memo  map[string]bool // canonical result key -> appears SC (fallback searches)
-	stats entryStats
+	mu   sync.Mutex
+	memo map[string]fallbackVerdict // canonical result key -> fallback search result
 }
 
-type entryStats struct {
-	queries, enumHits, fallbacks, memoHits, budget int
+// fallbackVerdict memoizes one result-directed search: the appears-SC
+// verdict and whether it was the conservative budget-exceeded answer.
+// The budget flag rides along so every isomorphic program reports the
+// identical queryInfo for a key regardless of which instance ran the
+// search — the schedule-independence the summarize aggregation needs.
+type fallbackVerdict struct {
+	ok, budget bool
 }
+
+// queryInfo classifies how one appears-SC query was answered, for the
+// per-program oracle accounting.
+type queryInfo struct {
+	// enum: answered from the enumerated outcome set (a member, or a
+	// non-member of a complete set).
+	enum bool
+	// budget: the fallback search exceeded MaxStates and the result was
+	// conservatively treated as appearing SC.
+	budget bool
+}
+
+// errDeadline marks an oracle decision abandoned on its per-check
+// wall-clock deadline; the caller records a SkipRecord instead of a
+// verdict.
+var errDeadline = errors.New("check: per-check deadline exceeded")
 
 // oracle is the campaign-wide appears-SC cache, keyed by canonical
 // program hash and striped to keep entry lookup off the workers' shared
@@ -302,25 +349,27 @@ func (o *oracle) entry(hash string) *oracleEntry {
 	defer s.mu.Unlock()
 	e, ok := s.entries[hash]
 	if !ok {
-		e = &oracleEntry{memo: make(map[string]bool)}
+		e = &oracleEntry{memo: make(map[string]fallbackVerdict)}
 		s.entries[hash] = e
 	}
 	return e
 }
 
-func (e *oracleEntry) enumerate(p *program.Program, cn canon) {
+func (e *oracleEntry) enumerate(p *program.Program, cn canon, cancel func() bool) {
 	e.once.Do(func() {
 		e.outcomes = make(map[string]bool)
-		stats, err := ideal.Enumerate(p, oracleEnumConfig(), func(it *ideal.Interp) error {
+		cfg := oracleEnumConfig()
+		cfg.Cancel = cancel
+		stats, err := ideal.Enumerate(p, cfg, func(it *ideal.Interp) error {
 			e.outcomes[cn.key(mem.ResultOf(it.Execution()))] = true
 			return nil
 		})
 		// The set decides non-membership only when enumeration visited
-		// every execution: no budget error AND no truncated path (spin
-		// loops exceed the per-thread op budget and are silently skipped,
-		// so a "successful" truncated enumeration is still partial).
-		// Membership proves appears-SC either way; absence from a partial
-		// set falls back to the result-directed search.
+		// every execution: no budget/deadline error AND no truncated path
+		// (spin loops exceed the per-thread op budget and are silently
+		// skipped, so a "successful" truncated enumeration is still
+		// partial). Membership proves appears-SC either way; absence from
+		// a partial set falls back to the result-directed search.
 		e.complete = err == nil && stats.Truncated == 0
 	})
 }
@@ -330,71 +379,52 @@ func (e *oracleEntry) enumerate(p *program.Program, cn canon) {
 // isomorphic program instance gets there first — the set is stored in
 // canonical coordinates, so all instances agree); later calls are set
 // lookups, with a memoized result-directed search when the set is
-// incomplete. key must be cn.key(res).
-func (e *oracleEntry) appearsSC(p *program.Program, cn canon, key string, res mem.Result) (bool, error) {
-	e.enumerate(p, cn)
+// incomplete. key must be cn.key(res). cancel, when non-nil, is the
+// per-check deadline hook; an abandoned decision returns errDeadline and
+// is never memoized (a later query gets a fresh budget).
+func (e *oracleEntry) appearsSC(p *program.Program, cn canon, key string, res mem.Result, cancel func() bool) (bool, queryInfo, error) {
+	e.enumerate(p, cn, cancel)
 	e.mu.Lock()
-	e.stats.queries++
 	if e.outcomes[key] {
-		e.stats.enumHits++
 		e.mu.Unlock()
-		return true, nil
+		return true, queryInfo{enum: true}, nil
 	}
 	if e.complete {
-		e.stats.enumHits++
 		e.mu.Unlock()
-		return false, nil
+		return false, queryInfo{enum: true}, nil
 	}
-	if ok, seen := e.memo[key]; seen {
-		e.stats.memoHits++
+	if v, seen := e.memo[key]; seen {
 		e.mu.Unlock()
-		return ok, nil
+		return v.ok, queryInfo{budget: v.budget}, nil
 	}
-	e.stats.fallbacks++
 	e.mu.Unlock()
 
 	// The directed search runs with an unbounded interpreter: the observed
 	// result may contain more dynamic memory operations per thread (spin
 	// retries) than any enumeration budget, and pruning against the
 	// observation keeps the search tractable regardless.
-	m, err := scmatch.Matches(p, res, scmatch.Config{MaxStates: oracleMatchMaxStates})
+	m, err := scmatch.Matches(p, res, scmatch.Config{MaxStates: oracleMatchMaxStates, Cancel: cancel})
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, scmatch.ErrCanceled) {
+			return false, queryInfo{}, errDeadline
+		}
 		if errors.Is(err, scmatch.ErrBudget) {
 			// Cannot disprove SC appearance within budget: conservatively
 			// treat as appearing SC (no false violations).
-			e.stats.budget++
-			e.memo[key] = true
-			return true, nil
+			e.memo[key] = fallbackVerdict{ok: true, budget: true}
+			return true, queryInfo{budget: true}, nil
 		}
-		return false, err
+		return false, queryInfo{}, err
 	}
-	e.memo[key] = m.OK
-	return m.OK, nil
-}
-
-func (o *oracle) stats() OracleStats {
-	var s OracleStats
-	for i := range o.stripes {
-		st := &o.stripes[i]
-		st.mu.Lock()
-		for _, e := range st.entries {
-			e.mu.Lock()
-			s.Enumerations++
-			if !e.complete {
-				s.Incomplete++
-			}
-			s.Queries += e.stats.queries
-			s.EnumHits += e.stats.enumHits
-			s.Fallbacks += e.stats.fallbacks
-			s.FallbackMemoHits += e.stats.memoHits
-			s.BudgetExceeded += e.stats.budget
-			e.mu.Unlock()
-		}
-		st.mu.Unlock()
+	if v, seen := e.memo[key]; seen {
+		// A concurrent query searched the same key first; report its
+		// verdict so isomorphic programs agree byte-for-byte.
+		return v.ok, queryInfo{budget: v.budget}, nil
 	}
-	return s
+	e.memo[key] = fallbackVerdict{ok: m.OK}
+	return m.OK, queryInfo{}, nil
 }
 
 // Run executes a campaign and returns its deterministic summary.
@@ -419,55 +449,42 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	}
 	c := &campaign{cfg: cfg, matrix: matrix, oracle: newOracle()}
 
+	if cfg.CorpusDir != "" {
+		// Recovery pass before any writes: a crash mid-write in an
+		// earlier (pre-hardening) run may have left torn entries that
+		// would poison replay; quarantine them instead of failing later.
+		if _, quarantined, err := RecoverCorpus(cfg.CorpusDir); err != nil {
+			return nil, fmt.Errorf("check: corpus recovery: %w", err)
+		} else if len(quarantined) > 0 && cfg.Logf != nil {
+			for _, q := range quarantined {
+				cfg.Logf("corpus: quarantined %s: %s", q.Name, q.Reason)
+			}
+		}
+	}
+
+	if cfg.Journal != "" {
+		j, done, err := openJournal(cfg.Journal, c.identity(), cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		c.journal = j
+		c.done = done
+		if cfg.Logf != nil && len(done) > 0 {
+			cfg.Logf("resume: %d/%d programs already journaled, checking the remaining %d",
+				len(done), cfg.Programs, cfg.Programs-len(done))
+		}
+	} else if cfg.Resume {
+		return nil, fmt.Errorf("check: Resume requires Journal")
+	}
+
 	start := time.Now()
 	c.start = start
 	outs, err := c.runPool()
 	if err != nil {
 		return nil, err
 	}
-	s := &Summary{
-		Seed:       cfg.Seed,
-		Programs:   cfg.Programs,
-		Configs:    len(matrix),
-		Faults:     cfg.Faults,
-		ByClass:    make(map[string]int),
-		Violations: []ViolationReport{},
-	}
-	covSims := make(map[CoverageRow]int)
-	covNonSC := make(map[CoverageRow]int)
-	covKeys := make(map[CoverageRow]map[string]bool)
-	l1Hits := 0
-	for _, out := range outs {
-		s.ByClass[out.class]++
-		s.Sims += len(out.sims)
-		s.WatchdogDeaths += out.watchdogs
-		for _, rec := range out.sims {
-			cell := CoverageRow{Policy: rec.policy, Class: out.class}
-			covSims[cell]++
-			if !rec.appearsSC {
-				covNonSC[cell]++
-				if covKeys[cell] == nil {
-					covKeys[cell] = make(map[string]bool)
-				}
-				covKeys[cell][rec.key] = true
-			}
-		}
-		s.Violations = append(s.Violations, out.violations...)
-		l1Hits += out.l1Hits
-	}
-	for cell, sims := range covSims {
-		s.Coverage = append(s.Coverage, CoverageRow{
-			Policy:        cell.Policy,
-			Class:         cell.Class,
-			Sims:          sims,
-			NonSC:         covNonSC[cell],
-			DistinctNonSC: len(covKeys[cell]),
-		})
-	}
-	s.Oracle = c.oracle.stats()
-	s.Oracle.L1Hits = l1Hits
-	s.Oracle.Queries += l1Hits
-	sortSummary(s)
+	s := summarize(cfg, len(matrix), outs)
 
 	elapsed := time.Since(start).Seconds()
 	hit := 0.0
@@ -485,4 +502,102 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 			s.Programs, s.Sims, len(s.Violations), s.Perf)
 	}
 	return s, nil
+}
+
+// summarize folds the per-program outcomes into the campaign Summary.
+// It is a pure function of the outcome slice — every statistic,
+// including the oracle cache's, is attributed to a program rather than
+// observed on shared state — so a resumed campaign that mixes journaled
+// and freshly computed outcomes produces a Summary byte-identical to an
+// uninterrupted run's.
+func summarize(cfg CampaignConfig, configs int, outs []progOutcome) *Summary {
+	s := &Summary{
+		Seed:       cfg.Seed,
+		Programs:   cfg.Programs,
+		Configs:    configs,
+		Faults:     cfg.Faults,
+		ByClass:    make(map[string]int),
+		Violations: []ViolationReport{},
+	}
+	covSims := make(map[CoverageRow]int)
+	covNonSC := make(map[CoverageRow]int)
+	covKeys := make(map[CoverageRow]map[string]bool)
+	// Entry-level oracle events (one enumeration, one fallback search per
+	// distinct result key) are counted once per canonical hash, in
+	// program order — the same totals the shared cache produces live,
+	// reconstructed deterministically.
+	type entryAgg struct {
+		enumerated, incomplete bool
+		searched               map[string]bool
+	}
+	entries := make(map[string]*entryAgg)
+	for _, out := range outs {
+		s.ByClass[out.Class]++
+		s.Sims += len(out.Sims)
+		s.WatchdogDeaths += out.Watchdogs
+		s.WorkerPanics += out.Panics
+		s.Violations = append(s.Violations, out.Violations...)
+		s.Skips = append(s.Skips, out.Skips...)
+
+		ea := entries[out.CanonHash]
+		if ea == nil {
+			ea = &entryAgg{searched: make(map[string]bool)}
+			entries[out.CanonHash] = ea
+		}
+		if out.Enumerated {
+			ea.enumerated = true
+			if !out.EnumComplete {
+				ea.incomplete = true
+			}
+		}
+		for _, rec := range out.Sims {
+			cell := CoverageRow{Policy: rec.Policy, Class: out.Class}
+			covSims[cell]++
+			if rec.Skipped != "" {
+				continue
+			}
+			if !rec.AppearsSC {
+				covNonSC[cell]++
+				if covKeys[cell] == nil {
+					covKeys[cell] = make(map[string]bool)
+				}
+				covKeys[cell][rec.Key] = true
+			}
+			s.Oracle.Queries++
+			switch {
+			case rec.L1:
+				s.Oracle.L1Hits++
+			case rec.Enum:
+				s.Oracle.EnumHits++
+			case ea.searched[rec.CanonKey]:
+				s.Oracle.FallbackMemoHits++
+			default:
+				ea.searched[rec.CanonKey] = true
+				s.Oracle.Fallbacks++
+				if rec.Budget {
+					s.Oracle.BudgetExceeded++
+				}
+			}
+		}
+	}
+	for _, ea := range entries {
+		if ea.enumerated {
+			s.Oracle.Enumerations++
+			if ea.incomplete {
+				s.Oracle.Incomplete++
+			}
+		}
+	}
+	s.DeadlineSkips = len(s.Skips)
+	for cell, sims := range covSims {
+		s.Coverage = append(s.Coverage, CoverageRow{
+			Policy:        cell.Policy,
+			Class:         cell.Class,
+			Sims:          sims,
+			NonSC:         covNonSC[cell],
+			DistinctNonSC: len(covKeys[cell]),
+		})
+	}
+	sortSummary(s)
+	return s
 }

@@ -1,0 +1,265 @@
+package check
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"weakorder/internal/faults"
+)
+
+// journaledCampaign is the shared configuration for resume tests: small
+// but adversarial — severe interconnect faults make the outcomes
+// (violations, watchdogs, retries) worth journaling.
+func journaledCampaign(seed int64, journal string, resume bool, workers int) CampaignConfig {
+	cfg := smallCampaign(seed)
+	sev := faults.Severe()
+	cfg.Faults = &sev
+	cfg.Journal = journal
+	cfg.Resume = resume
+	cfg.Workers = workers
+	return cfg
+}
+
+func summaryJSON(t *testing.T, cfg CampaignConfig) string {
+	t.Helper()
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// truncateJournal rewrites path to its header plus the first keep
+// records, then appends tail verbatim (torn garbage in the tests).
+func truncateJournal(t *testing.T, path string, keep int, tail string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if len(lines) < keep+1 {
+		t.Fatalf("journal has %d lines, cannot keep header+%d records", len(lines), keep)
+	}
+	var out []byte
+	for _, l := range lines[:keep+1] { // header + keep records
+		out = append(out, l...)
+	}
+	out = append(out, tail...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalResumeParity is the kill-and-resume property test: a
+// campaign interrupted after K journaled programs and resumed — even
+// under a different worker count, even with a torn record at the kill
+// point — produces a Summary byte-identical to an uninterrupted run's.
+func TestJournalResumeParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full campaigns; skipped in -short")
+	}
+	const seed = 11
+	want := summaryJSON(t, journaledCampaign(seed, "", false, 2))
+
+	for _, tc := range []struct {
+		name          string
+		keep          int
+		tail          string
+		resumeWorkers int
+	}{
+		{"kill-after-2-resume-1-worker", 2, "", 1},
+		{"kill-after-5-resume-4-workers", 5, "", 4},
+		{"torn-tail-record", 3, `{"idx":7,"sum":1,"out":{"class":"drf"`, 2},
+		{"garbage-tail", 1, "\x00\x7fnot json at all\n", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			journal := filepath.Join(t.TempDir(), "campaign.journal")
+			// Full run to materialize a complete journal...
+			full := summaryJSON(t, journaledCampaign(seed, journal, false, 2))
+			if full != want {
+				t.Fatalf("journaled run diverged from unjournaled run:\n--- unjournaled\n%s\n--- journaled\n%s", want, full)
+			}
+			// ...then simulate the kill: keep only the first records, plus
+			// optionally a torn tail the resume scan must drop.
+			truncateJournal(t, journal, tc.keep, tc.tail)
+			got := summaryJSON(t, journaledCampaign(seed, journal, true, tc.resumeWorkers))
+			if got != want {
+				t.Fatalf("resumed summary diverged from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestJournalResumeSkipsDoneWork asserts a resume actually skips the
+// journaled programs rather than silently re-checking everything.
+func TestJournalResumeSkipsDoneWork(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := smallCampaign(12)
+	cfg.Journal = journal
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	truncateJournal(t, journal, 5, "")
+
+	cfg.Resume = true
+	var resumed int
+	cfg.Logf = func(format string, args ...interface{}) {
+		var done, total, rest int
+		if n, _ := fmt.Sscanf(fmt.Sprintf(format, args...),
+			"resume: %d/%d programs already journaled, checking the remaining %d",
+			&done, &total, &rest); n == 3 {
+			resumed = done
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 5 {
+		t.Fatalf("resume replayed %d journaled programs, want 5", resumed)
+	}
+}
+
+// TestJournalIdentityMismatch: a journal must refuse to resume under a
+// configuration that would produce different outcomes.
+func TestJournalIdentityMismatch(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := smallCampaign(13)
+	cfg.Journal = journal
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []struct {
+		name string
+		f    func(*CampaignConfig)
+	}{
+		{"seed", func(c *CampaignConfig) { c.Seed++ }},
+		{"programs", func(c *CampaignConfig) { c.Programs++ }},
+		{"faults", func(c *CampaignConfig) { sev := faults.Severe(); c.Faults = &sev }},
+		{"deadline", func(c *CampaignConfig) { c.CheckDeadline = 1 }},
+	} {
+		t.Run(mutate.name, func(t *testing.T) {
+			bad := cfg
+			bad.Resume = true
+			mutate.f(&bad)
+			if _, err := Run(bad); err == nil {
+				t.Fatalf("resume with changed %s accepted; want identity mismatch", mutate.name)
+			}
+		})
+	}
+	// Same config must still resume fine (and worker count must not be
+	// part of the identity).
+	ok := cfg
+	ok.Resume = true
+	ok.Workers = 3
+	if _, err := Run(ok); err != nil {
+		t.Fatalf("resume with identical config failed: %v", err)
+	}
+}
+
+// TestJournalNotAJournal: resuming from a file that is not a campaign
+// journal must fail loudly, not truncate someone's data.
+func TestJournalNotAJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("do not eat\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCampaign(14)
+	cfg.Journal = path
+	cfg.Resume = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("resume from a non-journal file accepted")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "do not eat\n" {
+		t.Fatalf("non-journal file was modified: %q", b)
+	}
+}
+
+// TestJournalResumeRequiresJournal pins the config validation.
+func TestJournalResumeRequiresJournal(t *testing.T) {
+	cfg := smallCampaign(15)
+	cfg.Resume = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Resume without Journal accepted")
+	}
+}
+
+// TestJournalRecordsAreChecksummed flips one byte in the middle of a
+// journaled record and asserts the resume scan drops it (and the tail)
+// rather than trusting it.
+func TestJournalRecordsAreChecksummed(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := smallCampaign(16)
+	cfg.Journal = journal
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the third record's payload (line index 3:
+	// header, rec, rec, rec...).
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	target := lines[3]
+	pos := len(target) / 2
+	if target[pos] == 'x' {
+		target[pos] = 'y'
+	} else {
+		target[pos] = 'x'
+	}
+	if err := os.WriteFile(journal, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	var resumed int
+	cfg.Logf = func(format string, args ...interface{}) {
+		var done, total, rest int
+		if n, _ := fmt.Sscanf(fmt.Sprintf(format, args...),
+			"resume: %d/%d programs already journaled, checking the remaining %d",
+			&done, &total, &rest); n == 3 {
+			resumed = done
+		}
+	}
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 2 {
+		t.Fatalf("resume accepted %d records before the corrupt one, want 2", resumed)
+	}
+	if s.Programs != cfg.Programs {
+		t.Fatalf("summary covers %d programs, want %d", s.Programs, cfg.Programs)
+	}
+	// The journal must have been healed: a second resume sees a fully
+	// valid file again.
+	cfg2 := cfg
+	if _, err := Run(cfg2); err != nil {
+		t.Fatalf("resume after heal failed: %v", err)
+	}
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := -1 // don't count the header
+	for sc.Scan() {
+		n++
+	}
+	if n != cfg.Programs {
+		t.Fatalf("healed journal has %d records, want %d", n, cfg.Programs)
+	}
+}

@@ -41,6 +41,18 @@ func (s *Summary) Metrics() *metrics.Snapshot {
 		r.SetCounter(pre+"distinct_non_sc", uint64(row.DistinctNonSC))
 	}
 
+	// Robustness counters: recovered worker panics and per-check deadline
+	// skips, total and broken down by the stage that hit its budget.
+	r.SetCounter("check.panic.recovered", uint64(s.WorkerPanics))
+	r.SetCounter("check.deadline.skips", uint64(s.DeadlineSkips))
+	byStage := make(map[string]int)
+	for _, sk := range s.Skips {
+		byStage[sk.Stage]++
+	}
+	for stage, n := range byStage {
+		r.SetCounter("check.deadline."+stage, uint64(n))
+	}
+
 	r.SetCounter("oracle.enumerations", uint64(s.Oracle.Enumerations))
 	r.SetCounter("oracle.incomplete", uint64(s.Oracle.Incomplete))
 	r.SetCounter("oracle.queries", uint64(s.Oracle.Queries))

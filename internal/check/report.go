@@ -26,6 +26,12 @@ const (
 	// injected fault plan. The report carries the structured
 	// LivenessReport rendering.
 	KindLiveness = "liveness"
+	// KindWorkerPanic: a campaign worker panicked while checking this
+	// (program, config, seed) — a bug in the simulator, an oracle, or a
+	// test hook. The panic is recovered, the report carries the panic
+	// value and stack, the remaining seeds of the offending (program,
+	// config) pair are quarantined, and the campaign continues.
+	KindWorkerPanic = "worker-panic"
 )
 
 // ConfigDesc is the JSON-stable description of a machine configuration,
@@ -104,6 +110,28 @@ type ViolationReport struct {
 	// Liveness is the rendered LivenessReport for KindLiveness violations
 	// (which processors stalled, on which lines, fault counters).
 	Liveness string `json:"liveness,omitempty"`
+	// Stack is the recovered panic value plus goroutine stack for
+	// KindWorkerPanic violations.
+	Stack string `json:"stack,omitempty"`
+	// Checksum fingerprints the entry (sha256 over the report with this
+	// field blank); the corpus store verifies it on load. Empty on
+	// entries written before checksumming existed.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// SkipRecord logs one oracle decision abandoned on its per-check
+// wall-clock deadline (CampaignConfig.CheckDeadline): the simulation ran,
+// but its appears-SC classification (stage "oracle") or the program's
+// DRF classification (stage "classify", recorded with a zero config and
+// seed) exceeded the budget and was skipped instead of hanging a worker.
+type SkipRecord struct {
+	ProgramIndex int        `json:"programIndex"`
+	Config       ConfigDesc `json:"config"`
+	MachineSeed  int64      `json:"machineSeed"`
+	// Stage names the abandoned computation: "oracle" or "classify".
+	Stage string `json:"stage"`
+	// Reason is currently always "deadline".
+	Reason string `json:"reason"`
 }
 
 // CoverageRow aggregates one (policy, program class) cell of the
@@ -165,6 +193,18 @@ type Summary struct {
 	// appears as a KindLiveness violation. Must be zero for a healthy
 	// protocol under any valid fault plan.
 	WatchdogDeaths int `json:"watchdogDeaths"`
+	// WorkerPanics counts panics recovered inside campaign workers; each
+	// also appears as a KindWorkerPanic violation. Must be zero for a
+	// healthy checker.
+	WorkerPanics int `json:"workerPanics,omitempty"`
+	// DeadlineSkips counts oracle decisions abandoned on the per-check
+	// deadline; Skips lists them. Always zero when
+	// CampaignConfig.CheckDeadline is unset — deadline skips depend on
+	// wall-clock speed, so campaigns that must be byte-reproducible
+	// (resume parity, cross-host comparison) run without a deadline.
+	DeadlineSkips int `json:"deadlineSkips,omitempty"`
+	// Skips lists the skipped checks, sorted like Violations.
+	Skips []SkipRecord `json:"skips,omitempty"`
 	// ByClass counts programs per class ("drf", "racy").
 	ByClass map[string]int `json:"byClass"`
 	// Coverage has one row per (policy, class), sorted.
@@ -240,6 +280,19 @@ func sortSummary(s *Summary) {
 		a, b := s.Violations[i], s.Violations[j]
 		if a.ProgramIndex != b.ProgramIndex {
 			return a.ProgramIndex < b.ProgramIndex
+		}
+		if c := strings.Compare(configKey(a.Config), configKey(b.Config)); c != 0 {
+			return c < 0
+		}
+		return a.MachineSeed < b.MachineSeed
+	})
+	sort.Slice(s.Skips, func(i, j int) bool {
+		a, b := s.Skips[i], s.Skips[j]
+		if a.ProgramIndex != b.ProgramIndex {
+			return a.ProgramIndex < b.ProgramIndex
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
 		}
 		if c := strings.Compare(configKey(a.Config), configKey(b.Config)); c != 0 {
 			return c < 0

@@ -3,12 +3,15 @@ package check
 import (
 	"errors"
 	"fmt"
+	"regexp"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"weakorder/internal/drf"
 	"weakorder/internal/hb"
+	"weakorder/internal/ideal"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/policy"
@@ -21,6 +24,12 @@ type campaign struct {
 	cfg    CampaignConfig
 	matrix []machine.Config
 	oracle *oracle
+
+	// journal, when non-nil, receives every completed program's outcome;
+	// done holds outcomes replayed from a resumed journal, keyed by
+	// program index.
+	journal *journal
+	done    map[int]progOutcome
 
 	// Progress reporting (side output only; the Summary is aggregated
 	// from the results slice, never from these running counters).
@@ -40,8 +49,8 @@ func (c *campaign) noteProgress(out progOutcome) {
 	c.progressMu.Lock()
 	defer c.progressMu.Unlock()
 	c.doneProgs++
-	c.doneSims += len(out.sims)
-	c.doneViols += len(out.violations)
+	c.doneSims += len(out.Sims)
+	c.doneViols += len(out.Violations)
 	if c.doneProgs%c.cfg.Progress != 0 || c.doneProgs >= c.cfg.Programs {
 		return // the final "campaign done" line covers completion
 	}
@@ -53,24 +62,60 @@ func (c *campaign) noteProgress(out progOutcome) {
 		c.doneProgs, c.cfg.Programs, c.doneSims, c.doneViols, rate)
 }
 
-// simRecord is one simulation's classification input.
+// simRecord is one simulation's classification outcome. Fields are
+// exported because progOutcome records are the campaign's journal
+// payload (journal.go); the JSON encoding must round-trip exactly.
 type simRecord struct {
-	policy    string
-	key       string
-	appearsSC bool
+	Policy string `json:"policy"`
+	// Key is the observed result's key in the program's own coordinates
+	// (coverage accounting); CanonKey is the same result in canonical
+	// coordinates (oracle accounting, shared across isomorphic programs).
+	Key      string `json:"key"`
+	CanonKey string `json:"canonKey,omitempty"`
+	// AppearsSC is the oracle verdict; meaningless when Skipped != "".
+	AppearsSC bool `json:"appearsSC,omitempty"`
+	// Skipped, when non-empty, names why the oracle decision was
+	// abandoned (currently always "deadline"); the simulation ran but
+	// contributes no verdict.
+	Skipped string `json:"skipped,omitempty"`
+	// Oracle accounting, aggregated by summarize: L1 marks a query
+	// absorbed by the program-local memo, Enum one answered from the
+	// enumerated outcome set, Budget a fallback search that exceeded its
+	// state budget (conservatively SC).
+	L1     bool `json:"l1,omitempty"`
+	Enum   bool `json:"enum,omitempty"`
+	Budget bool `json:"budget,omitempty"`
 }
 
-// progOutcome is everything one program contributes to the summary.
+// progOutcome is everything one program contributes to the summary. It
+// is self-contained on purpose: summarize derives the whole Summary —
+// oracle statistics included — from these records alone, which is what
+// makes a journaled outcome exactly substitutable for a recomputed one.
 type progOutcome struct {
-	class      string
-	sims       []simRecord
-	violations []ViolationReport
-	watchdogs  int
-	// l1Hits counts oracle queries absorbed by the program-local L1 memo
-	// without touching the shared cache. The memo is per program — not
-	// per worker — so the count (and the shared cache's stats) stay
-	// deterministic for any Workers value.
-	l1Hits int
+	Class string `json:"class"`
+	// CanonHash is the program's canonical cache key (canon.go); the
+	// summarize aggregation counts entry-level oracle events (one
+	// enumeration, one fallback search per distinct key) once per hash.
+	CanonHash string `json:"canonHash"`
+	// Enumerated marks that this program queried the enumerated outcome
+	// set; EnumComplete whether that set was complete.
+	Enumerated   bool              `json:"enumerated,omitempty"`
+	EnumComplete bool              `json:"enumComplete,omitempty"`
+	Sims         []simRecord       `json:"sims,omitempty"`
+	Violations   []ViolationReport `json:"violations,omitempty"`
+	Watchdogs    int               `json:"watchdogs,omitempty"`
+	// Panics counts worker panics recovered while checking this program;
+	// each also appears as a KindWorkerPanic violation.
+	Panics int          `json:"panics,omitempty"`
+	Skips  []SkipRecord `json:"skips,omitempty"`
+}
+
+// workerState is one worker goroutine's private state. The machine pool
+// is replaced wholesale after a recovered panic: a panic mid-run can
+// leave a pooled machine half-stepped, and reusing it would let one
+// fault corrupt later checks.
+type workerState struct {
+	pool *machine.Pool
 }
 
 // runPool fans the program indices over a bounded worker pool. Each
@@ -78,7 +123,9 @@ type progOutcome struct {
 // collector's aggregation order — and therefore the Summary — is
 // independent of scheduling. All randomness is derived from (Seed,
 // indices), never from worker identity, which is what makes the campaign
-// deterministic for any worker count.
+// deterministic for any worker count. Indices already present in a
+// resumed journal are not re-checked; their journaled outcomes fill the
+// results slice directly.
 func (c *campaign) runPool() ([]progOutcome, error) {
 	outs := make([]progOutcome, c.cfg.Programs)
 	errs := make([]error, c.cfg.Programs)
@@ -94,14 +141,22 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 			// (machine.Pool is not goroutine-safe) and influence only
 			// allocation behavior — results are byte-identical to fresh
 			// machines, so the Summary stays worker-count-invariant.
-			pool := machine.NewPool()
+			ws := &workerState{pool: machine.NewPool()}
 			for idx := range jobs {
-				outs[idx], errs[idx] = c.runProgram(idx, pool)
-				c.noteProgress(outs[idx])
+				out, err := c.runProgram(idx, ws)
+				if err == nil && c.journal != nil {
+					err = c.journal.append(idx, out)
+				}
+				outs[idx], errs[idx] = out, err
+				c.noteProgress(out)
 			}
 		}()
 	}
 	for i := 0; i < c.cfg.Programs; i++ {
+		if done, ok := c.done[i]; ok {
+			outs[i] = done
+			continue
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -114,87 +169,248 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 	return outs, nil
 }
 
+// deadlineHook returns a fresh cooperative-cancellation hook enforcing
+// cfg.CheckDeadline for one oracle decision, or nil when deadlines are
+// disabled. Each decision gets its own budget; the hook is polled from
+// the ideal/scmatch step loops.
+func (c *campaign) deadlineHook() func() bool {
+	if c.cfg.CheckDeadline <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(c.cfg.CheckDeadline)
+	return func() bool { return time.Now().After(deadline) }
+}
+
 // runProgram generates program idx, classifies it, simulates it across
-// the whole config matrix, and shrinks any violation it finds. pool is
-// the calling worker's machine pool.
-func (c *campaign) runProgram(idx int, pool *machine.Pool) (progOutcome, error) {
+// the whole config matrix, and shrinks any violation it finds. A panic
+// anywhere in the per-check work is recovered by checkOne; a panic
+// outside it (generation, canonicalization, classification) is recovered
+// here and reported as a program-level KindWorkerPanic.
+func (c *campaign) runProgram(idx int, ws *workerState) (out progOutcome, err error) {
 	specs := generators()
 	spec := specs[idx%len(specs)]
 	genSeed := deriveSeed(c.cfg.Seed, uint64(idx), 0x67656e) // "gen" stream
-	prog := spec.make(genSeed)
+
+	var prog *program.Program
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			// The worker survives: replace the possibly-corrupt pool,
+			// report the panic, and let the campaign continue. No shrink
+			// here — the panic predates a usable (config, seed) context.
+			ws.pool = machine.NewPool()
+			out.Panics++
+			rep := ViolationReport{
+				Kind:         KindWorkerPanic,
+				Generator:    spec.name,
+				GenSeed:      genSeed,
+				ProgramIndex: idx,
+				Outcome:      "panic",
+				Stack:        panicStack(r, debug.Stack()),
+			}
+			if prog != nil {
+				rep.Program = prog.Name
+				rep.Litmus = formatProgram(prog)
+				rep.Instructions = instructionCount(prog)
+			}
+			if out.Class == "" {
+				out.Class = ClassRacy // conservative: no oracle applies
+			}
+			out.Violations = append(out.Violations, rep)
+			if werr := c.writeCorpus(&rep); werr != nil && err == nil {
+				err = werr
+			}
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("PANIC recovered: program %d (%s): %v", idx, spec.name, r)
+			}
+		}
+	}()
+
+	prog = spec.make(genSeed)
 	cn := canonicalize(prog)
 	entry := c.oracle.entry(cn.hash)
+	out.CanonHash = cn.hash
 
 	class := spec.class
 	if class == "" {
-		class = entry.classify(prog)
+		var skipped bool
+		class, skipped = entry.classify(prog, c.deadlineHook())
+		if skipped {
+			out.Skips = append(out.Skips, SkipRecord{
+				ProgramIndex: idx,
+				Stage:        "classify",
+				Reason:       "deadline",
+			})
+		}
 	}
+	out.Class = class
 
-	out := progOutcome{class: class}
 	// l1 memoizes appears-SC verdicts for this program's own runs: the
 	// matrix × seeds loop observes the same few outcomes over and over,
 	// and a local map answers repeats without the shared entry's lock.
-	l1 := make(map[string]bool, 8)
+	l1 := make(map[string]l1Verdict, 8)
 	for cfgIdx, mcfg := range c.matrix {
 		for s := 0; s < c.cfg.SeedsPerConfig; s++ {
 			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
-			res, err := pool.RunPooled(prog, mcfg, machineSeed)
-			if err != nil {
-				var le *machine.LivenessError
-				if !errors.As(err, &le) {
-					return out, fmt.Errorf("%s on %s (seed %d): %w", prog.Name, mcfg.Name(), machineSeed, err)
-				}
-				// A wedged run is itself a checkable violation: the protocol
-				// failed to recover. Shrink it and move on — one dead run must
-				// not abort the campaign.
-				out.watchdogs++
-				rep, rerr := c.report(KindLiveness, spec, genSeed, idx, prog, mcfg, machineSeed,
-					mem.Result{}, le.Report.String(), pool)
-				if rerr != nil {
-					return out, rerr
-				}
-				out.violations = append(out.violations, rep)
-				if c.cfg.Logf != nil {
-					c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
-						KindLiveness, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
-				}
-				continue
-			}
-			if c.cfg.Fault != nil {
-				c.cfg.Fault(mcfg, prog, res)
-			}
-			canonKey := cn.key(res.Result)
-			sc, hit := l1[canonKey]
-			if hit {
-				out.l1Hits++
-			} else {
-				sc, err = entry.appearsSC(prog, cn, canonKey, res.Result)
-				if err != nil {
-					return out, fmt.Errorf("%s on %s: oracle: %w", prog.Name, mcfg.Name(), err)
-				}
-				l1[canonKey] = sc
-			}
-			out.sims = append(out.sims, simRecord{
-				policy:    mcfg.Policy.String(),
-				key:       res.Result.Key(),
-				appearsSC: sc,
-			})
-			kind := violationKind(class, mcfg.Policy, sc)
-			if kind == "" {
-				continue
-			}
-			rep, err := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result, "", pool)
+			panicked, err := c.checkOne(&out, ws, prog, cn, entry, spec, genSeed, idx, mcfg, machineSeed, l1)
 			if err != nil {
 				return out, err
 			}
-			out.violations = append(out.violations, rep)
-			if c.cfg.Logf != nil {
-				c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
-					kind, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
+			if panicked {
+				// Quarantine the offending (program, config) pair: the
+				// remaining seeds would almost certainly re-panic on the
+				// same simulator path, and one poisoned pair must not
+				// starve the rest of the matrix.
+				break
 			}
 		}
 	}
 	return out, nil
+}
+
+// Stack traces embed heap addresses and goroutine IDs, which vary run
+// to run and worker count to worker count; panicStack scrubs them so a
+// recovered panic's report — and therefore the Summary — stays
+// byte-deterministic.
+var (
+	stackAddrPat      = regexp.MustCompile(`0x[0-9a-f]+\??`)
+	stackGoroutinePat = regexp.MustCompile(`goroutine \d+`)
+)
+
+func panicStack(r interface{}, stack []byte) string {
+	s := fmt.Sprintf("panic: %v\n\n%s", r, stack)
+	s = stackAddrPat.ReplaceAllString(s, "0x…")
+	return stackGoroutinePat.ReplaceAllString(s, "goroutine N")
+}
+
+// l1Verdict is a program-local memo of one appears-SC decision,
+// including the accounting flags so repeated observations replay the
+// first decision's record exactly.
+type l1Verdict struct {
+	sc   bool
+	info queryInfo
+}
+
+// checkOne runs one (program, config, machine seed) check: simulate,
+// adjudicate against the oracle, shrink and report any violation. A
+// panic anywhere inside is recovered, reported as a shrunk
+// KindWorkerPanic violation, and signaled to the caller so it can
+// quarantine the (program, config) pair. The worker's pool is replaced
+// after a panic — a half-stepped pooled machine must not be reused.
+func (c *campaign) checkOne(out *progOutcome, ws *workerState, prog *program.Program,
+	cn canon, entry *oracleEntry, spec genSpec, genSeed int64, idx int,
+	mcfg machine.Config, machineSeed int64, l1 map[string]l1Verdict) (panicked bool, err error) {
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		panicked = true
+		ws.pool = machine.NewPool()
+		out.Panics++
+		stack := panicStack(r, debug.Stack())
+		rep, rerr := c.reportPanic(spec, genSeed, idx, prog, mcfg, machineSeed, stack)
+		if rerr != nil && err == nil {
+			err = rerr
+		}
+		out.Violations = append(out.Violations, rep)
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("PANIC recovered: %s on %s (machine seed %d), quarantined: %v",
+				prog.Name, mcfg.Name(), machineSeed, r)
+		}
+	}()
+
+	res, err := ws.pool.RunPooled(prog, mcfg, machineSeed)
+	if err != nil {
+		var le *machine.LivenessError
+		if !errors.As(err, &le) {
+			return false, fmt.Errorf("%s on %s (seed %d): %w", prog.Name, mcfg.Name(), machineSeed, err)
+		}
+		// A wedged run is itself a checkable violation: the protocol
+		// failed to recover. Shrink it and move on — one dead run must
+		// not abort the campaign.
+		out.Watchdogs++
+		rep, rerr := c.report(KindLiveness, spec, genSeed, idx, prog, mcfg, machineSeed,
+			mem.Result{}, le.Report.String(), ws.pool)
+		if rerr != nil {
+			return false, rerr
+		}
+		out.Violations = append(out.Violations, rep)
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
+				KindLiveness, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
+		}
+		return false, nil
+	}
+	if c.cfg.Fault != nil {
+		c.cfg.Fault(mcfg, prog, res)
+	}
+	canonKey := cn.key(res.Result)
+	v, hit := l1[canonKey]
+	if hit {
+		out.Sims = append(out.Sims, simRecord{
+			Policy:    mcfg.Policy.String(),
+			Key:       res.Result.Key(),
+			CanonKey:  canonKey,
+			AppearsSC: v.sc,
+			L1:        true,
+		})
+	} else {
+		sc, info, oerr := entry.appearsSC(prog, cn, canonKey, res.Result, c.deadlineHook())
+		out.Enumerated = true
+		out.EnumComplete = entry.complete
+		if oerr != nil {
+			if !errors.Is(oerr, errDeadline) {
+				return false, fmt.Errorf("%s on %s: oracle: %w", prog.Name, mcfg.Name(), oerr)
+			}
+			// Deadline skip: the simulation ran, the verdict did not.
+			// Not memoized — a later identical observation gets a fresh
+			// budget — and not a violation either way.
+			out.Sims = append(out.Sims, simRecord{
+				Policy:   mcfg.Policy.String(),
+				Key:      res.Result.Key(),
+				CanonKey: canonKey,
+				Skipped:  "deadline",
+			})
+			out.Skips = append(out.Skips, SkipRecord{
+				ProgramIndex: idx,
+				Config:       describeConfig(mcfg),
+				MachineSeed:  machineSeed,
+				Stage:        "oracle",
+				Reason:       "deadline",
+			})
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("SKIP deadline: %s on %s (machine seed %d)", prog.Name, mcfg.Name(), machineSeed)
+			}
+			return false, nil
+		}
+		v = l1Verdict{sc: sc, info: info}
+		l1[canonKey] = v
+		out.Sims = append(out.Sims, simRecord{
+			Policy:    mcfg.Policy.String(),
+			Key:       res.Result.Key(),
+			CanonKey:  canonKey,
+			AppearsSC: v.sc,
+			Enum:      info.enum,
+			Budget:    info.budget,
+		})
+	}
+	kind := violationKind(out.Class, mcfg.Policy, v.sc)
+	if kind == "" {
+		return false, nil
+	}
+	rep, rerr := c.report(kind, spec, genSeed, idx, prog, mcfg, machineSeed, res.Result, "", ws.pool)
+	if rerr != nil {
+		return false, rerr
+	}
+	out.Violations = append(out.Violations, rep)
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("VIOLATION %s: %s on %s (machine seed %d), shrunk to %d instructions",
+			kind, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
+	}
+	return false, nil
 }
 
 // violationKind maps a classification to the oracle it breaks ("" when
@@ -222,20 +438,24 @@ func isWeaklyOrdered(pol policy.Kind) bool {
 }
 
 // classify decides whether a generated program obeys DRF0 by bounded
-// exhaustive check; budget overruns conservatively classify as racy
-// (coverage only, no violation oracle). The verdict is memoized on the
-// canonical oracle entry — DRF0 is invariant under thread reordering and
-// address renaming, so canonically equal programs share one check.
-func (e *oracleEntry) classify(p *program.Program) string {
+// exhaustive check; budget (or deadline) overruns conservatively
+// classify as racy — coverage only, no violation oracle — with the
+// second return reporting a deadline skip. The verdict is memoized on
+// the canonical oracle entry — DRF0 is invariant under thread reordering
+// and address renaming, so canonically equal programs share one check.
+func (e *oracleEntry) classify(p *program.Program, cancel func() bool) (string, bool) {
 	e.classOnce.Do(func() {
-		v, err := drf.Check(p, hb.SyncAll, boundedDRFConfig())
+		cfg := boundedDRFConfig()
+		cfg.Enum.Cancel = cancel
+		v, err := drf.Check(p, hb.SyncAll, cfg)
 		if err != nil || !v.DRF {
 			e.class = ClassRacy
+			e.classSkipped = err != nil && errors.Is(err, ideal.ErrCanceled)
 			return
 		}
 		e.class = ClassDRF
 	})
-	return e.class
+	return e.class, e.classSkipped
 }
 
 // report shrinks a violating program and assembles its ViolationReport,
@@ -266,12 +486,60 @@ func (c *campaign) report(kind string, spec genSpec, genSeed int64, idx int,
 		Litmus:       formatProgram(shrunk),
 		Liveness:     liveness,
 	}
-	if c.cfg.CorpusDir != "" {
-		if err := WriteViolation(c.cfg.CorpusDir, rep); err != nil {
-			return rep, err
+	return rep, c.writeCorpus(&rep)
+}
+
+// reportPanic assembles the KindWorkerPanic report for a recovered
+// panic, shrinking the program against a "still panics" predicate run on
+// fresh (never pooled) machines — the reproducer pipeline's analogue of
+// the liveness path. The predicate covers the simulate-plus-fault-hook
+// region; a panic rooted elsewhere (oracle internals) simply shrinks
+// zero steps and keeps the full program.
+func (c *campaign) reportPanic(spec genSpec, genSeed int64, idx int,
+	prog *program.Program, mcfg machine.Config, machineSeed int64, stack string) (ViolationReport, error) {
+
+	shrinkCfg := mcfg
+	shrinkCfg.MaxCycles = shrinkMaxCycles
+	pred := func(cand *program.Program) (panics bool) {
+		defer func() {
+			if recover() != nil {
+				panics = true
+			}
+		}()
+		res, err := machine.Run(cand, shrinkCfg, machineSeed)
+		if err != nil {
+			return false
 		}
+		if c.cfg.Fault != nil {
+			c.cfg.Fault(shrinkCfg, cand, res)
+		}
+		return false
 	}
-	return rep, nil
+	shrunk, steps := Shrink(prog, pred, c.cfg.MaxShrinkTries)
+	rep := ViolationReport{
+		Kind:         KindWorkerPanic,
+		Program:      shrunk.Name,
+		Generator:    spec.name,
+		GenSeed:      genSeed,
+		ProgramIndex: idx,
+		Config:       describeConfig(mcfg),
+		MachineSeed:  machineSeed,
+		Outcome:      "panic",
+		Instructions: instructionCount(shrunk),
+		ShrinkSteps:  steps,
+		Litmus:       formatProgram(shrunk),
+		Stack:        stack,
+	}
+	return rep, c.writeCorpus(&rep)
+}
+
+// writeCorpus persists a reproducer when a corpus directory is
+// configured.
+func (c *campaign) writeCorpus(rep *ViolationReport) error {
+	if c.cfg.CorpusDir == "" {
+		return nil
+	}
+	return WriteViolation(c.cfg.CorpusDir, *rep)
 }
 
 // violates builds the shrinker predicate: does the candidate program
@@ -294,7 +562,9 @@ func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64,
 	}
 	return func(cand *program.Program) bool {
 		if kind == KindDefinition2 {
-			v, err := drf.Check(cand, hb.SyncAll, boundedDRFConfig())
+			cfg := boundedDRFConfig()
+			cfg.Enum.Cancel = c.deadlineHook()
+			v, err := drf.Check(cand, hb.SyncAll, cfg)
 			if err != nil || !v.DRF {
 				return false
 			}
@@ -306,7 +576,10 @@ func (c *campaign) violates(kind string, mcfg machine.Config, machineSeed int64,
 		if c.cfg.Fault != nil {
 			c.cfg.Fault(mcfg, cand, res)
 		}
-		m, err := scmatch.Matches(cand, res.Result, scmatch.Config{MaxStates: oracleMatchMaxStates})
+		m, err := scmatch.Matches(cand, res.Result, scmatch.Config{
+			MaxStates: oracleMatchMaxStates,
+			Cancel:    c.deadlineHook(),
+		})
 		if err != nil {
 			return false
 		}
@@ -340,5 +613,16 @@ func CorruptReadFault(pol policy.Kind) FaultHook {
 		obs := res.Result.Reads[ids[0]]
 		obs.Value += 1000
 		res.Result.Reads[ids[0]] = obs
+	}
+}
+
+// PanicFault is the standard worker-isolation test fault: it panics on
+// every run of the given policy, simulating a checker bug so the
+// recover → report → quarantine pipeline can be exercised end to end.
+func PanicFault(pol policy.Kind) FaultHook {
+	return func(cfg machine.Config, p *program.Program, res *machine.RunResult) {
+		if cfg.Policy == pol {
+			panic(fmt.Sprintf("injected worker panic on %s", cfg.Policy))
+		}
 	}
 }

@@ -25,6 +25,7 @@ package faults
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"weakorder/internal/network"
@@ -67,8 +68,72 @@ func Severe() Plan {
 	return Plan{Drop: 0.15, Dup: 0.10, Delay: 0.35, MaxExtraDelay: 64}
 }
 
-// Parse resolves a plan preset name: "none", "mild", or "severe".
+// Parse resolves a plan specification: a preset name ("none", "mild",
+// "severe") or a comma-separated custom spec of key=value fields —
+// "drop=0.1,dup=0.05,delay=0.2,maxdelay=32,noretry". A custom spec may
+// also start with a preset, with later fields overriding it
+// ("severe,drop=0.5"). The resulting plan is validated: probabilities
+// must lie in [0,1] and delay>0 requires maxdelay>0.
 func Parse(name string) (Plan, error) {
+	spec := strings.TrimSpace(name)
+	plan, perr := parsePreset(spec)
+	if perr == nil {
+		return plan, nil
+	}
+	fields := strings.Split(spec, ",")
+	start := 0
+	if p, err := parsePreset(fields[0]); err == nil {
+		plan, start = p, 1
+	} else {
+		plan = None()
+	}
+	for _, field := range fields[start:] {
+		field = strings.TrimSpace(field)
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch {
+		case key == "noretry" && !hasVal:
+			plan.DisableRetry = true
+			continue
+		case !hasVal || val == "":
+			return Plan{}, fmt.Errorf("faults: bad plan field %q (want a preset none/mild/severe, key=value such as drop=0.1, or noretry): plan %q", field, name)
+		}
+		switch key {
+		case "drop", "dup", "delay":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: bad %s probability %q: plan %q", key, val, name)
+			}
+			switch key {
+			case "drop":
+				plan.Drop = p
+			case "dup":
+				plan.Dup = p
+			case "delay":
+				plan.Delay = p
+			}
+		case "maxdelay":
+			d, err := strconv.ParseUint(val, 10, 32)
+			if err != nil || d == 0 {
+				return Plan{}, fmt.Errorf("faults: bad maxdelay %q (want a positive cycle count): plan %q", val, name)
+			}
+			plan.MaxExtraDelay = sim.Time(d)
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown plan field %q (want drop=, dup=, delay=, maxdelay=, or noretry): plan %q", key, name)
+		}
+	}
+	if plan.Delay > 0 && plan.MaxExtraDelay == 0 {
+		return Plan{}, fmt.Errorf("faults: plan %q sets delay without maxdelay", name)
+	}
+	if err := plan.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("%w: plan %q", err, name)
+	}
+	return plan, nil
+}
+
+// parsePreset resolves the three preset names.
+func parsePreset(name string) (Plan, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "none":
 		return None(), nil
@@ -77,7 +142,7 @@ func Parse(name string) (Plan, error) {
 	case "severe":
 		return Severe(), nil
 	default:
-		return Plan{}, fmt.Errorf("faults: unknown plan %q (want none, mild, or severe)", name)
+		return Plan{}, fmt.Errorf("faults: unknown plan %q (want a preset none/mild/severe or a drop=/dup=/delay=/maxdelay=/noretry spec)", name)
 	}
 }
 

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"weakorder/internal/network"
@@ -169,6 +170,69 @@ func TestParseAndValidate(t *testing.T) {
 	}
 	if None().Enabled() || !Mild().Enabled() || !Severe().Enabled() {
 		t.Fatal("Enabled() disagrees with presets")
+	}
+}
+
+// TestParseCustomSpecs covers the key=value plan grammar: bare specs,
+// preset-plus-override, and the noretry flag.
+func TestParseCustomSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want Plan
+	}{
+		{"drop=0.1", Plan{Drop: 0.1}},
+		{"drop=0.1,dup=0.05", Plan{Drop: 0.1, Dup: 0.05}},
+		{"delay=0.2,maxdelay=32", Plan{Delay: 0.2, MaxExtraDelay: 32}},
+		{" Drop=0.1 , NORETRY ", Plan{Drop: 0.1, DisableRetry: true}},
+		{"severe,drop=0.5", func() Plan { p := Severe(); p.Drop = 0.5; return p }()},
+		{"mild,noretry", func() Plan { p := Mild(); p.DisableRetry = true; return p }()},
+		{"drop=0", Plan{}},
+	} {
+		got, err := Parse(tc.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+// TestParseErrors is the table of malformed plan specs: every one must
+// be rejected with a diagnostic naming the offending field, never
+// silently coerced into a plan.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		wantSub string
+	}{
+		{"catastrophic", "bad plan field"},
+		{"drop", "bad plan field"},
+		{"drop=", "bad plan field"},
+		{"=0.1", "unknown plan field"},
+		{"drop=abc", "bad drop probability"},
+		{"drop=1.5", "outside [0,1]"},
+		{"drop=-0.1", "outside [0,1]"},
+		{"dup=2", "outside [0,1]"},
+		{"delay=0.2", "without maxdelay"},
+		{"delay=0.2,maxdelay=0", "bad maxdelay"},
+		{"delay=0.2,maxdelay=-3", "bad maxdelay"},
+		{"delay=0.2,maxdelay=many", "bad maxdelay"},
+		{"maxdelay=1x", "bad maxdelay"},
+		{"jitter=0.1", "unknown plan field"},
+		{"noretry=yes", "unknown plan field"},
+		{"mild,turbo=1", "unknown plan field"},
+		{"drop=0.1,,dup=0.1", "bad plan field"},
+	} {
+		p, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted as %+v, want error containing %q", tc.spec, p, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tc.spec, err, tc.wantSub)
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+package ideal
+
+import (
+	"errors"
+	"testing"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+)
+
+// TestEnumerateCancel: a cancel hook that fires immediately aborts the
+// enumeration with ErrCanceled before any execution is visited.
+func TestEnumerateCancel(t *testing.T) {
+	for _, reduce := range []bool{false, true} {
+		visited := 0
+		_, err := Enumerate(litmus.Dekker(), EnumConfig{
+			Reduce: reduce,
+			Cancel: func() bool { return true },
+		}, func(it *Interp) error {
+			visited++
+			return nil
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("reduce=%v: err = %v, want ErrCanceled", reduce, err)
+		}
+		if visited != 0 {
+			t.Fatalf("reduce=%v: visited %d executions after immediate cancel", reduce, visited)
+		}
+	}
+}
+
+// TestEnumerateNilCancelUnaffected: the zero config must enumerate
+// exactly as before the hook existed.
+func TestEnumerateNilCancelUnaffected(t *testing.T) {
+	keys := make(map[string]bool)
+	if _, err := Enumerate(litmus.Dekker(), EnumConfig{}, func(it *Interp) error {
+		keys[mem.ResultOf(it.Execution()).Key()] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("Dekker outcomes = %d, want 3", len(keys))
+	}
+}

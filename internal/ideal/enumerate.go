@@ -34,6 +34,12 @@ type EnumConfig struct {
 	// representatives, not interleavings. Programs with more than 64
 	// threads fall back to the naive enumeration.
 	Reduce bool
+	// Cancel, when non-nil, is polled periodically (every cancelPollMask+1
+	// steps) during enumeration; returning true aborts the search with
+	// ErrCanceled. Cancellation is cooperative — no goroutines are
+	// involved, so an abandoned enumeration leaks nothing — and is how
+	// callers impose wall-clock deadlines on otherwise CPU-bound searches.
+	Cancel func() bool
 	// PreserveSyncOrder strengthens the reduction's dependence relation:
 	// two synchronization operations on the same address never commute,
 	// even when both only read. The happens-before builders (package hb)
@@ -46,6 +52,19 @@ type EnumConfig struct {
 
 // ErrBudget reports that enumeration exceeded its execution or path budget.
 var ErrBudget = errors.New("ideal: enumeration budget exceeded")
+
+// ErrCanceled reports that EnumConfig.Cancel asked the search to stop.
+var ErrCanceled = errors.New("ideal: enumeration canceled")
+
+// cancelPollMask throttles EnumConfig.Cancel polling to every 256 steps:
+// the hook typically reads a clock, which is too expensive per step and
+// plenty accurate at this granularity (a step is well under a microsecond).
+const cancelPollMask = 255
+
+// canceled polls cfg.Cancel at the throttled rate.
+func (cfg *EnumConfig) canceled(steps int) bool {
+	return cfg.Cancel != nil && steps&cancelPollMask == 0 && cfg.Cancel()
+}
 
 // ErrStop is returned by a visitor to stop enumeration early without error.
 var ErrStop = errors.New("ideal: stop enumeration")
@@ -98,6 +117,9 @@ func Enumerate(p *program.Program, cfg EnumConfig, visit Visitor) (EnumStats, er
 func enumerate(it *Interp, cfg EnumConfig, stats *EnumStats, ar *Arena, visit Visitor) error {
 	if cfg.MaxPaths > 0 && stats.Steps > cfg.MaxPaths {
 		return ErrBudget
+	}
+	if cfg.canceled(stats.Steps) {
+		return ErrCanceled
 	}
 	if it.Done() {
 		stats.Executions++

@@ -62,6 +62,9 @@ func (r *reducer) explore(it *Interp, sleep uint64, reads [][]byte) error {
 	if r.cfg.MaxPaths > 0 && r.stats.Steps > r.cfg.MaxPaths {
 		return ErrBudget
 	}
+	if r.cfg.canceled(r.stats.Steps) {
+		return ErrCanceled
+	}
 	if it.Done() {
 		r.stats.Executions++
 		if r.cfg.MaxExecutions > 0 && r.stats.Executions > r.cfg.MaxExecutions {

@@ -1,0 +1,31 @@
+package scmatch
+
+import (
+	"errors"
+	"testing"
+
+	"weakorder/internal/litmus"
+)
+
+// TestMatchesCancel: an immediate cancel aborts the search with
+// ErrCanceled instead of producing a verdict.
+func TestMatchesCancel(t *testing.T) {
+	_, err := Matches(litmus.Dekker(), dekkerResult(0, 0), Config{
+		Cancel: func() bool { return true },
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestMatchesNilCancelUnaffected: the hook absent, verdicts are exactly
+// as before.
+func TestMatchesNilCancelUnaffected(t *testing.T) {
+	m, err := Matches(litmus.Dekker(), dekkerResult(0, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OK {
+		t.Fatal("Dekker (0,0) must not appear SC")
+	}
+}

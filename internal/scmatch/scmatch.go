@@ -33,6 +33,10 @@ type Config struct {
 	// MaxStates aborts the search after visiting this many states
 	// (0 = DefaultMaxStates).
 	MaxStates int
+	// Cancel, when non-nil, is polled periodically during the search;
+	// returning true aborts with ErrCanceled. Cancellation is
+	// cooperative (no goroutines), so an abandoned search leaks nothing.
+	Cancel func() bool
 	// NoReduce disables the sleep-set partial-order reduction and
 	// searches every interleaving naively. The reduction never changes
 	// the verdict (a result matches some interleaving iff it matches
@@ -55,6 +59,13 @@ func (c Config) maxStates() int {
 
 // ErrBudget reports that the search exceeded MaxStates.
 var ErrBudget = errors.New("scmatch: state budget exceeded")
+
+// ErrCanceled reports that Config.Cancel asked the search to stop.
+var ErrCanceled = errors.New("scmatch: search canceled")
+
+// cancelPollMask throttles Config.Cancel polling to every 256 states;
+// the hook typically reads a clock, which is too expensive per state.
+const cancelPollMask = 255
 
 // Match is the outcome of an appears-SC query.
 type Match struct {
@@ -115,6 +126,9 @@ func (s *searcher) search(it *ideal.Interp, matched int, sleep uint64) (bool, er
 	s.states++
 	if s.states > s.cfg.maxStates() {
 		return false, ErrBudget
+	}
+	if s.cfg.Cancel != nil && s.states&cancelPollMask == 1 && s.cfg.Cancel() {
+		return false, ErrCanceled
 	}
 	if it.Done() {
 		if matched != len(s.result.Reads) {
