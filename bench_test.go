@@ -21,6 +21,7 @@ import (
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/policy"
+	"weakorder/internal/sat"
 	"weakorder/internal/scmatch"
 	"weakorder/internal/vclock"
 )
@@ -417,6 +418,59 @@ func BenchmarkSCMatchOracle(b *testing.B) {
 			b.Fatal("must appear SC")
 		}
 	}
+}
+
+// BenchmarkSatFastPath measures the polynomial appears-SC decision
+// stage (internal/sat) against the two oracle stages it preempts, on the
+// identical query: a campaign-shaped lock program's observed machine
+// result, which the fast path fully resolves (lock rf pins down through
+// the from-read and coherence-final rules). "search" is the
+// result-directed exhaustive fallback; "enumerate" is the SC outcome-set
+// construction a canonicalization miss pays before any set membership
+// test can answer.
+func BenchmarkSatFastPath(b *testing.B) {
+	prog := gen.RaceFree(gen.RaceFreeConfig{
+		Procs: 2, Locks: 1, SharedPerLock: 2, PrivatePerProc: 1,
+		Sections: 1, OpsPerSection: 2, PrivateOps: 1,
+	}, 3)
+	res, err := machine.Run(prog, machine.Config{
+		Policy: policy.SC, Topology: machine.TopoBus, Caches: true,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := sat.Decide(prog, res.Result, sat.Config{})
+			if d.Verdict != sat.Accepted {
+				b.Fatalf("must decide accepted, got %s (%s)", d.Verdict, d.Reason)
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := scmatch.Matches(prog, res.Result, scmatch.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !m.OK {
+				b.Fatal("must appear SC")
+			}
+		}
+	})
+	b.Run("enumerate", func(b *testing.B) {
+		cfg := ideal.EnumConfig{
+			Interp:        ideal.Config{MaxMemOpsPerThread: 24},
+			SkipTruncated: true,
+			MaxPaths:      500_000,
+			Reduce:        true,
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := ideal.Enumerate(prog, cfg, func(*ideal.Interp) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkMachineCriticalSection4p(b *testing.B) {

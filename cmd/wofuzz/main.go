@@ -57,6 +57,7 @@ func main() {
 		journal  = flag.String("journal", "", "append-only campaign journal: every completed program is checkpointed here")
 		resume   = flag.Bool("resume", false, "resume from an existing -journal instead of starting over")
 		deadline = flag.Duration("check-deadline", 0, "wall-clock budget per oracle decision (0 = unbounded; nonzero trades reproducibility for liveness)")
+		satfast  = flag.String("satfast", "on", "polynomial appears-SC fast path: on or off (off forces enumeration for every query)")
 		axiomF   = flag.Bool("axiom", false, "run the axiomatic-vs-operational oracle differential instead of the simulation campaign")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -86,6 +87,14 @@ func main() {
 	if *resume && *journal == "" {
 		fatalUsage(fmt.Errorf("-resume requires -journal"))
 	}
+	var noSatFast bool
+	switch *satfast {
+	case "on":
+	case "off":
+		noSatFast = true
+	default:
+		fatalUsage(fmt.Errorf("-satfast must be on or off, got %q", *satfast))
+	}
 
 	cfg := check.CampaignConfig{
 		Seed:           *seed,
@@ -98,6 +107,7 @@ func main() {
 		Journal:        *journal,
 		Resume:         *resume,
 		CheckDeadline:  *deadline,
+		NoSatFast:      noSatFast,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...interface{}) {

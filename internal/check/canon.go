@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sort"
 
 	"weakorder/internal/lang"
 	"weakorder/internal/mem"
@@ -22,19 +23,36 @@ import (
 // and y swapped" recurs across program indices — and canonicalizing the
 // cache key lets every isomorphic copy share one enumeration.
 //
-// canonicalize picks, over all thread permutations, the lexicographically
-// minimal serialization of the program with addresses renamed in first-
-// use order, and returns the winning renaming. Outcome sets are stored
-// in canonical coordinates: every result (enumerated or observed) is
-// mapped through the renaming before it is used as a key, so two
-// isomorphic programs agree on every cached verdict. Programs with a
-// litmus postcondition are exempt (the Cond references concrete threads
-// and symbols), as are programs with more threads than the permutation
-// budget; they fall back to a raw-text hash with identity renaming.
+// canonicalize picks, over a refined set of thread permutations, the
+// lexicographically minimal serialization of the program with addresses
+// renamed in first-use order, and returns the winning renaming. Outcome
+// sets are stored in canonical coordinates: every result (enumerated or
+// observed) is mapped through the renaming before it is used as a key,
+// so two isomorphic programs agree on every cached verdict.
+//
+// Searching all n! thread orders caps out fast, so the permutation set
+// is refined first: each thread gets an isomorphism-invariant signature
+// (its instruction stream with addresses replaced by attribute-class
+// labels, plus any postcondition register terms it carries), threads are
+// pre-sorted by signature, and only orders that permute within
+// equal-signature groups are tried. Distinct-signature threads serialize
+// differently by construction, so restricting to within-group orders
+// loses no collisions, and for the common case of all-distinct bodies a
+// single serialization suffices at any thread count. Programs whose
+// group structure still exceeds the permutation budget fall back to a
+// raw-text hash with identity renaming.
+//
+// A litmus postcondition no longer forces the fallback: the Cond is part
+// of the serialization (a trailing 'C' section), with register terms
+// pinned to canonical thread positions and memory terms to canonical
+// address ids, so isomorphic postconditioned programs — Cond mapped
+// through the same thread/address bijection — share an entry while any
+// Cond difference separates hashes.
 
-// canonMaxThreads bounds the permutation search (4! = 24 serializations;
-// campaign generators emit 2-3 threads).
-const canonMaxThreads = 4
+// canonMaxPerms bounds the within-group permutation product (7! — a
+// program would need seven threads with pairwise-identical bodies to
+// exceed it; campaign generators emit 2-3 distinct ones).
+const canonMaxPerms = 5040
 
 // canonUnmappedBase offsets addresses that escape the renaming (which
 // cannot happen for any address an instruction can touch) clear of the
@@ -55,20 +73,46 @@ type canon struct {
 // canonicalize computes p's canonical cache key and renaming.
 func canonicalize(p *program.Program) canon {
 	n := p.NumThreads()
-	if p.Cond != nil || n > canonMaxThreads {
-		sum := sha256.Sum256([]byte("raw|" + lang.Format(p)))
-		return canon{hash: hex.EncodeToString(sum[:])}
+	sigs := threadSignatures(p)
+
+	// Pre-sort threads by signature; equal-signature runs form the
+	// groups whose internal orders are enumerated.
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
 	}
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+	sort.SliceStable(base, func(i, j int) bool {
+		return bytes.Compare(sigs[base[i]], sigs[base[j]]) < 0
+	})
+	type span struct{ start, end int } // [start, end) positions in base
+	var groups []span
+	perms := 1
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && bytes.Equal(sigs[base[j]], sigs[base[i]]) {
+			j++
+		}
+		for k := 2; k <= j-i; k++ { // perms *= (j-i)!, overflow-guarded
+			perms *= k
+			if perms > canonMaxPerms {
+				sum := sha256.Sum256([]byte("raw|" + lang.Format(p)))
+				return canon{hash: hex.EncodeToString(sum[:])}
+			}
+		}
+		if j-i > 1 {
+			groups = append(groups, span{i, j})
+		}
+		i = j
 	}
+
 	var (
 		best     []byte
 		bestInv  []int
 		bestAddr map[mem.Addr]mem.Addr
 	)
-	permute(perm, 0, func(order []int) {
+	order := make([]int, n)
+	copy(order, base)
+	candidate := func() {
 		ser, amap := serializeCanonical(p, order)
 		if best != nil && bytes.Compare(ser, best) >= 0 {
 			return
@@ -79,31 +123,206 @@ func canonicalize(p *program.Program) canon {
 			bestInv[orig] = c
 		}
 		bestAddr = amap
-	})
+	}
+	var visit func(g int)
+	visit = func(g int) {
+		if g == len(groups) {
+			candidate()
+			return
+		}
+		permuteRange(order, groups[g].start, groups[g].end, func() { visit(g + 1) })
+	}
+	visit(0)
 	sum := sha256.Sum256(append([]byte("canon|"), best...))
 	return canon{hash: hex.EncodeToString(sum[:]), inv: bestInv, addr: bestAddr}
 }
 
-// permute visits every permutation of s in a deterministic order,
-// calling visit with each; s is restored between calls.
-func permute(s []int, k int, visit func([]int)) {
-	if k == len(s) {
-		visit(s)
+// permuteRange visits every permutation of s[lo:hi] in a deterministic
+// order, calling visit for each; s is restored between calls.
+func permuteRange(s []int, lo, hi int, visit func()) {
+	if lo >= hi {
+		visit()
 		return
 	}
-	for i := k; i < len(s); i++ {
-		s[k], s[i] = s[i], s[k]
-		permute(s, k+1, visit)
-		s[k], s[i] = s[i], s[k]
+	var rec func(k int)
+	rec = func(k int) {
+		if k == hi {
+			visit()
+			return
+		}
+		for i := k; i < hi; i++ {
+			s[k], s[i] = s[i], s[k]
+			rec(k + 1)
+			s[k], s[i] = s[i], s[k]
+		}
 	}
+	rec(lo)
+}
+
+// threadSignatures computes an isomorphism-invariant signature per
+// thread: the instruction stream with every address replaced by its
+// attribute-class label, plus the thread's postcondition register terms.
+// Two threads get equal signatures iff a thread swap could possibly
+// yield the same canonical serialization, so the permutation search only
+// needs orders that permute within equal-signature groups.
+func threadSignatures(p *program.Program) [][]byte {
+	cls := addrClasses(p)
+	sigs := make([][]byte, p.NumThreads())
+	for i := range p.Threads {
+		var b []byte
+		for _, in := range p.Threads[i].Instrs {
+			b = appendInstr(b, in, func(a mem.Addr) mem.Addr { return mem.Addr(cls[a]) })
+		}
+		if p.Cond != nil {
+			b = append(b, 'R')
+			b = appendRegTerms(b, p.Cond, func(int) int { return 0 }, i)
+		}
+		sigs[i] = b
+	}
+	return sigs
+}
+
+// addrClasses partitions the program's addresses into attribute classes:
+// init value, per-opcode access counts, the number of distinct threads
+// touching the address, and the multiset of postcondition values
+// asserted on it. Classes are labeled in sorted-attribute order, so the
+// labels are invariant under any address bijection and any thread
+// permutation — exactly the invariance the signature refinement needs.
+// (Two genuinely different addresses may share a class; that only widens
+// a group, never merges distinct programs.)
+func addrClasses(p *program.Program) map[mem.Addr]int {
+	type attrs struct {
+		opCount map[program.Opcode]int
+		threads map[int]bool
+		conds   []mem.Value
+	}
+	byAddr := make(map[mem.Addr]*attrs)
+	get := func(a mem.Addr) *attrs {
+		at := byAddr[a]
+		if at == nil {
+			at = &attrs{opCount: make(map[program.Opcode]int), threads: make(map[int]bool)}
+			byAddr[a] = at
+		}
+		return at
+	}
+	for ti := range p.Threads {
+		for _, in := range p.Threads[ti].Instrs {
+			if in.Op.IsMemory() {
+				at := get(in.Addr)
+				at.opCount[in.Op]++
+				at.threads[ti] = true
+			}
+		}
+	}
+	for a := range p.Init {
+		get(a)
+	}
+	if p.Cond != nil {
+		for _, t := range p.Cond.Terms {
+			if t.Thread < 0 {
+				get(t.Addr).conds = append(get(t.Addr).conds, t.Value)
+			}
+		}
+	}
+
+	encode := func(a mem.Addr, at *attrs) string {
+		var b []byte
+		b = binary.AppendVarint(b, int64(p.Init[a]))
+		ops := make([]int, 0, len(at.opCount))
+		for op := range at.opCount {
+			ops = append(ops, int(op))
+		}
+		sort.Ints(ops)
+		for _, op := range ops {
+			b = binary.AppendVarint(b, int64(op))
+			b = binary.AppendVarint(b, int64(at.opCount[program.Opcode(op)]))
+		}
+		b = append(b, '|')
+		b = binary.AppendVarint(b, int64(len(at.threads)))
+		vals := append([]mem.Value(nil), at.conds...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, v := range vals {
+			b = binary.AppendVarint(b, int64(v))
+		}
+		return string(b)
+	}
+	keys := make([]string, 0, len(byAddr))
+	enc := make(map[mem.Addr]string, len(byAddr))
+	for a, at := range byAddr {
+		e := encode(a, at)
+		enc[a] = e
+		keys = append(keys, e)
+	}
+	sort.Strings(keys)
+	label := make(map[string]int, len(keys))
+	for _, k := range keys {
+		if _, ok := label[k]; !ok {
+			label[k] = len(label)
+		}
+	}
+	out := make(map[mem.Addr]int, len(byAddr))
+	for a, e := range enc {
+		out[a] = label[e]
+	}
+	return out
+}
+
+// appendInstr serializes one instruction: opcode, registers, immediates,
+// branch target, and (for memory ops) the address mapped through rename.
+// The encoding covers exactly the semantic content — names and symbols
+// are cosmetic and excluded.
+func appendInstr(b []byte, in program.Instr, rename func(mem.Addr) mem.Addr) []byte {
+	b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt))
+	b = binary.AppendVarint(b, int64(in.Imm))
+	if in.UseImm {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendVarint(b, int64(in.Target))
+	if in.Op.IsMemory() {
+		b = binary.AppendVarint(b, int64(rename(in.Addr)))
+	}
+	return b
+}
+
+// appendRegTerms serializes the Cond's register terms for one original
+// thread (or all threads when onlyThread is -1), each pinned to the
+// canonical position pos(thread), sorted for order-independence.
+func appendRegTerms(b []byte, c *program.Cond, pos func(int) int, onlyThread int) []byte {
+	type rt struct {
+		pos int
+		reg program.Reg
+		v   mem.Value
+	}
+	var terms []rt
+	for _, t := range c.Terms {
+		if t.Thread < 0 || (onlyThread >= 0 && t.Thread != onlyThread) {
+			continue
+		}
+		terms = append(terms, rt{pos(t.Thread), t.Reg, t.Value})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].pos != terms[j].pos {
+			return terms[i].pos < terms[j].pos
+		}
+		if terms[i].reg != terms[j].reg {
+			return terms[i].reg < terms[j].reg
+		}
+		return terms[i].v < terms[j].v
+	})
+	for _, t := range terms {
+		b = binary.AppendVarint(b, int64(t.pos))
+		b = append(b, byte(t.reg))
+		b = binary.AppendVarint(b, int64(t.v))
+	}
+	return b
 }
 
 // serializeCanonical renders p with its threads in the given order and
 // addresses renamed by first use, returning the bytes and the renaming.
-// The serialization covers exactly the semantic content: per-thread
-// instruction streams (opcode, registers, immediates, branch targets,
-// canonical addresses) and the explicit init values — names and symbols
-// are cosmetic and excluded.
+// Sections: 'T' per-thread instruction streams, 'C' the postcondition
+// (if any) in canonical coordinates, 'I' the explicit init values.
 func serializeCanonical(p *program.Program, order []int) ([]byte, map[mem.Addr]mem.Addr) {
 	amap := make(map[mem.Addr]mem.Addr)
 	canonAddr := func(a mem.Addr) mem.Addr {
@@ -118,38 +337,81 @@ func serializeCanonical(p *program.Program, order []int) ([]byte, map[mem.Addr]m
 	for c, orig := range order {
 		b = append(b, 'T', byte(c))
 		for _, in := range p.Threads[orig].Instrs {
-			b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt))
-			b = binary.AppendVarint(b, int64(in.Imm))
-			if in.UseImm {
-				b = append(b, 1)
-			} else {
-				b = append(b, 0)
-			}
-			b = binary.AppendVarint(b, int64(in.Target))
-			if in.Op.IsMemory() {
-				b = binary.AppendVarint(b, int64(canonAddr(in.Addr)))
-			}
+			b = appendInstr(b, in, canonAddr)
 		}
 	}
-	// Init values: instruction-referenced addresses already have ids;
-	// init-only addresses get ids in value order. Ties among init-only
-	// addresses are harmless — such addresses are never read or written,
-	// so equal-valued ones are fully interchangeable.
+
+	if p.Cond != nil {
+		pos := make([]int, len(order))
+		for c, orig := range order {
+			pos[orig] = c
+		}
+		b = append(b, 'C')
+		b = appendRegTerms(b, p.Cond, func(t int) int { return pos[t] }, -1)
+		// Memory terms: instruction-referenced addresses already have
+		// canonical ids. Cond-only addresses get ids next, in an order
+		// determined solely by invariant data (init value, then the
+		// sorted asserted values) — ties are harmless, since such
+		// addresses are interchangeable the same way init-only ones are.
+		condOnly := map[mem.Addr][]mem.Value{}
+		for _, t := range p.Cond.Terms {
+			if t.Thread < 0 {
+				if _, ok := amap[t.Addr]; !ok {
+					condOnly[t.Addr] = append(condOnly[t.Addr], t.Value)
+				}
+			}
+		}
+		type unm struct {
+			a   mem.Addr
+			key []byte
+		}
+		unmapped := make([]unm, 0, len(condOnly))
+		for a, vals := range condOnly {
+			k := binary.AppendVarint(nil, int64(p.Init[a]))
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			for _, v := range vals {
+				k = binary.AppendVarint(k, int64(v))
+			}
+			unmapped = append(unmapped, unm{a, k})
+		}
+		sort.Slice(unmapped, func(i, j int) bool { return bytes.Compare(unmapped[i].key, unmapped[j].key) < 0 })
+		for _, u := range unmapped {
+			canonAddr(u.a)
+		}
+		type mt struct {
+			id mem.Addr
+			v  mem.Value
+		}
+		var mterms []mt
+		for _, t := range p.Cond.Terms {
+			if t.Thread < 0 {
+				mterms = append(mterms, mt{amap[t.Addr], t.Value})
+			}
+		}
+		sort.Slice(mterms, func(i, j int) bool {
+			if mterms[i].id != mterms[j].id {
+				return mterms[i].id < mterms[j].id
+			}
+			return mterms[i].v < mterms[j].v
+		})
+		b = append(b, 'M')
+		for _, t := range mterms {
+			b = binary.AppendVarint(b, int64(t.id))
+			b = binary.AppendVarint(b, int64(t.v))
+		}
+	}
+
+	// Init values: instruction- and Cond-referenced addresses already
+	// have ids; init-only addresses get ids in value order. Ties among
+	// init-only addresses are harmless — such addresses are never read
+	// or written, so equal-valued ones are fully interchangeable.
 	var initOnly []mem.Addr
 	for a := range p.Init {
 		if _, ok := amap[a]; !ok {
 			initOnly = append(initOnly, a)
 		}
 	}
-	for swept := true; swept; { // tiny n: sort by (value, stability irrelevant)
-		swept = false
-		for i := 1; i < len(initOnly); i++ {
-			if p.Init[initOnly[i]] < p.Init[initOnly[i-1]] {
-				initOnly[i], initOnly[i-1] = initOnly[i-1], initOnly[i]
-				swept = true
-			}
-		}
-	}
+	sort.Slice(initOnly, func(i, j int) bool { return p.Init[initOnly[i]] < p.Init[initOnly[j]] })
 	for _, a := range initOnly {
 		canonAddr(a)
 	}
@@ -161,15 +423,7 @@ func serializeCanonical(p *program.Program, order []int) ([]byte, map[mem.Addr]m
 	for a, v := range p.Init {
 		pairs = append(pairs, initPair{amap[a], v})
 	}
-	for swept := true; swept; {
-		swept = false
-		for i := 1; i < len(pairs); i++ {
-			if pairs[i].id < pairs[i-1].id {
-				pairs[i], pairs[i-1] = pairs[i-1], pairs[i]
-				swept = true
-			}
-		}
-	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
 	b = append(b, 'I')
 	for _, pr := range pairs {
 		b = binary.AppendVarint(b, int64(pr.id))

@@ -11,17 +11,19 @@ import (
 
 // isoCopy builds an isomorphic copy of p: threads rotated by one
 // position and every address mapped through a bijection, with symbols
-// and names scrambled (they are cosmetic).
+// and names scrambled (they are cosmetic). A postcondition, if present,
+// is mapped through the same thread rotation and address bijection.
 func isoCopy(p *program.Program) *program.Program {
 	remap := func(a mem.Addr) mem.Addr { return a*3 + 11 }
+	n := len(p.Threads)
 	q := &program.Program{
 		Name:    p.Name + "-iso",
-		Threads: make([]program.Thread, len(p.Threads)),
+		Threads: make([]program.Thread, n),
 		Init:    make(map[mem.Addr]mem.Value, len(p.Init)),
 		Symbols: make(map[string]mem.Addr, len(p.Symbols)),
 	}
 	for i := range p.Threads {
-		src := p.Threads[(i+1)%len(p.Threads)]
+		src := p.Threads[(i+1)%n]
 		th := program.Thread{Name: src.Name + "x", Instrs: make([]program.Instr, len(src.Instrs))}
 		copy(th.Instrs, src.Instrs)
 		for j := range th.Instrs {
@@ -37,6 +39,18 @@ func isoCopy(p *program.Program) *program.Program {
 	}
 	for s, a := range p.Symbols {
 		q.Symbols[s+"x"] = remap(a)
+	}
+	if p.Cond != nil {
+		q.Cond = &program.Cond{Terms: make([]program.CondTerm, len(p.Cond.Terms))}
+		for i, t := range p.Cond.Terms {
+			if t.Thread >= 0 {
+				t.Thread = (t.Thread - 1 + n) % n // original thread j lands at copy position j-1
+			} else {
+				t.Addr = remap(t.Addr)
+				t.Sym = ""
+			}
+			q.Cond.Terms[i] = t
+		}
 	}
 	return q
 }
@@ -55,27 +69,76 @@ func enumerateCanonKeys(t *testing.T, p *program.Program, cn canon) map[string]b
 	return out
 }
 
-// Isomorphic programs (threads permuted, addresses renamed) must share a
-// canonical hash, and their SC outcome sets must coincide exactly in
-// canonical coordinates — that is the property the shared oracle entry
-// relies on for soundness.
+// withCond attaches a postcondition mixing register and memory terms.
+func withCond(p *program.Program, terms ...program.CondTerm) *program.Program {
+	p.Cond = &program.Cond{Terms: terms}
+	return p
+}
+
+// symmetricProgram builds a 5-thread program with two identical-body
+// writer pairs (x and y share an address class, so all four writers
+// share a signature) plus a distinct reader: the canonical order is only
+// reachable through the within-group permutation search.
+func symmetricProgram() *program.Program {
+	b := program.NewBuilder("symmetric5")
+	x, y := b.Var("x"), b.Var("y")
+	b.Thread().StoreImm(x, 1)
+	b.Thread().StoreImm(x, 2)
+	b.Thread().StoreImm(y, 1)
+	b.Thread().StoreImm(y, 2)
+	b.Thread().Load(program.R0, x).Load(program.R1, y)
+	return b.MustBuild()
+}
+
+// Isomorphic programs (threads permuted, addresses renamed, any
+// postcondition mapped alongside) must share a canonical hash, and their
+// SC outcome sets must coincide exactly in canonical coordinates — that
+// is the property the shared oracle entry relies on for soundness. The
+// suite spans 2 through 8 threads: the signature refinement must neither
+// fall back at campaign-and-beyond thread counts nor be confused by
+// symmetric (identical-body) thread groups. Outcome sets are compared
+// where enumeration is tractable; at 6-8 threads the hash and renaming
+// are the assertion.
 func TestCanonicalizationMergesIsomorphicPrograms(t *testing.T) {
-	progs := []*program.Program{
-		gen.Racy(gen.RacyConfig{Procs: 2, Vars: 3, OpsPerProc: 4, SyncFraction: 4}, 9),
-		gen.RaceFree(gen.RaceFreeConfig{
+	type tc struct {
+		p     *program.Program
+		compr bool // compare full canonical outcome sets
+	}
+	racy := func(procs, vars, ops int, seed int64) *program.Program {
+		return gen.Racy(gen.RacyConfig{Procs: procs, Vars: vars, OpsPerProc: ops, SyncFraction: 4}, seed)
+	}
+	condProg := racy(2, 2, 3, 5)
+	xAddr := condProg.Threads[0].Instrs[0].Addr
+	cases := []tc{
+		{racy(2, 3, 4, 9), true},
+		{gen.RaceFree(gen.RaceFreeConfig{
 			Procs: 2, Locks: 1, SharedPerLock: 2, PrivatePerProc: 1,
 			Sections: 1, OpsPerSection: 2, PrivateOps: 1,
-		}, 3),
-		gen.Racy(gen.RacyConfig{Procs: 3, Vars: 2, OpsPerProc: 3, SyncFraction: 3}, 21),
+		}, 3), true},
+		{racy(3, 2, 3, 21), true},
+		{symmetricProgram(), true},
+		{withCond(condProg,
+			program.CondTerm{Thread: 0, Reg: program.R0, Value: 1},
+			program.CondTerm{Thread: 1, Reg: program.R1, Value: 0},
+			program.CondTerm{Thread: -1, Addr: xAddr, Value: 1},
+		), true},
+		{racy(5, 3, 3, 13), false},
+		{racy(6, 4, 2, 17), false},
+		{racy(8, 4, 2, 29), false},
 	}
-	for _, p := range progs {
+	for _, c := range cases {
+		p := c.p
 		q := isoCopy(p)
 		cnP, cnQ := canonicalize(p), canonicalize(q)
 		if cnP.inv == nil {
-			t.Fatalf("%s: campaign-shaped program fell back to the raw hash", p.Name)
+			t.Fatalf("%s (%d threads): campaign-shaped program fell back to the raw hash", p.Name, p.NumThreads())
 		}
 		if cnP.hash != cnQ.hash {
-			t.Fatalf("%s: isomorphic copy hashed differently:\n p %s\n q %s", p.Name, cnP.hash, cnQ.hash)
+			t.Fatalf("%s (%d threads): isomorphic copy hashed differently:\n p %s\n q %s",
+				p.Name, p.NumThreads(), cnP.hash, cnQ.hash)
+		}
+		if !c.compr {
+			continue
 		}
 		keysP := enumerateCanonKeys(t, p, cnP)
 		keysQ := enumerateCanonKeys(t, q, cnQ)
@@ -107,23 +170,32 @@ func TestCanonicalizationSeparatesDistinctPrograms(t *testing.T) {
 	}
 }
 
-// Programs carrying a litmus postcondition fall back to the raw hash
-// with the identity renaming: the Cond references concrete threads and
-// addresses, which canonical renaming would silently detach.
-func TestCanonicalizationSkipsPostconditions(t *testing.T) {
-	p := gen.Racy(gen.RacyConfig{Procs: 2, Vars: 2, OpsPerProc: 3, SyncFraction: 4}, 2)
-	p.Cond = &program.Cond{}
+// Programs carrying a litmus postcondition canonicalize like any other:
+// the Cond rides along in canonical coordinates instead of forcing the
+// raw-hash fallback, while any Cond difference — extra term, different
+// expected value, or no Cond at all — separates the hashes.
+func TestCanonicalizationCanonicalizesPostconditions(t *testing.T) {
+	mk := func() *program.Program {
+		return gen.Racy(gen.RacyConfig{Procs: 2, Vars: 2, OpsPerProc: 3, SyncFraction: 4}, 2)
+	}
+	bare := mk()
+	p := withCond(mk(), program.CondTerm{Thread: 0, Reg: program.R0, Value: 1})
 	cn := canonicalize(p)
-	if cn.inv != nil || cn.addr != nil {
-		t.Fatal("postcondition program was canonically renamed")
+	if cn.inv == nil || cn.addr == nil {
+		t.Fatal("postcondition program fell back to the raw hash")
 	}
-	res := mem.Result{
-		Reads: map[mem.OpID]mem.ReadObservation{
-			{Proc: 1, Index: 0}: {ID: mem.OpID{Proc: 1, Index: 0}, Addr: 7, Value: 3},
-		},
-		Final: map[mem.Addr]mem.Value{7: 3},
+	if cn.hash == canonicalize(bare).hash {
+		t.Error("postconditioned program shares a hash with its bare twin")
 	}
-	if got, want := cn.key(res), res.Key(); got != want {
-		t.Fatalf("identity renaming altered the key: %q vs %q", got, want)
+	q := withCond(mk(), program.CondTerm{Thread: 0, Reg: program.R0, Value: 2})
+	if cn.hash == canonicalize(q).hash {
+		t.Error("programs differing only in the Cond value share a canonical hash")
+	}
+	r := withCond(mk(),
+		program.CondTerm{Thread: 0, Reg: program.R0, Value: 1},
+		program.CondTerm{Thread: 1, Reg: program.R0, Value: 0},
+	)
+	if cn.hash == canonicalize(r).hash {
+		t.Error("programs differing in a Cond term share a canonical hash")
 	}
 }

@@ -105,6 +105,14 @@ type CampaignConfig struct {
 	// hanging its worker. Zero disables deadlines, which is required for
 	// byte-reproducible summaries (a skip depends on host speed).
 	CheckDeadline time.Duration
+	// NoSatFast disables the tier-0 polynomial appears-SC fast path
+	// (internal/sat) and answers every oracle query by enumeration or
+	// result-directed search alone — the escape hatch for differential
+	// debugging of the fast path itself (`wofuzz -satfast=off`). Verdicts
+	// are identical either way within the search budgets (the fast path
+	// accepts only via a verified witness and rejects only on a
+	// contradiction); only the oracle accounting differs.
+	NoSatFast bool
 	// Faults, when non-nil and enabled, arms the deterministic
 	// interconnect fault injector on every cached matrix row (the
 	// no-cache rows have no retry protocol and run fault-free). The
@@ -310,7 +318,19 @@ type queryInfo struct {
 	// budget: the fallback search exceeded MaxStates and the result was
 	// conservatively treated as appearing SC.
 	budget bool
+	// sat: decided by the polynomial saturation fast path, before any
+	// enumeration or search touched the entry.
+	sat bool
+	// satFallback, when non-empty, is the fast path's fallback reason for
+	// a query that then went to enumeration/search.
+	satFallback string
 }
+
+// satMaxEvents bounds the saturation fast path's event graph. Campaign
+// results stay far below this; anything larger (deep spin loops) is
+// exactly the regime where the result-directed search's observation
+// pruning shines anyway.
+const satMaxEvents = 2048
 
 // errDeadline marks an oracle decision abandoned on its per-check
 // wall-clock deadline; the caller records a SkipRecord instead of a
@@ -489,13 +509,18 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	elapsed := time.Since(start).Seconds()
 	hit := 0.0
 	if s.Oracle.Queries > 0 {
-		hit = float64(s.Oracle.EnumHits+s.Oracle.FallbackMemoHits+s.Oracle.L1Hits) / float64(s.Oracle.Queries)
+		hit = float64(s.Oracle.EnumHits+s.Oracle.FallbackMemoHits+s.Oracle.L1Hits+s.Oracle.SatDecided) / float64(s.Oracle.Queries)
+	}
+	satRate := 0.0
+	if miss := s.Oracle.Queries - s.Oracle.L1Hits; miss > 0 {
+		satRate = float64(s.Oracle.SatDecided) / float64(miss)
 	}
 	s.Perf = &Perf{
 		Elapsed:        elapsed,
 		ProgramsPerSec: float64(s.Programs) / elapsed,
 		SimsPerSec:     float64(s.Sims) / elapsed,
 		OracleHitRate:  hit,
+		SatFastRate:    satRate,
 	}
 	if cfg.Logf != nil {
 		cfg.Logf("campaign done: %d programs, %d sims, %d violations (%s)",
@@ -564,9 +589,23 @@ func summarize(cfg CampaignConfig, configs int, outs []progOutcome) *Summary {
 				covKeys[cell][rec.Key] = true
 			}
 			s.Oracle.Queries++
+			if !rec.L1 && rec.SatFallback != "" {
+				s.Oracle.SatFallbacks++
+				if s.Oracle.SatFallbackReasons == nil {
+					s.Oracle.SatFallbackReasons = make(map[string]int)
+				}
+				s.Oracle.SatFallbackReasons[rec.SatFallback]++
+			}
 			switch {
 			case rec.L1:
 				s.Oracle.L1Hits++
+			case rec.Sat:
+				s.Oracle.SatDecided++
+				if rec.AppearsSC {
+					s.Oracle.SatAccepted++
+				} else {
+					s.Oracle.SatRejected++
+				}
 			case rec.Enum:
 				s.Oracle.EnumHits++
 			case ea.searched[rec.CanonKey]:

@@ -19,7 +19,7 @@ import (
 // would not reproduce — is rejected on resume instead of silently
 // merged. Bump it whenever generators, oracles, shrinking, or the
 // progOutcome encoding change observable results.
-const journalCodeHash = "check-v7"
+const journalCodeHash = "check-v8" // v8: satfast oracle stage + simRecord.Sat/SatFallback
 
 // journalMagic identifies the file format, independent of campaign
 // identity.
@@ -67,6 +67,7 @@ func (c *campaign) identity() string {
 		SeedsPerConfig int           `json:"seedsPerConfig"`
 		MaxShrinkTries int           `json:"maxShrinkTries"`
 		CheckDeadline  time.Duration `json:"checkDeadline"`
+		NoSatFast      bool          `json:"noSatFast"`
 		Matrix         []topoDesc    `json:"matrix"`
 		Faults         string        `json:"faults"`
 	}{
@@ -76,6 +77,7 @@ func (c *campaign) identity() string {
 		SeedsPerConfig: c.cfg.SeedsPerConfig,
 		MaxShrinkTries: c.cfg.MaxShrinkTries,
 		CheckDeadline:  c.cfg.CheckDeadline,
+		NoSatFast:      c.cfg.NoSatFast,
 	}
 	for _, mcfg := range c.matrix {
 		id.Matrix = append(id.Matrix, topoDesc{Name: mcfg.Name(), Caches: mcfg.Caches})

@@ -60,5 +60,15 @@ func (s *Summary) Metrics() *metrics.Snapshot {
 	r.SetCounter("oracle.fallbacks", uint64(s.Oracle.Fallbacks))
 	r.SetCounter("oracle.fallback_memo_hits", uint64(s.Oracle.FallbackMemoHits))
 	r.SetCounter("oracle.budget_exceeded", uint64(s.Oracle.BudgetExceeded))
+
+	// Tier-0 saturation fast path: decisions made without enumeration,
+	// and the reasons ambiguous results were handed to the fallback.
+	r.SetCounter("check.satfast.decided", uint64(s.Oracle.SatDecided))
+	r.SetCounter("check.satfast.accepted", uint64(s.Oracle.SatAccepted))
+	r.SetCounter("check.satfast.rejected", uint64(s.Oracle.SatRejected))
+	r.SetCounter("check.satfast.fallbacks", uint64(s.Oracle.SatFallbacks))
+	for reason, n := range s.Oracle.SatFallbackReasons {
+		r.SetCounter("check.satfast.fallback."+reason, uint64(n))
+	}
 	return r.Snapshot()
 }

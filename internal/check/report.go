@@ -174,6 +174,19 @@ type OracleStats struct {
 	// BudgetExceeded counts fallback searches that exceeded MaxStates;
 	// such results are conservatively treated as appearing SC.
 	BudgetExceeded int `json:"budgetExceeded"`
+	// SatDecided counts queries the tier-0 polynomial saturation fast
+	// path (internal/sat) decided outright — no enumeration, no search.
+	// It splits into SatAccepted (verified-witness acceptances) and
+	// SatRejected (necessary-edge contradictions). All three are zero
+	// when CampaignConfig.NoSatFast disables the stage.
+	SatDecided  int `json:"satDecided,omitempty"`
+	SatAccepted int `json:"satAccepted,omitempty"`
+	SatRejected int `json:"satRejected,omitempty"`
+	// SatFallbacks counts queries the fast path handed to enumeration,
+	// broken down by reason in SatFallbackReasons (ambiguous-rf,
+	// co-incomplete, too-large, ...).
+	SatFallbacks       int            `json:"satFallbacks,omitempty"`
+	SatFallbackReasons map[string]int `json:"satFallbackReasons,omitempty"`
 }
 
 // Summary is a campaign's deterministic outcome: for a fixed
@@ -229,14 +242,18 @@ type Perf struct {
 	ProgramsPerSec float64
 	SimsPerSec     float64
 	// OracleHitRate is the fraction of appears-SC queries answered
-	// without a fresh search (enumerated set or memo).
+	// without a fresh enumeration or search (L1 memo, enumerated set,
+	// fallback memo, or the saturation fast path).
 	OracleHitRate float64
+	// SatFastRate is the fraction of L1-missing queries the polynomial
+	// saturation stage decided without enumeration.
+	SatFastRate float64
 }
 
 // String renders the perf line for logs.
 func (p *Perf) String() string {
-	return fmt.Sprintf("elapsed %.2fs, %.1f programs/s, %.1f sims/s, oracle hit rate %.1f%%",
-		p.Elapsed, p.ProgramsPerSec, p.SimsPerSec, 100*p.OracleHitRate)
+	return fmt.Sprintf("elapsed %.2fs, %.1f programs/s, %.1f sims/s, oracle hit rate %.1f%%, satfast %.1f%%",
+		p.Elapsed, p.ProgramsPerSec, p.SimsPerSec, 100*p.OracleHitRate, 100*p.SatFastRate)
 }
 
 // JSON encodes the summary deterministically (map keys sorted, Perf

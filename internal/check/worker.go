@@ -16,6 +16,7 @@ import (
 	"weakorder/internal/mem"
 	"weakorder/internal/policy"
 	"weakorder/internal/program"
+	"weakorder/internal/sat"
 	"weakorder/internal/scmatch"
 )
 
@@ -79,12 +80,17 @@ type simRecord struct {
 	// contributes no verdict.
 	Skipped string `json:"skipped,omitempty"`
 	// Oracle accounting, aggregated by summarize: L1 marks a query
-	// absorbed by the program-local memo, Enum one answered from the
-	// enumerated outcome set, Budget a fallback search that exceeded its
-	// state budget (conservatively SC).
-	L1     bool `json:"l1,omitempty"`
-	Enum   bool `json:"enum,omitempty"`
-	Budget bool `json:"budget,omitempty"`
+	// absorbed by the program-local memo, Sat one decided by the
+	// polynomial saturation fast path (no enumeration ran), Enum one
+	// answered from the enumerated outcome set, Budget a fallback search
+	// that exceeded its state budget (conservatively SC). SatFallback,
+	// when non-empty, is the fast path's fallback reason for a query that
+	// then went to enumeration/search.
+	L1          bool   `json:"l1,omitempty"`
+	Sat         bool   `json:"sat,omitempty"`
+	SatFallback string `json:"satFallback,omitempty"`
+	Enum        bool   `json:"enum,omitempty"`
+	Budget      bool   `json:"budget,omitempty"`
 }
 
 // progOutcome is everything one program contributes to the summary. It
@@ -357,8 +363,26 @@ func (c *campaign) checkOne(out *progOutcome, ws *workerState, prog *program.Pro
 			AppearsSC: v.sc,
 			L1:        true,
 		})
+	} else if d := c.satDecide(prog, res.Result); d.Verdict != sat.Fallback {
+		// Tier-0 polynomial fast path: the saturation procedure decided
+		// the observation without enumerating a single interleaving.
+		// Accepted verdicts carry a verified witness order and Rejected
+		// ones a contradiction among necessary happens-before edges, so
+		// the verdict — unlike the search's budget-exceeded answer — is
+		// never conservative, and memoizing it in the L1 keeps repeated
+		// observations off the fast path too.
+		v = l1Verdict{sc: d.Verdict == sat.Accepted, info: queryInfo{sat: true}}
+		l1[canonKey] = v
+		out.Sims = append(out.Sims, simRecord{
+			Policy:    mcfg.Policy.String(),
+			Key:       res.Result.Key(),
+			CanonKey:  canonKey,
+			AppearsSC: v.sc,
+			Sat:       true,
+		})
 	} else {
 		sc, info, oerr := entry.appearsSC(prog, cn, canonKey, res.Result, c.deadlineHook())
+		info.satFallback = d.Reason
 		out.Enumerated = true
 		out.EnumComplete = entry.complete
 		if oerr != nil {
@@ -389,12 +413,13 @@ func (c *campaign) checkOne(out *progOutcome, ws *workerState, prog *program.Pro
 		v = l1Verdict{sc: sc, info: info}
 		l1[canonKey] = v
 		out.Sims = append(out.Sims, simRecord{
-			Policy:    mcfg.Policy.String(),
-			Key:       res.Result.Key(),
-			CanonKey:  canonKey,
-			AppearsSC: v.sc,
-			Enum:      info.enum,
-			Budget:    info.budget,
+			Policy:      mcfg.Policy.String(),
+			Key:         res.Result.Key(),
+			CanonKey:    canonKey,
+			AppearsSC:   v.sc,
+			SatFallback: info.satFallback,
+			Enum:        info.enum,
+			Budget:      info.budget,
 		})
 	}
 	kind := violationKind(out.Class, mcfg.Policy, v.sc)
@@ -411,6 +436,19 @@ func (c *campaign) checkOne(out *progOutcome, ws *workerState, prog *program.Pro
 			kind, prog.Name, mcfg.Name(), machineSeed, rep.Instructions)
 	}
 	return false, nil
+}
+
+// satDecide runs the polynomial appears-SC fast path for one observed
+// result, or reports an empty Fallback when the campaign disables it.
+// The decision is a pure function of (program, result) — no shared
+// cache state — so it cannot perturb the Summary's worker-count
+// invariance; under a per-check deadline it gets its own budget, like
+// every other oracle stage.
+func (c *campaign) satDecide(p *program.Program, res mem.Result) sat.Decision {
+	if c.cfg.NoSatFast {
+		return sat.Decision{}
+	}
+	return sat.Decide(p, res, sat.Config{MaxEvents: satMaxEvents, Cancel: c.deadlineHook()})
 }
 
 // violationKind maps a classification to the oracle it breaks ("" when
