@@ -30,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"weakorder/internal/check"
 	"weakorder/internal/faults"
@@ -58,6 +60,9 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from an existing -journal instead of starting over")
 		deadline = flag.Duration("check-deadline", 0, "wall-clock budget per oracle decision (0 = unbounded; nonzero trades reproducibility for liveness)")
 		satfast  = flag.String("satfast", "on", "polynomial appears-SC fast path: on or off (off forces enumeration for every query)")
+		listen   = flag.String("listen", "", "serve the campaign control plane on this address (/metrics, /progress, /violations, /summary, /debug/pprof)")
+		progIntv = flag.Duration("progress-interval", 0, "emit a progress line to stderr at most this often (0 = off)")
+		progFmt  = flag.String("progress", "json", "format of -progress-interval lines: json (one object per line, the /progress payload) or text")
 		axiomF   = flag.Bool("axiom", false, "run the axiomatic-vs-operational oracle differential instead of the simulation campaign")
 		quiet    = flag.Bool("q", false, "suppress progress lines on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -69,6 +74,18 @@ func main() {
 	// so profile teardown is funneled through an explicit stop hook that
 	// every exit path below runs first.
 	stopProfiles := startProfiles(*cpuProf, *memProf)
+
+	// SIGTERM/SIGINT end the process cleanly: profiles flush and the exit
+	// status is zero. A campaign running with -journal has checkpointed
+	// every completed program and resumes with -resume.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "wofuzz: %s: shutting down\n", s)
+		atExit()
+		os.Exit(0)
+	}()
 
 	if *axiomF {
 		runAxiomDiff(*seed, *n, *metricsF, *quiet)
@@ -119,6 +136,25 @@ func main() {
 		cfg.Progress = *n / 20
 		if cfg.Progress < 1 {
 			cfg.Progress = 1
+		}
+	}
+	switch *progFmt {
+	case "json":
+		if *progIntv > 0 {
+			cfg.ProgressJSON = os.Stderr
+			cfg.ProgressEvery = *progIntv
+		}
+	case "text":
+		// Timed human-readable lines ride the same interval machinery but
+		// go through Logf (suppressed by -q, like every other text line).
+		cfg.ProgressEvery = *progIntv
+	default:
+		fatalUsage(fmt.Errorf("-progress must be json or text, got %q", *progFmt))
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+		cfg.OnListen = func(addr string) {
+			fmt.Fprintf(os.Stderr, "wofuzz: control plane listening on http://%s\n", addr)
 		}
 	}
 	if *fault != "" {

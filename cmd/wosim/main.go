@@ -240,12 +240,25 @@ func writeTelemetry(res *weakorder.RunResult, metricsPath, timelinePath string) 
 		}
 	}
 	if timelinePath != "" {
-		b, err := res.Timeline.ChromeTrace()
-		if err != nil {
-			return err
-		}
-		if err := writeOut(timelinePath, b); err != nil {
-			return err
+		// Stream the trace straight to its destination: a long run's
+		// timeline can dwarf the rest of the process's memory if
+		// materialized as one byte slice first.
+		if timelinePath == "-" {
+			if err := res.Timeline.WriteChromeTrace(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(timelinePath)
+			if err != nil {
+				return err
+			}
+			if err := res.Timeline.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

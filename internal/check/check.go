@@ -27,10 +27,12 @@ package check
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
 
+	"weakorder/internal/ctlplane"
 	"weakorder/internal/drf"
 	"weakorder/internal/faults"
 	"weakorder/internal/gen"
@@ -128,6 +130,27 @@ type CampaignConfig struct {
 	// Summary stays byte-deterministic regardless of Progress, Workers,
 	// or scheduling.
 	Progress int
+	// ProgressJSON, when non-nil, receives structured progress lines: one
+	// JSON object per line, the same payload the control plane's
+	// /progress endpoint serves, emitted at most once per ProgressEvery.
+	// Like Logf progress lines, this is side output only.
+	ProgressJSON io.Writer
+	// ProgressEvery is the minimum interval between timed progress lines
+	// (default 1s when ProgressJSON is set). When positive with
+	// ProgressJSON nil, human-readable progress lines go to Logf at the
+	// same cadence instead.
+	ProgressEvery time.Duration
+	// Listen, when non-empty, serves the campaign control plane
+	// (internal/ctlplane) on the given TCP address for the duration of
+	// the campaign: /healthz, /metrics, /progress (+SSE stream),
+	// /violations (+SSE tail), /summary, and /debug/pprof. The server
+	// observes the campaign through atomic counters and an append-only
+	// feed; the Summary stays byte-identical with or without it. Use
+	// ":0" to bind an ephemeral port and OnListen to learn it.
+	Listen string
+	// OnListen, when non-nil, receives the control plane's bound address
+	// once it is serving.
+	OnListen func(addr string)
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -500,6 +523,22 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 
 	start := time.Now()
 	c.start = start
+	if cfg.Listen != "" || cfg.ProgressJSON != nil || cfg.ProgressEvery > 0 {
+		c.pub = newPublisher(cfg, matrix, start)
+		if c.journal != nil {
+			c.journal.onAppend = c.pub.noteJournalAppend
+		}
+	}
+	if cfg.Listen != "" {
+		srv, serr := ctlplane.Serve(cfg.Listen, c.pub, ctlplane.Options{})
+		if serr != nil {
+			return nil, serr
+		}
+		defer srv.Close()
+		if cfg.OnListen != nil {
+			cfg.OnListen(srv.Addr())
+		}
+	}
 	outs, err := c.runPool()
 	if err != nil {
 		return nil, err

@@ -22,6 +22,20 @@ import (
 // formatProgram renders a program as corpus litmus text.
 func formatProgram(p *program.Program) string { return lang.Format(p) }
 
+// writeCorpus admits one shrunk violation report: it is persisted as a
+// reproducer when a corpus directory is configured, and published to the
+// control plane's live violation feed either way (the feed announces
+// violations, not files).
+func (c *campaign) writeCorpus(rep *ViolationReport) error {
+	if c.cfg.CorpusDir != "" {
+		if err := WriteViolation(c.cfg.CorpusDir, *rep); err != nil {
+			return err
+		}
+	}
+	c.pub.noteViolation(*rep)
+	return nil
+}
+
 // corpusName derives the entry's file stem from its report.
 func corpusName(rep ViolationReport) string {
 	pol := strings.NewReplacer("+", "", "/", "-").Replace(rep.Config.Policy)

@@ -99,6 +99,10 @@ func (c *campaign) identity() string {
 type journal struct {
 	mu sync.Mutex
 	f  *os.File
+	// onAppend, when non-nil, is invoked after each record is durably
+	// appended (journal-position reporting for the control plane). Set
+	// before the campaign starts; never called concurrently with itself.
+	onAppend func()
 }
 
 // openJournal opens the campaign journal at path. Without resume the
@@ -230,6 +234,9 @@ func (j *journal) append(idx int, out progOutcome) error {
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("check: sync journal: %w", err)
+	}
+	if j.onAppend != nil {
+		j.onAppend()
 	}
 	return nil
 }

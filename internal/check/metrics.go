@@ -42,7 +42,10 @@ func (s *Summary) Metrics() *metrics.Snapshot {
 	}
 
 	// Robustness counters: recovered worker panics and per-check deadline
-	// skips, total and broken down by the stage that hit its budget.
+	// skips, total and broken down by the stage that hit its budget. The
+	// per-stage series carry the stage as a Prometheus label
+	// (weakorder_check_skips_total{stage="oracle"}) instead of minting a
+	// new metric name per stage.
 	r.SetCounter("check.panic.recovered", uint64(s.WorkerPanics))
 	r.SetCounter("check.deadline.skips", uint64(s.DeadlineSkips))
 	byStage := make(map[string]int)
@@ -50,7 +53,7 @@ func (s *Summary) Metrics() *metrics.Snapshot {
 		byStage[sk.Stage]++
 	}
 	for stage, n := range byStage {
-		r.SetCounter("check.deadline."+stage, uint64(n))
+		r.SetCounter(metrics.Labeled("check.skips_total", "stage", stage), uint64(n))
 	}
 
 	r.SetCounter("oracle.enumerations", uint64(s.Oracle.Enumerations))
@@ -68,7 +71,7 @@ func (s *Summary) Metrics() *metrics.Snapshot {
 	r.SetCounter("check.satfast.rejected", uint64(s.Oracle.SatRejected))
 	r.SetCounter("check.satfast.fallbacks", uint64(s.Oracle.SatFallbacks))
 	for reason, n := range s.Oracle.SatFallbackReasons {
-		r.SetCounter("check.satfast.fallback."+reason, uint64(n))
+		r.SetCounter(metrics.Labeled("check.satfast.fallback_total", "reason", reason), uint64(n))
 	}
 	return r.Snapshot()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"weakorder/internal/metrics"
 	"weakorder/internal/policy"
 )
 
@@ -137,8 +138,9 @@ func TestCheckDeadlineSkips(t *testing.T) {
 	if m.Counters["check.deadline.skips"] != uint64(s.DeadlineSkips) {
 		t.Fatalf("check.deadline.skips = %d, want %d", m.Counters["check.deadline.skips"], s.DeadlineSkips)
 	}
-	if m.Counters["check.deadline.oracle"] == 0 || m.Counters["check.deadline.classify"] == 0 {
-		t.Fatalf("per-stage deadline counters missing: %v", m.Counters)
+	if m.Counters[metrics.Labeled("check.skips_total", "stage", "oracle")] == 0 ||
+		m.Counters[metrics.Labeled("check.skips_total", "stage", "classify")] == 0 {
+		t.Fatalf("per-stage labeled skip counters missing: %v", m.Counters)
 	}
 }
 

@@ -32,6 +32,11 @@ type campaign struct {
 	journal *journal
 	done    map[int]progOutcome
 
+	// pub, when non-nil, receives live campaign state for the control
+	// plane and structured progress lines (publish.go). Nil when neither
+	// is configured; every hook is a no-op then.
+	pub *Publisher
+
 	// Progress reporting (side output only; the Summary is aggregated
 	// from the results slice, never from these running counters).
 	start      time.Time
@@ -39,12 +44,18 @@ type campaign struct {
 	doneProgs  int
 	doneSims   int
 	doneViols  int
+	lastTimed  time.Time
 }
 
-// noteProgress records one completed program and, every cfg.Progress
-// completions, emits a progress line via Logf.
+// noteProgress records one completed program and emits progress lines:
+// a human-readable line via Logf every cfg.Progress completions, and —
+// when ProgressJSON or ProgressEvery is configured — a timed line at
+// most once per ProgressEvery (structured JSON to ProgressJSON, or the
+// human format via Logf when only the interval is set).
 func (c *campaign) noteProgress(out progOutcome) {
-	if c.cfg.Progress <= 0 || c.cfg.Logf == nil {
+	countLines := c.cfg.Progress > 0 && c.cfg.Logf != nil
+	timedLines := c.cfg.ProgressJSON != nil || (c.cfg.ProgressEvery > 0 && c.cfg.Logf != nil)
+	if !countLines && !timedLines {
 		return
 	}
 	c.progressMu.Lock()
@@ -52,9 +63,35 @@ func (c *campaign) noteProgress(out progOutcome) {
 	c.doneProgs++
 	c.doneSims += len(out.Sims)
 	c.doneViols += len(out.Violations)
-	if c.doneProgs%c.cfg.Progress != 0 || c.doneProgs >= c.cfg.Programs {
+	if c.doneProgs >= c.cfg.Programs {
 		return // the final "campaign done" line covers completion
 	}
+	if countLines && c.doneProgs%c.cfg.Progress == 0 {
+		c.progressLine()
+	}
+	if !timedLines {
+		return
+	}
+	every := c.cfg.ProgressEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	now := time.Now()
+	if now.Sub(c.lastTimed) < every {
+		return
+	}
+	c.lastTimed = now
+	if c.cfg.ProgressJSON != nil {
+		line := append(c.pub.ProgressJSON(), '\n')
+		c.cfg.ProgressJSON.Write(line) //nolint:errcheck // progress is side output
+	} else {
+		c.progressLine()
+	}
+}
+
+// progressLine emits the human-readable progress line. Caller holds
+// progressMu.
+func (c *campaign) progressLine() {
 	rate := 0.0
 	if elapsed := time.Since(c.start).Seconds(); elapsed > 0 {
 		rate = float64(c.doneProgs) / elapsed
@@ -154,6 +191,9 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 					err = c.journal.append(idx, out)
 				}
 				outs[idx], errs[idx] = out, err
+				if err == nil {
+					c.pub.noteProgram(idx, out, false)
+				}
 				c.noteProgress(out)
 			}
 		}()
@@ -161,6 +201,7 @@ func (c *campaign) runPool() ([]progOutcome, error) {
 	for i := 0; i < c.cfg.Programs; i++ {
 		if done, ok := c.done[i]; ok {
 			outs[i] = done
+			c.pub.noteProgram(i, done, true)
 			continue
 		}
 		jobs <- i
@@ -259,7 +300,7 @@ func (c *campaign) runProgram(idx int, ws *workerState) (out progOutcome, err er
 	for cfgIdx, mcfg := range c.matrix {
 		for s := 0; s < c.cfg.SeedsPerConfig; s++ {
 			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
-			panicked, err := c.checkOne(&out, ws, prog, cn, entry, spec, genSeed, idx, mcfg, machineSeed, l1)
+			panicked, err := c.checkOne(&out, ws, prog, cn, entry, spec, genSeed, idx, cfgIdx, mcfg, machineSeed, l1)
 			if err != nil {
 				return out, err
 			}
@@ -305,9 +346,10 @@ type l1Verdict struct {
 // quarantine the (program, config) pair. The worker's pool is replaced
 // after a panic — a half-stepped pooled machine must not be reused.
 func (c *campaign) checkOne(out *progOutcome, ws *workerState, prog *program.Program,
-	cn canon, entry *oracleEntry, spec genSpec, genSeed int64, idx int,
+	cn canon, entry *oracleEntry, spec genSpec, genSeed int64, idx, cfgIdx int,
 	mcfg machine.Config, machineSeed int64, l1 map[string]l1Verdict) (panicked bool, err error) {
 
+	c.pub.noteSim(cfgIdx)
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -569,15 +611,6 @@ func (c *campaign) reportPanic(spec genSpec, genSeed int64, idx int,
 		Stack:        stack,
 	}
 	return rep, c.writeCorpus(&rep)
-}
-
-// writeCorpus persists a reproducer when a corpus directory is
-// configured.
-func (c *campaign) writeCorpus(rep *ViolationReport) error {
-	if c.cfg.CorpusDir == "" {
-		return nil
-	}
-	return WriteViolation(c.cfg.CorpusDir, *rep)
 }
 
 // violates builds the shrinker predicate: does the candidate program

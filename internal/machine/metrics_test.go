@@ -251,4 +251,32 @@ func TestTimelineGolden(t *testing.T) {
 		t.Errorf("Chrome trace drifted from golden %s (re-run with -update if intentional):\n got  %s\n want %s",
 			golden, got, want)
 	}
+
+	// The streaming writer must reproduce the golden byte-for-byte while
+	// feeding the writer bounded per-event chunks — a regression back to
+	// whole-trace buffering shows up as one write the size of the file.
+	var rw chunkRecorder
+	if err := res.Timeline.WriteChromeTrace(&rw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rw.buf.Bytes(), want) {
+		t.Errorf("streamed Chrome trace differs from golden %s", golden)
+	}
+	if rw.maxChunk >= len(want)/4 {
+		t.Errorf("largest single write = %d bytes of a %d-byte trace; exporter is buffering, not streaming",
+			rw.maxChunk, len(want))
+	}
+}
+
+// chunkRecorder captures streamed output and the largest single Write.
+type chunkRecorder struct {
+	buf      bytes.Buffer
+	maxChunk int
+}
+
+func (w *chunkRecorder) Write(p []byte) (int, error) {
+	if len(p) > w.maxChunk {
+		w.maxChunk = len(p)
+	}
+	return w.buf.Write(p)
 }

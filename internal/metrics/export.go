@@ -39,35 +39,152 @@ func promName(name string) string {
 	return b.String()
 }
 
+// promLabelName sanitizes a label name to the exposition-format grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_',
+			r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promSeries splits a registry key produced by Labeled into the base
+// metric name and a rendered `{k="v",...}` label block (label names
+// sanitized, values passed through — Labeled already escaped them). A
+// key with no label block, or one whose block does not parse as the
+// canonical Labeled encoding, is treated as an unlabeled metric whose
+// whole key is the name (promName then flattens the braces).
+func promSeries(key string) (name, labels string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return promName(key), ""
+	}
+	rendered, ok := parseLabelBlock(key[open+1 : len(key)-1])
+	if !ok {
+		return promName(key), ""
+	}
+	return promName(key[:open]), rendered
+}
+
+// parseLabelBlock re-renders the canonical `k="v",k2="v2"` encoding with
+// sanitized label names, reporting ok=false on any deviation from the
+// grammar (an unescaped quote, a missing comma, a bare value).
+func parseLabelBlock(s string) (string, bool) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for len(s) > 0 {
+		if !first {
+			if s[0] != ',' {
+				return "", false
+			}
+			s = s[1:]
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return "", false
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		// Scan the escaped value for its closing quote.
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", false
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(promLabelName(key))
+		b.WriteString(`="`)
+		b.WriteString(rest[:end])
+		b.WriteByte('"')
+		s = rest[end+1:]
+	}
+	b.WriteByte('}')
+	return b.String(), true
+}
+
 // Prometheus renders the snapshot in the Prometheus text exposition
 // format: counters and gauges as plain samples, histograms as the
 // conventional _bucket (cumulative, with le labels), _sum, and _count
-// series. Output is sorted by instrument name, so it is deterministic.
+// series. Registry keys carrying a Labeled(...) block render as labeled
+// series of their base metric, with one # TYPE line per metric name
+// (labeled series of one metric sort adjacently, since keys are sorted
+// and '{' orders after every name rune). Output is sorted by instrument
+// name, so it is deterministic.
 func (s *Snapshot) Prometheus() []byte {
 	if s == nil {
 		return nil
 	}
 	var buf bytes.Buffer
+	prevType := ""
 	for _, n := range sortedKeys(s.Counters) {
-		pn := promName(n)
-		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+		pn, labels := promSeries(n)
+		if pn != prevType {
+			fmt.Fprintf(&buf, "# TYPE %s counter\n", pn)
+			prevType = pn
+		}
+		fmt.Fprintf(&buf, "%s%s %d\n", pn, labels, s.Counters[n])
 	}
+	prevType = ""
 	for _, n := range sortedKeys(s.Gauges) {
-		pn := promName(n)
+		pn, labels := promSeries(n)
 		g := s.Gauges[n]
-		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n%s_max %d\n", pn, pn, g.Value, pn, g.Max)
+		if pn != prevType {
+			fmt.Fprintf(&buf, "# TYPE %s gauge\n", pn)
+			prevType = pn
+		}
+		fmt.Fprintf(&buf, "%s%s %d\n%s_max%s %d\n", pn, labels, g.Value, pn, labels, g.Max)
 	}
+	prevType = ""
 	for _, n := range sortedKeys(s.Histograms) {
-		pn := promName(n)
+		pn, labels := promSeries(n)
 		h := s.Histograms[n]
-		fmt.Fprintf(&buf, "# TYPE %s histogram\n", pn)
+		if pn != prevType {
+			fmt.Fprintf(&buf, "# TYPE %s histogram\n", pn)
+			prevType = pn
+		}
 		var cum uint64
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(&buf, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum)
+			fmt.Fprintf(&buf, "%s_bucket%s %d\n", pn, bucketLabels(labels, b, false), cum)
 		}
-		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		fmt.Fprintf(&buf, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count)
+		fmt.Fprintf(&buf, "%s_bucket%s %d\n", pn, bucketLabels(labels, 0, true), h.Count)
+		fmt.Fprintf(&buf, "%s_sum%s %d\n%s_count%s %d\n", pn, labels, h.Sum, pn, labels, h.Count)
 	}
 	return buf.Bytes()
+}
+
+// bucketLabels merges a histogram's own label block with the le bucket
+// label.
+func bucketLabels(labels string, bound uint64, inf bool) string {
+	le := "+Inf"
+	if !inf {
+		le = fmt.Sprintf("%d", bound)
+	}
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(labels, "}"), le)
 }

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Exposition-format grammar, per the Prometheus text format spec: metric
+// and label names, and a full sample line with an optional label block
+// whose values may contain \\, \", and \n escapes but no raw quote,
+// backslash, or newline.
+var (
+	promMetricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSampleRe     = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9]+(\.[0-9]+)?|\+Inf|-Inf|NaN)$`)
+	promTypeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// lintPromText validates Prometheus text exposition output the way
+// promlint does structurally: every line is a TYPE comment or a valid
+// sample, each metric has exactly one TYPE line, and every sample's
+// metric name matches its most recent TYPE declaration (modulo the
+// histogram _bucket/_sum/_count and gauge _max suffixes). It returns the
+// set of sample lines by metric name for further assertions.
+func lintPromText(t *testing.T, text []byte) map[string][]string {
+	t.Helper()
+	samples := make(map[string][]string)
+	typed := make(map[string]bool)
+	current := ""
+	for i, line := range strings.Split(strings.TrimRight(string(text), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition output", i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			if typed[m[1]] {
+				t.Fatalf("line %d: duplicate # TYPE for %q", i+1, m[1])
+			}
+			typed[m[1]] = true
+			current = m[1]
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name := m[1]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count"), "_max")
+		if name != current && base != current {
+			t.Fatalf("line %d: sample %q not under its # TYPE (current %q)", i+1, name, current)
+		}
+		samples[name] = append(samples[name], line)
+	}
+	return samples
+}
+
+// TestPrometheusConformance is the promlint-style escape/grammar check:
+// instrument names with every rune class the registry sees in practice,
+// plus labeled series whose values contain quotes, backslashes,
+// newlines, commas, braces, and non-ASCII text, must all render to
+// grammatically valid exposition text with the values recoverable by
+// unescaping.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.SetCounter("campaign.programs", 7)
+	r.SetCounter("coverage.WO-Def2+RO.racy.sims", 3) // worst-case rune soup
+	r.SetCounter("check.skips_total", 2)             // unlabeled sibling of a labeled family
+	r.SetCounter(Labeled("check.skips_total", "stage", "oracle"), 1)
+	r.SetCounter(Labeled("check.skips_total", "stage", "classify"), 1)
+	r.SetCounter(Labeled("check.satfast.fallback_total", "reason", "ambiguous-rf"), 4)
+	hostile := `quote " backslash \ newline` + "\n" + `comma , brace } équipe`
+	r.SetCounter(Labeled("check.hostile_total", "v", hostile, "zz.bad-key", "x"), 9)
+	r.Gauge("queue.depth").Set(5)
+	r.Gauge(Labeled("queue.depth.labeled", "dir", "0")).Set(2)
+	r.Histogram("lat", []uint64{1, 2}).Observe(1)
+	r.Histogram(Labeled("lat.labeled", "class", "req"), []uint64{1, 2}).Observe(2)
+
+	text := r.Snapshot().Prometheus()
+	samples := lintPromText(t, text)
+
+	// Every rendered metric and label name obeys the grammar (lint above
+	// already enforces it; spot-check the interesting renames).
+	for name := range samples {
+		if !promMetricNameRe.MatchString(name) {
+			t.Errorf("metric name %q escaped the grammar", name)
+		}
+	}
+	if _, ok := samples["weakorder_coverage_WO_Def2_RO_racy_sims"]; !ok {
+		t.Errorf("punctuated instrument name not flattened; have %v", keys(samples))
+	}
+
+	// The labeled family shares one metric name, with the stage label
+	// carrying the dimension.
+	got := samples["weakorder_check_skips_total"]
+	if len(got) != 3 {
+		t.Fatalf("check.skips_total family = %d series, want 3:\n%s", len(got), strings.Join(got, "\n"))
+	}
+	wantSeries := []string{
+		`weakorder_check_skips_total 2`,
+		`weakorder_check_skips_total{stage="classify"} 1`,
+		`weakorder_check_skips_total{stage="oracle"} 1`,
+	}
+	for i, want := range wantSeries {
+		if got[i] != want {
+			t.Errorf("series %d = %q, want %q", i, got[i], want)
+		}
+	}
+
+	// Hostile label values survive as valid escapes that unescape back to
+	// the original, and the malformed label key is sanitized.
+	hs := samples["weakorder_check_hostile_total"]
+	if len(hs) != 1 {
+		t.Fatalf("hostile metric = %v", hs)
+	}
+	if !strings.Contains(hs[0], `zz_bad_key="x"`) {
+		t.Errorf("label key not sanitized: %q", hs[0])
+	}
+	start := strings.Index(hs[0], `v="`) + len(`v="`)
+	end := strings.Index(hs[0][start:], `",`) // next label follows (keys sorted: v < zz…)
+	if end < 0 {
+		t.Fatalf("cannot locate v label in %q", hs[0])
+	}
+	unescaped := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(hs[0][start : start+end])
+	if unescaped != hostile {
+		t.Errorf("label value round-trip:\n got  %q\n want %q", unescaped, hostile)
+	}
+
+	// Labeled histogram buckets merge the series labels with le.
+	if b := samples["weakorder_lat_labeled_bucket"]; len(b) != 3 ||
+		!strings.Contains(b[0], `{class="req",le="1"}`) {
+		t.Errorf("labeled histogram buckets malformed: %v", b)
+	}
+}
+
+// TestLabeledCanonical pins the encoding: sorted keys, escaped values,
+// and panic on an odd kv list.
+func TestLabeledCanonical(t *testing.T) {
+	got := Labeled("m", "b", "2", "a", "1")
+	if want := `m{a="1",b="2"}`; got != want {
+		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+	got = Labeled("m", "k", `a"b\c`+"\n")
+	if want := `m{k="a\"b\\c\n"}`; got != want {
+		t.Errorf("Labeled escape = %q, want %q", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Labeled with odd kv list did not panic")
+		}
+	}()
+	Labeled("m", "k")
+}
+
+func keys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -201,6 +201,58 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return h
 }
 
+// Labeled encodes label pairs into an instrument name:
+// Labeled("check.skips_total", "stage", "oracle") yields
+// `check.skips_total{stage="oracle"}`. Keys are sorted and values are
+// escaped per the Prometheus text exposition rules (backslash, quote,
+// newline), so the encoding is unambiguous; the Prometheus exporter
+// renders such instruments as labeled series of the base metric, while
+// the JSON snapshot keeps the full encoded string as an ordinary map
+// key. kv must be an even-length key/value list.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: Labeled(%q) needs key-value pairs, got %d strings", name, len(kv)))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b []byte
+	b = append(b, name...)
+	b = append(b, '{')
+	for i, p := range pairs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, p.k...)
+		b = append(b, '=', '"')
+		b = appendEscapedLabelValue(b, p.v)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// appendEscapedLabelValue escapes a label value for the text exposition
+// format: backslash, double quote, and newline become \\, \", and \n.
+func appendEscapedLabelValue(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, v[i])
+		}
+	}
+	return b
+}
+
 // SetCounter is a convenience for publishing an already-aggregated total
 // (component stats harvested at end of run): it registers name and sets
 // its value, overwriting any prior count.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 
 	"weakorder/internal/sim"
@@ -127,80 +128,102 @@ type traceEvent struct {
 	S     string         `json:"s,omitempty"`
 	Cat   string         `json:"cat,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
-	reg   int            // track registration order, for stable sorting
-	order int            // recording order within the track, tie-break
+	order int            // recording order within the track, sort tie-break
 }
 
-// ChromeTrace renders the timeline as Chrome trace_event JSON
+// WriteChromeTrace streams the timeline to w as Chrome trace_event JSON
 // ({"traceEvents": [...]}). The output is deterministic: thread-name
 // metadata first in track registration order, then spans and instants
-// sorted by (track, timestamp, recording order). Load the file in
-// chrome://tracing or https://ui.perfetto.dev.
-func (tl *Timeline) ChromeTrace() ([]byte, error) {
+// sorted by (track, timestamp, recording order). Events are encoded and
+// written one line at a time, with at most one track's events buffered
+// for sorting — a long simulation's trace never materializes in memory.
+// Load the file in chrome://tracing or https://ui.perfetto.dev.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
 	if tl == nil {
-		return nil, fmt.Errorf("metrics: ChromeTrace on a nil timeline")
+		return fmt.Errorf("metrics: WriteChromeTrace on a nil timeline")
 	}
-	var events []traceEvent
+	total := len(tl.tracks)
 	for _, t := range tl.tracks {
-		events = append(events, traceEvent{
+		total += len(t.spans) + len(t.instants)
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	emitted := 0
+	var line []byte
+	emit := func(ev *traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		line = append(line[:0], "  "...)
+		line = append(line, b...)
+		emitted++
+		if emitted < total {
+			line = append(line, ',')
+		}
+		line = append(line, '\n')
+		_, err = w.Write(line)
+		return err
+	}
+	for _, t := range tl.tracks {
+		err := emit(&traceEvent{
 			Name: "thread_name",
 			Ph:   "M",
 			Pid:  1,
 			Tid:  t.tid,
 			Args: map[string]any{"name": t.name},
-			reg:  t.tid,
-			// Metadata sorts before everything on the same track.
-			order: -1,
 		})
+		if err != nil {
+			return err
+		}
 	}
-	var body []traceEvent
+	var body []traceEvent // reused across tracks
 	for _, t := range tl.tracks {
+		body = body[:0]
 		for i, s := range t.spans {
 			dur := uint64(s.end - s.start)
 			body = append(body, traceEvent{
 				Name: s.name, Ph: "X", Ts: uint64(s.start), Dur: &dur,
-				Pid: 1, Tid: t.tid, Cat: "span",
-				reg: t.tid, order: i,
+				Pid: 1, Tid: t.tid, Cat: "span", order: i,
 			})
 		}
 		for i, in := range t.instants {
 			body = append(body, traceEvent{
 				Name: in.name, Ph: "i", Ts: uint64(in.at),
 				Pid: 1, Tid: t.tid, S: "t", Cat: "instant",
-				reg: t.tid, order: len(t.spans) + i,
+				order: len(t.spans) + i,
 			})
 		}
+		sort.SliceStable(body, func(i, j int) bool {
+			a, b := body[i], body[j]
+			if a.Ts != b.Ts {
+				return a.Ts < b.Ts
+			}
+			return a.order < b.order
+		})
+		for i := range body {
+			if err := emit(&body[i]); err != nil {
+				return err
+			}
+		}
 	}
-	sort.SliceStable(body, func(i, j int) bool {
-		a, b := body[i], body[j]
-		if a.reg != b.reg {
-			return a.reg < b.reg
-		}
-		if a.Ts != b.Ts {
-			return a.Ts < b.Ts
-		}
-		return a.order < b.order
-	})
-	events = append(events, body...)
+	_, err := io.WriteString(w, "], \"displayTimeUnit\": \"ms\"}\n")
+	return err
+}
 
-	// Encode by hand so the event array streams one event per line:
-	// json.Marshal of the whole struct would be a single unreadable line,
-	// and MarshalIndent explodes every field onto its own.
-	var buf bytes.Buffer
-	buf.WriteString("{\"traceEvents\": [\n")
-	for i, ev := range events {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return nil, err
-		}
-		buf.WriteString("  ")
-		buf.Write(b)
-		if i < len(events)-1 {
-			buf.WriteByte(',')
-		}
-		buf.WriteByte('\n')
+// ChromeTrace renders the timeline as one in-memory byte slice — a
+// convenience wrapper over WriteChromeTrace for small traces and tests.
+// Callers exporting a full simulation should stream with WriteChromeTrace
+// instead.
+func (tl *Timeline) ChromeTrace() ([]byte, error) {
+	if tl == nil {
+		return nil, fmt.Errorf("metrics: ChromeTrace on a nil timeline")
 	}
-	buf.WriteString("], \"displayTimeUnit\": \"ms\"}\n")
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
 	return buf.Bytes(), nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"weakorder/internal/sim"
 )
 
 func TestTrackSpans(t *testing.T) {
@@ -82,6 +84,68 @@ func TestChromeTraceShape(t *testing.T) {
 	}
 	if doc.TraceEvents[4].Tid != 2 {
 		t.Errorf("dir event on wrong track: %+v", doc.TraceEvents[4])
+	}
+}
+
+// recordingWriter counts writes and tracks the largest single chunk —
+// the streaming contract is that the exporter never hands the writer the
+// whole trace at once.
+type recordingWriter struct {
+	buf      bytes.Buffer
+	writes   int
+	maxChunk int
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if len(p) > w.maxChunk {
+		w.maxChunk = len(p)
+	}
+	return w.buf.Write(p)
+}
+
+// TestWriteChromeTraceStreams: the streaming writer produces bytes
+// identical to ChromeTrace, one bounded write per event rather than a
+// single whole-trace write.
+func TestWriteChromeTraceStreams(t *testing.T) {
+	tl := NewTimeline()
+	tracks := []*Track{tl.Track("p0"), tl.Track("p1"), tl.Track("d0")}
+	for ti, tr := range tracks {
+		for i := 0; i < 200; i++ {
+			start := uint64(ti*7 + i*3)
+			tr.Span("stall:fence", sim.Time(start), sim.Time(start+2))
+			tr.Mark("commit", sim.Time(start+1))
+		}
+	}
+	want, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rw recordingWriter
+	if err := tl.WriteChromeTrace(&rw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rw.buf.Bytes(), want) {
+		t.Fatal("streamed trace differs from ChromeTrace bytes")
+	}
+	// 3 metadata + 1200 events + header/footer: one write each.
+	if wantWrites := 3 + 3*400 + 2; rw.writes != wantWrites {
+		t.Errorf("writes = %d, want %d (one per event plus header/footer)", rw.writes, wantWrites)
+	}
+	// No single write may approach the trace size; a generous per-line
+	// bound catches any regression back to whole-trace buffering.
+	if rw.maxChunk > 512 {
+		t.Errorf("largest single write = %d bytes; exporter is buffering, not streaming", rw.maxChunk)
+	}
+	if rw.maxChunk >= rw.buf.Len() {
+		t.Errorf("a single write carried the whole %d-byte trace", rw.buf.Len())
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var tl *Timeline
+	if err := tl.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("WriteChromeTrace on a nil timeline must error")
 	}
 }
 

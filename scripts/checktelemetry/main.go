@@ -1,32 +1,61 @@
-// Command checktelemetry validates the schema of the telemetry files the
-// simulator exports — the metrics snapshot JSON (wosim -metrics) and the
-// Chrome trace_event timeline (wosim -timeline) — so CI catches exporter
-// drift without pinning every counter value.
+// Command checktelemetry validates the schema of the telemetry the
+// tools export — the metrics snapshot JSON (wosim -metrics), the Chrome
+// trace_event timeline (wosim -timeline), and Prometheus text exposition
+// (wofuzz -listen's /metrics endpoint) — so CI catches exporter drift
+// without pinning every counter value.
 //
 // Usage:
 //
 //	checktelemetry -metrics run.json -timeline trace.json
+//	checktelemetry -prom scrape.txt -require weakorder_campaign_programs
 //
-// Either flag may be omitted; the command exits non-zero on the first
-// schema violation, naming the offending field.
+// Every flag may be omitted (but at least one input is required); the
+// command exits non-zero on the first schema violation, naming the
+// offending line or field. -require may repeat; each names a metric
+// family that must be present in the -prom input.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	var (
 		metricsPath  = flag.String("metrics", "", "metrics snapshot JSON to validate")
 		timelinePath = flag.String("timeline", "", "Chrome trace_event JSON to validate")
+		promPath     = flag.String("prom", "", "Prometheus text exposition to validate (a /metrics scrape)")
+		require      stringList
 	)
+	flag.Var(&require, "require", "metric family that must appear in -prom (repeatable)")
 	flag.Parse()
-	if *metricsPath == "" && *timelinePath == "" {
-		fatal(fmt.Errorf("nothing to check: pass -metrics and/or -timeline"))
+	if *metricsPath == "" && *timelinePath == "" && *promPath == "" {
+		fatal(fmt.Errorf("nothing to check: pass -metrics, -timeline, and/or -prom"))
+	}
+	if len(require) > 0 && *promPath == "" {
+		fatal(fmt.Errorf("-require needs -prom"))
+	}
+	if *promPath != "" {
+		if err := checkProm(*promPath, require); err != nil {
+			fatal(fmt.Errorf("%s: %w", *promPath, err))
+		}
+		fmt.Printf("checktelemetry: %s ok\n", *promPath)
 	}
 	if *metricsPath != "" {
 		if err := checkMetrics(*metricsPath); err != nil {
@@ -166,6 +195,241 @@ func checkTimeline(path string) error {
 		}
 	}
 	return nil
+}
+
+// checkProm validates Prometheus text exposition (version 0.0.4), the
+// format the wofuzz control plane serves at /metrics: comment grammar,
+// one # TYPE per family with every sample under its declaration, metric
+// and label name grammar, escape-correct label values, parseable sample
+// values, and complete histogram families (+Inf bucket, _count, _sum).
+// Each name in require must appear as a family.
+func checkProm(path string, require []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	typed := make(map[string]string) // family -> declared type
+	families := make(map[string]bool)
+	histBuckets := make(map[string]bool) // histogram family -> saw le="+Inf"
+	histParts := make(map[string]int)    // histogram family -> _count|_sum bitmask
+	current := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			return fmt.Errorf("line %d: empty line in exposition output", ln)
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, arg, err := parsePromComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", ln, err)
+			}
+			if kind == "HELP" {
+				continue
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for %q", ln, name)
+			}
+			switch arg {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln, arg)
+			}
+			typed[name] = arg
+			families[name] = true
+			current = name
+			continue
+		}
+		name, labels, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", ln, err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count"), "_max")
+		if name != current && base != current {
+			return fmt.Errorf("line %d: sample %q not under its # TYPE (current %q)", ln, name, current)
+		}
+		if typed[current] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if labels["le"] == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", ln)
+				}
+				if labels["le"] == "+Inf" {
+					histBuckets[current] = true
+				}
+			case strings.HasSuffix(name, "_count"):
+				histParts[current] |= 1
+			case strings.HasSuffix(name, "_sum"):
+				histParts[current] |= 2
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		if !histBuckets[fam] {
+			return fmt.Errorf("histogram %q has no +Inf bucket", fam)
+		}
+		if histParts[fam] != 3 {
+			return fmt.Errorf("histogram %q missing _count or _sum", fam)
+		}
+	}
+	for _, want := range require {
+		if !families[want] {
+			return fmt.Errorf("required metric family %q absent", want)
+		}
+	}
+	return nil
+}
+
+// parsePromComment validates a "# HELP name ..." or "# TYPE name kind"
+// line and returns the kind of comment, the family name, and (for TYPE)
+// the metric type.
+func parsePromComment(line string) (kind, name, arg string, err error) {
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	fields := strings.SplitN(rest, " ", 3)
+	if len(fields) < 3 || (fields[0] != "TYPE" && fields[0] != "HELP") {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	if !validPromName(fields[1], false) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", fields[1])
+	}
+	return fields[0], fields[1], fields[2], nil
+}
+
+// parsePromSample validates one sample line and returns the metric name
+// and its labels.
+func parsePromSample(line string) (string, map[string]string, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validPromName(name, false) {
+		return "", nil, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := make(map[string]string)
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parsePromLabels(rest[1:], labels)
+		if err != nil {
+			return "", nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+	}
+	val := strings.TrimPrefix(rest, " ")
+	// A trailing timestamp is legal; the value is the first field.
+	if i := strings.IndexByte(val, ' '); i >= 0 {
+		if _, err := strconv.ParseInt(val[i+1:], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("sample %q: bad timestamp", line)
+		}
+		val = val[:i]
+	}
+	if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+		return "", nil, fmt.Errorf("sample %q: unparseable value %q", line, val)
+	}
+	return name, labels, nil
+}
+
+// parsePromLabels consumes `k="v",...}` (the opening brace already
+// stripped), fills labels, and returns the remainder of the line.
+func parsePromLabels(s string, labels map[string]string) (string, error) {
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !validPromName(s[:eq], true) {
+			return "", fmt.Errorf("bad label name in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return "", fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[0] {
+				case '\\', '"':
+					val.WriteByte(s[0])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("illegal escape \\%c in label %q", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			if c == '\n' {
+				return "", fmt.Errorf("raw newline in label %q", key)
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := labels[key]; dup {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+		if len(s) == 0 {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		switch s[0] {
+		case ',':
+			s = s[1:]
+		case '}':
+			return s[1:], nil
+		default:
+			return "", fmt.Errorf("junk %q after label %q", s[0], key)
+		}
+	}
+}
+
+// validPromName reports whether s is a legal metric (or, when label is
+// true, label) name: [a-zA-Z_:][a-zA-Z0-9_:]*, colons excluded for
+// labels, and no leading __ for labels (reserved).
+func validPromName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	if label && strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && !label:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func fatal(err error) {

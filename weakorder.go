@@ -346,6 +346,24 @@ func NewMachinePool() *MachinePool { return machine.NewPool() }
 // count.
 func Check(cfg CampaignConfig) (*CampaignSummary, error) { return check.Run(cfg) }
 
+// CampaignProgress is one live snapshot of a running campaign's
+// progress: per-config run counts, oracle-stage rates, ETA, and journal
+// position. It is the payload of the control plane's /progress endpoint
+// and of CampaignConfig.ProgressJSON lines.
+type CampaignProgress = check.Progress
+
+// Serve is Check with the campaign control plane enabled on addr: an
+// embedded HTTP server exposing /healthz, /metrics (Prometheus text),
+// /progress (+ SSE stream), /violations (NDJSON + SSE tail), /summary
+// (the current partial summary), and /debug/pprof for the duration of
+// the campaign. The server only observes — the returned summary is
+// byte-identical to Check's. Use ":0" with cfg.OnListen to bind an
+// ephemeral port.
+func Serve(cfg CampaignConfig, addr string) (*CampaignSummary, error) {
+	cfg.Listen = addr
+	return check.Run(cfg)
+}
+
 // ParsePolicy resolves a policy name ("SC", "Unconstrained", "WO-Def1",
 // "WO-Def2", "WO-Def2+RO").
 func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
