@@ -9,6 +9,7 @@
 package weakorder_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"weakorder/internal/sat"
 	"weakorder/internal/scmatch"
 	"weakorder/internal/vclock"
+	"weakorder/internal/workload"
 )
 
 // logOnce logs a table on the first iteration only.
@@ -168,6 +170,33 @@ func BenchmarkCheckCampaign(b *testing.B) {
 			b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
 		})
 	}
+	// The big-machine campaign row: every generated program padded to 64
+	// processors on the mesh with a limited-pointer directory — the
+	// configuration the scaling work exists for, exercising idle-proc
+	// fast-forward and bounded directory state through the pooled path.
+	b.Run("procs64mesh", func(b *testing.B) {
+		sims := 0
+		for i := 0; i < b.N; i++ {
+			s, err := weakorder.Check(weakorder.CampaignConfig{
+				Seed:           1,
+				Programs:       4,
+				Policies:       []weakorder.Policy{policy.SC, policy.WODef2},
+				Topologies:     []weakorder.Topology{machine.TopoMesh},
+				SeedsPerConfig: 1,
+				Workers:        4,
+				Procs:          64,
+				DirMode:        weakorder.DirLimitedPtr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(s.Violations) != 0 {
+				b.Fatalf("clean campaign produced %d violations", len(s.Violations))
+			}
+			sims += s.Sims
+		}
+		b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+	})
 }
 
 // BenchmarkFaultMatrix measures the fault injector's overhead and the
@@ -202,6 +231,37 @@ func BenchmarkFaultMatrix(b *testing.B) {
 			}
 			b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
 			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
+		})
+	}
+}
+
+// BenchmarkMachineStep measures steady-state pooled simulation at
+// machine scale: the scaled Figure-3 workload (one releaser
+// invalidating procs-1 sharers through a release) on the 2D mesh at 16,
+// 64, and 256 processors. ns/proccycle is the per-processor-cycle
+// stepping cost — the number the struct-of-arrays cache/directory
+// storage keeps flat as the machine grows — and allocs/op after the
+// first iteration is the O(program) result-construction constant, not
+// O(cycles x procs).
+func BenchmarkMachineStep(b *testing.B) {
+	for _, procs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			prog := workload.Fig3Scaled(procs)
+			cfg := machine.Config{Policy: policy.WODef2, Topology: machine.TopoMesh, Caches: true}
+			pool := machine.NewPool()
+			if _, err := pool.RunPooled(prog, cfg, 0); err != nil {
+				b.Fatal(err) // warm the pool outside the timed region
+			}
+			b.ResetTimer()
+			procCycles := uint64(0)
+			for i := 0; i < b.N; i++ {
+				res, err := pool.RunPooled(prog, cfg, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				procCycles += res.Stats.Cycles * uint64(procs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(procCycles), "ns/proccycle")
 		})
 	}
 }

@@ -59,6 +59,13 @@ func main() {
 		st, err := exp.Figure3Stalls(7)
 		exit(err)
 		fmt.Println(st)
+		sizes := []int{16, 64, 256}
+		if *quick {
+			sizes = []int{8, 16}
+		}
+		_, sc, err := exp.Figure3Scaled(7, sizes)
+		exit(err)
+		fmt.Println(sc)
 	}
 	if want(false, 1) {
 		_, t, err := exp.Table1(t3seeds)

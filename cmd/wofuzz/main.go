@@ -36,6 +36,7 @@ import (
 	"strings"
 	"syscall"
 
+	"weakorder/internal/cache"
 	"weakorder/internal/check"
 	"weakorder/internal/faults"
 	"weakorder/internal/machine"
@@ -48,7 +49,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "campaign seed (derives every random stream)")
 		n        = flag.Int("n", 100, "number of generated programs")
 		policies = flag.String("policies", "all", "comma-separated policies, or all")
-		topos    = flag.String("topos", "all", "comma-separated topologies (bus, network), or all")
+		topos    = flag.String("topos", "all", "comma-separated topologies (bus, network, mesh), or all")
+		procs    = flag.Int("procs", 0, "pad every simulated machine to at least this many processors with idle procs (0 = just the program's threads)")
+		dirmode  = flag.String("dirmode", "full", "directory sharer representation on cached rows: full, limited, or coarse")
 		runs     = flag.Int("runs", 2, "machine seeds per (program, config) pair")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		corpus   = flag.String("corpus", "", "directory receiving .litmus+.json reproducers for violations")
@@ -104,6 +107,13 @@ func main() {
 	if *resume && *journal == "" {
 		fatalUsage(fmt.Errorf("-resume requires -journal"))
 	}
+	if *procs < 0 {
+		fatalUsage(fmt.Errorf("-procs must be non-negative, got %d", *procs))
+	}
+	dm, err := cache.ParseDirMode(*dirmode)
+	if err != nil {
+		fatalUsage(err)
+	}
 	var noSatFast bool
 	switch *satfast {
 	case "on":
@@ -118,6 +128,8 @@ func main() {
 		Programs:       *n,
 		Policies:       pols,
 		Topologies:     tps,
+		Procs:          *procs,
+		DirMode:        dm,
 		SeedsPerConfig: *runs,
 		Workers:        *workers,
 		CorpusDir:      *corpus,
@@ -314,8 +326,10 @@ func parseTopos(s string) ([]machine.Topology, error) {
 			out = append(out, machine.TopoBus)
 		case "network":
 			out = append(out, machine.TopoNetwork)
+		case "mesh":
+			out = append(out, machine.TopoMesh)
 		default:
-			return nil, fmt.Errorf("unknown topology %q (want bus or network)", name)
+			return nil, fmt.Errorf("unknown topology %q (want bus, network, or mesh)", name)
 		}
 	}
 	return out, nil

@@ -27,6 +27,7 @@ import (
 	"weakorder/internal/program"
 	"weakorder/internal/runner"
 	"weakorder/internal/trace"
+	"weakorder/internal/workload"
 )
 
 var builtins = map[string]func() *program.Program{
@@ -41,13 +42,16 @@ var builtins = map[string]func() *program.Program{
 	"critsec":     func() *program.Program { return litmus.CriticalSection(2, 2) },
 	"ttas":        func() *program.Program { return litmus.TestAndTAS(2, 2) },
 	"barrier":     func() *program.Program { return litmus.Barrier(3) },
+	"fig3scaled":  func() *program.Program { return workload.Fig3Scaled(8) },
 }
 
 func main() {
 	var (
 		policyName  = flag.String("policy", "WO-Def2", "consistency policy: SC, Unconstrained, WO-Def1, WO-Def2, WO-Def2+RO")
-		topo        = flag.String("topo", "network", "interconnect: bus or network")
+		topo        = flag.String("topo", "network", "interconnect: bus, network, or mesh")
 		caches      = flag.Bool("caches", true, "coherent caches (false = flat memory modules)")
+		procs       = flag.Int("procs", 0, "total processors: the program's threads plus idle procs up to this count (0 = threads only)")
+		dirmode     = flag.String("dirmode", "full", "directory sharer representation: full, limited, or coarse (requires -caches)")
 		seeds       = flag.Int("seeds", 1, "number of seeds to run")
 		seed        = flag.Int64("seed", 0, "first seed")
 		builtin     = flag.String("builtin", "", "run a built-in litmus program instead of a file")
@@ -98,9 +102,28 @@ func main() {
 		cfg.Topology = weakorder.Bus
 	case "network":
 		cfg.Topology = weakorder.Network
+	case "mesh":
+		cfg.Topology = weakorder.Mesh
 	default:
-		fatalUsage(fmt.Errorf("unknown topology %q (want bus or network)", *topo))
+		fatalUsage(fmt.Errorf("unknown topology %q (want bus, network, or mesh)", *topo))
 	}
+	if *procs < 0 {
+		fatalUsage(fmt.Errorf("-procs must be non-negative, got %d", *procs))
+	}
+	if *procs > 0 {
+		if *procs < prog.NumThreads() {
+			fatalUsage(fmt.Errorf("-procs %d is below the program's %d threads", *procs, prog.NumThreads()))
+		}
+		cfg.ExtraProcs = *procs - prog.NumThreads()
+	}
+	dm, err := weakorder.ParseDirMode(*dirmode)
+	if err != nil {
+		fatalUsage(err)
+	}
+	if dm != weakorder.DirFullMap && !*caches {
+		fatalUsage(fmt.Errorf("-dirmode %s requires -caches", dm))
+	}
+	cfg.DirMode = dm
 	plan, err := weakorder.ParseFaultPlan(*faultsIn)
 	if err != nil {
 		fatalUsage(err)

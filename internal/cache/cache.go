@@ -141,6 +141,7 @@ type line struct {
 	state      LineState
 	val        mem.Value
 	reserved   bool
+	listIdx    int32    // position in Cache.lineList (swap-removed on delete)
 	reservedAt sim.Time // cycle the reserve bit was set (telemetry only)
 	// pendingLocal counts processor hits in flight (issued, commit
 	// scheduled): forwarded requests must not transfer the line out from
@@ -170,6 +171,7 @@ type mshr struct {
 	sort     mshrSort
 	sync     bool   // the fetch is on behalf of a synchronization op
 	dataMiss bool   // the fetch holds a counter unit (data read/write miss)
+	listIdx  int32  // position in Cache.mshrList (swap-removed on retire)
 	ops      []*Req // operations waiting on this line, in program order
 	fwds     []deferredFwd
 	retry    retryState
@@ -187,7 +189,8 @@ type retryState struct {
 
 // wbTxn is an outstanding PutX writeback awaiting its WBAck.
 type wbTxn struct {
-	retry retryState
+	retry   retryState
+	listIdx int32 // position in Cache.wbList (swap-removed on ack)
 }
 
 type ackState struct {
@@ -226,13 +229,36 @@ func (t *hitTask) fire() {
 // Cache is one processor's cache plus the Section 5.3 counter and
 // reserve-bit logic.
 type Cache struct {
-	k      *sim.Kernel
-	net    network.Network
-	cfg    Config
-	lines  map[mem.Addr]*line
-	mshrs  map[mem.Addr]*mshr
-	acks   map[mem.Addr]*ackState
-	wbWait map[mem.Addr]*wbTxn // PutX issued, WBAck pending
+	k   *sim.Kernel
+	net network.Network
+	cfg Config
+
+	// Per-address state lives in dense addr-indexed tables instead of
+	// maps: program addresses are allocated densely from zero, so a slice
+	// index replaces a map probe on every protocol event, and the tables
+	// memclr on Reset instead of rehashing. All four tables (plus
+	// inSweep) grow in lockstep via ensureAddr.
+	//
+	// lineTab holds the arena slot+1 of the resident line (0 = absent);
+	// the others hold pooled objects directly. Compact unordered
+	// address lists (lineList/mshrList/wbList, swap-removed via each
+	// object's listIdx) give the iteration paths — victim scans, retry
+	// ticks, diagnostics — work proportional to the active population,
+	// not the address space.
+	lineTab  []int32
+	mshrTab  []*mshr
+	ackTab   []*ackState
+	wbTab    []*wbTxn // PutX issued, WBAck pending
+	inSweep  []bool   // addr queued in sweepAddrs for the counter-zero sweep
+	lineList []mem.Addr
+	mshrList []mem.Addr
+	wbList   []mem.Addr
+	// sweepAddrs accumulates addresses that set a reserve bit or parked a
+	// deferred forward; the counter-zero sweep sorts and walks these
+	// instead of scanning every resident line.
+	sweepAddrs []mem.Addr
+	nAcks      int
+
 	// nextReqID numbers request-class transactions for directory-side
 	// deduplication; ids start at 1 (0 = "no dedup").
 	nextReqID uint64
@@ -262,6 +288,7 @@ type Cache struct {
 	// Free lists (populated as objects retire, drained by allocation).
 	mshrFree []*mshr
 	ackFree  []*ackState
+	wbFree   []*wbTxn
 	hitFree  []*hitTask
 
 	// Scratch buffers reused by the per-cycle/per-event sweeps.
@@ -286,13 +313,9 @@ func New(k *sim.Kernel, net network.Network, cfg Config) *Cache {
 		panic("cache: Config.Home is required")
 	}
 	c := &Cache{
-		k:      k,
-		net:    net,
-		cfg:    cfg,
-		lines:  make(map[mem.Addr]*line),
-		mshrs:  make(map[mem.Addr]*mshr),
-		acks:   make(map[mem.Addr]*ackState),
-		wbWait: make(map[mem.Addr]*wbTxn),
+		k:   k,
+		net: net,
+		cfg: cfg,
 	}
 	if c.cfg.RetryTimeout > 0 {
 		if c.cfg.RetryMax == 0 {
@@ -312,16 +335,27 @@ func New(k *sim.Kernel, net network.Network, cfg Config) *Cache {
 // retained for reuse. The caller guarantees the kernel is drained (no
 // hit commits in flight). Retry parameters may be re-tuned per run.
 func (c *Cache) Reset(retryTimeout sim.Time, retryMax int) {
-	clear(c.lines)
-	for _, m := range c.mshrs {
-		c.releaseMSHR(m)
+	clear(c.lineTab)
+	c.lineList = c.lineList[:0]
+	for _, a := range c.mshrList {
+		c.releaseMSHR(c.mshrTab[a])
 	}
-	clear(c.mshrs)
-	for _, a := range c.acks {
-		c.releaseAck(a)
+	clear(c.mshrTab)
+	c.mshrList = c.mshrList[:0]
+	for i, a := range c.ackTab {
+		if a != nil {
+			c.releaseAck(a)
+			c.ackTab[i] = nil
+		}
 	}
-	clear(c.acks)
-	clear(c.wbWait)
+	c.nAcks = 0
+	for _, a := range c.wbList {
+		c.wbFree = append(c.wbFree, c.wbTab[a])
+	}
+	clear(c.wbTab)
+	c.wbList = c.wbList[:0]
+	clear(c.inSweep)
+	c.sweepAddrs = c.sweepAddrs[:0]
 	c.nextReqID = 0
 	c.counter = 0
 	c.fillSeq = 0
@@ -403,13 +437,150 @@ func (c *Cache) releaseAck(a *ackState) {
 	c.ackFree = append(c.ackFree, a)
 }
 
+// ---------------------------------------------------------------------------
+// Dense per-address tables. Lookups are slice indexes; the active-list
+// append/swap-remove pairs keep iteration proportional to live state.
+
+// ensureAddr grows every dense table to cover addr (they stay the same
+// length so one check covers all).
+func (c *Cache) ensureAddr(a mem.Addr) {
+	for int(a) >= len(c.lineTab) {
+		c.lineTab = append(c.lineTab, 0)
+		c.mshrTab = append(c.mshrTab, nil)
+		c.ackTab = append(c.ackTab, nil)
+		c.wbTab = append(c.wbTab, nil)
+		c.inSweep = append(c.inSweep, false)
+	}
+}
+
+// lineAt returns the resident line for a, or nil.
+func (c *Cache) lineAt(a mem.Addr) *line {
+	if int(a) >= len(c.lineTab) {
+		return nil
+	}
+	idx := c.lineTab[a]
+	if idx == 0 {
+		return nil
+	}
+	i := int(idx - 1)
+	return &c.lineChunks[i/lineChunk][i%lineChunk]
+}
+
+// installLine registers the line just handed out by newLine (arena slot
+// lineN-1) as resident at a.
+func (c *Cache) installLine(a mem.Addr, l *line) {
+	c.ensureAddr(a)
+	c.lineTab[a] = int32(c.lineN) // slot+1; newLine already advanced lineN
+	l.listIdx = int32(len(c.lineList))
+	c.lineList = append(c.lineList, a)
+}
+
+// removeLine makes a non-resident. The arena slot is not recycled
+// mid-run (bounded by the run's fills), matching the map-based design.
+func (c *Cache) removeLine(a mem.Addr, l *line) {
+	last := len(c.lineList) - 1
+	if i := int(l.listIdx); i != last {
+		moved := c.lineList[last]
+		c.lineList[i] = moved
+		c.lineAt(moved).listIdx = int32(i)
+	}
+	c.lineList = c.lineList[:last]
+	c.lineTab[a] = 0
+}
+
+// mshrAt returns the in-flight transaction for a, or nil.
+func (c *Cache) mshrAt(a mem.Addr) *mshr {
+	if int(a) >= len(c.mshrTab) {
+		return nil
+	}
+	return c.mshrTab[a]
+}
+
+// installMSHR registers m as a's in-flight transaction.
+func (c *Cache) installMSHR(a mem.Addr, m *mshr) {
+	c.ensureAddr(a)
+	c.mshrTab[a] = m
+	m.listIdx = int32(len(c.mshrList))
+	c.mshrList = append(c.mshrList, a)
+}
+
+// removeMSHR retires m without releasing it (callers may still be
+// walking its slices; see drainMSHR).
+func (c *Cache) removeMSHR(m *mshr) {
+	last := len(c.mshrList) - 1
+	if i := int(m.listIdx); i != last {
+		moved := c.mshrList[last]
+		c.mshrList[i] = moved
+		c.mshrTab[moved].listIdx = int32(i)
+	}
+	c.mshrList = c.mshrList[:last]
+	c.mshrTab[m.addr] = nil
+}
+
+// ackAt returns a's pending ack collection, or nil.
+func (c *Cache) ackAt(a mem.Addr) *ackState {
+	if int(a) >= len(c.ackTab) {
+		return nil
+	}
+	return c.ackTab[a]
+}
+
+// newWb hands out a cleared writeback transaction from the free list.
+func (c *Cache) newWb() *wbTxn {
+	var w *wbTxn
+	if n := len(c.wbFree); n > 0 {
+		w = c.wbFree[n-1]
+		c.wbFree = c.wbFree[:n-1]
+		*w = wbTxn{}
+	} else {
+		w = &wbTxn{}
+	}
+	return w
+}
+
+// installWb registers a's outstanding writeback.
+func (c *Cache) installWb(a mem.Addr, w *wbTxn) {
+	c.ensureAddr(a)
+	c.wbTab[a] = w
+	w.listIdx = int32(len(c.wbList))
+	c.wbList = append(c.wbList, a)
+}
+
+// removeWb completes a's writeback (no-op when none is outstanding,
+// matching the old map delete).
+func (c *Cache) removeWb(a mem.Addr) {
+	if int(a) >= len(c.wbTab) || c.wbTab[a] == nil {
+		return
+	}
+	w := c.wbTab[a]
+	last := len(c.wbList) - 1
+	if i := int(w.listIdx); i != last {
+		moved := c.wbList[last]
+		c.wbList[i] = moved
+		c.wbTab[moved].listIdx = int32(i)
+	}
+	c.wbList = c.wbList[:last]
+	c.wbTab[a] = nil
+	c.wbFree = append(c.wbFree, w)
+}
+
+// markSweep queues a for the next counter-zero sweep (the line set a
+// reserve bit or parked a deferred forward). The line is resident, so
+// the tables already cover a.
+func (c *Cache) markSweep(a mem.Addr) {
+	if !c.inSweep[a] {
+		c.inSweep[a] = true
+		c.sweepAddrs = append(c.sweepAddrs, a)
+	}
+}
+
 // Counter returns the paper's outstanding-access counter.
 func (c *Cache) Counter() int { return c.counter }
 
 // Busy reports whether any transaction, deferred forward, or pending
 // acknowledgement is outstanding (used for drain detection).
 func (c *Cache) Busy() bool {
-	return len(c.mshrs) > 0 || len(c.acks) > 0 || len(c.wbWait) > 0 || c.nDeferred > 0
+	return len(c.mshrList) > 0 || c.nAcks > 0 || len(c.wbList) > 0 || c.nDeferred > 0
 }
 
 // Stats returns cache statistics.
@@ -418,7 +589,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Snoop returns the cache's value for addr and whether it holds the line
 // exclusively (dirty); used for final-state extraction.
 func (c *Cache) Snoop(addr mem.Addr) (mem.Value, bool) {
-	if l, ok := c.lines[addr]; ok && l.state == LineExclusive {
+	if l := c.lineAt(addr); l != nil && l.state == LineExclusive {
 		return l.val, true
 	}
 	return 0, false
@@ -426,7 +597,7 @@ func (c *Cache) Snoop(addr mem.Addr) (mem.Value, bool) {
 
 // LineInfo exposes a line's state and reserve bit for tests/invariants.
 func (c *Cache) LineInfo(addr mem.Addr) (LineState, bool) {
-	if l, ok := c.lines[addr]; ok {
+	if l := c.lineAt(addr); l != nil {
 		return l.state, l.reserved
 	}
 	return LineInvalid, false
@@ -435,8 +606,8 @@ func (c *Cache) LineInfo(addr mem.Addr) (LineState, bool) {
 // ReservedLines returns the addresses currently reserved (for tests).
 func (c *Cache) ReservedLines() []mem.Addr {
 	var out []mem.Addr
-	for a, l := range c.lines {
-		if l.reserved {
+	for _, a := range c.lineList {
+		if c.lineAt(a).reserved {
 			out = append(out, a)
 		}
 	}
@@ -457,12 +628,12 @@ func (c *Cache) WhenCounterZero(fn func()) {
 // Issue starts a memory operation. Operations to the same line are
 // serviced in issue order.
 func (c *Cache) Issue(r *Req) {
-	if m, ok := c.mshrs[r.Addr]; ok {
+	if m := c.mshrAt(r.Addr); m != nil {
 		m.ops = append(m.ops, r)
 		return
 	}
-	l, present := c.lines[r.Addr]
-	if present && c.satisfiable(l, r) {
+	l := c.lineAt(r.Addr)
+	if l != nil && c.satisfiable(l, r) {
 		c.stats.Hits++
 		l.pendingLocal++
 		var t *hitTask
@@ -477,7 +648,7 @@ func (c *Cache) Issue(r *Req) {
 		c.k.After(c.cfg.HitLatency, t.run)
 		return
 	}
-	c.startMiss(r, l, present)
+	c.startMiss(r, l != nil)
 }
 
 // satisfiable reports whether r can complete against the resident line.
@@ -514,11 +685,11 @@ func (c *Cache) sendReq(rs *retryState, dst int, m network.Msg) {
 }
 
 // startMiss allocates an MSHR and sends the appropriate request.
-func (c *Cache) startMiss(r *Req, l *line, present bool) {
+func (c *Cache) startMiss(r *Req, present bool) {
 	c.stats.Misses++
 	m := c.newMSHR(r.Addr)
 	m.ops = append(m.ops, r)
-	c.mshrs[r.Addr] = m
+	c.installMSHR(r.Addr, m)
 	home := c.cfg.Home(r.Addr)
 	switch {
 	case c.isROSyncRead(r) && c.cfg.ROSyncUncached:
@@ -581,6 +752,7 @@ func (c *Cache) commitOnLine(l *line, r *Req) {
 		if !l.reserved {
 			l.reservedAt = c.k.Now()
 			c.nReserved++
+			c.markSweep(r.Addr)
 		}
 		l.reserved = true
 	}
@@ -588,7 +760,7 @@ func (c *Cache) commitOnLine(l *line, r *Req) {
 		r.OnCommit(got)
 	}
 	if r.OnGlobal != nil {
-		if ack, pending := c.acks[r.Addr]; pending && r.Kind.WritesMemory() {
+		if ack := c.ackAt(r.Addr); ack != nil && r.Kind.WritesMemory() {
 			ack.waiters = append(ack.waiters, r.OnGlobal)
 		} else {
 			r.OnGlobal()
@@ -615,7 +787,7 @@ func (c *Cache) handle(src int, m network.Msg) {
 	case MsgInv:
 		c.invalidate(m.Addr)
 	case MsgWBAck:
-		delete(c.wbWait, m.Addr)
+		c.removeWb(m.Addr)
 	case MsgFwdGetS, MsgFwdGetX, MsgFwdSyncRead:
 		c.forward(m)
 	default:
@@ -625,8 +797,8 @@ func (c *Cache) handle(src int, m network.Msg) {
 
 // fill installs a line and drains the MSHR.
 func (c *Cache) fill(addr mem.Addr, val mem.Value, st LineState, acksPending bool) {
-	m, ok := c.mshrs[addr]
-	if !ok {
+	m := c.mshrAt(addr)
+	if m == nil {
 		panic(fmt.Sprintf("cache %d: fill for %d without MSHR", c.cfg.ID, addr))
 	}
 	if m.dataMiss {
@@ -643,18 +815,25 @@ func (c *Cache) fill(addr mem.Addr, val mem.Value, st LineState, acksPending boo
 		c.counter++
 	}
 	if acksPending {
-		if _, dup := c.acks[addr]; dup {
+		if c.ackAt(addr) != nil {
 			panic(fmt.Sprintf("cache %d: overlapping ack transactions for %d", c.cfg.ID, addr))
 		}
 		ack := c.newAck()
 		ack.counted = true
-		c.acks[addr] = ack
+		c.ensureAddr(addr)
+		c.ackTab[addr] = ack
+		c.nAcks++
 	}
 	c.makeRoom()
+	if old := c.lineAt(addr); old != nil {
+		// Upgrade fill: the stale shared copy is replaced outright (the
+		// map-based design overwrote the entry).
+		c.removeLine(addr, old)
+	}
 	l := c.newLine()
 	l.state, l.val, l.insertAt = st, val, c.fillSeq
 	c.fillSeq++
-	c.lines[addr] = l
+	c.installLine(addr, l)
 	c.drainMSHR(m, l)
 }
 
@@ -685,7 +864,7 @@ func (c *Cache) drainMSHR(m *mshr, l *line) {
 		c.commitOnLine(l, r)
 	}
 	fwds := m.fwds
-	delete(c.mshrs, m.addr)
+	c.removeMSHR(m)
 	for i := range fwds {
 		c.forward(fwds[i].msg)
 	}
@@ -696,8 +875,8 @@ func (c *Cache) drainMSHR(m *mshr, l *line) {
 
 // syncReadReply completes an uncached read-only synchronization read.
 func (c *Cache) syncReadReply(msg network.Msg) {
-	m, ok := c.mshrs[msg.Addr]
-	if !ok || m.sort != fetchSyncRead {
+	m := c.mshrAt(msg.Addr)
+	if m == nil || m.sort != fetchSyncRead {
 		panic(fmt.Sprintf("cache %d: stray SyncReadReply for %d", c.cfg.ID, msg.Addr))
 	}
 	r := m.ops[0]
@@ -710,7 +889,7 @@ func (c *Cache) syncReadReply(msg network.Msg) {
 	}
 	rest := m.ops
 	fwds := m.fwds
-	delete(c.mshrs, msg.Addr)
+	c.removeMSHR(m)
 	// Remaining queued operations re-enter the issue path (they may hit a
 	// resident line or start a fresh transaction).
 	for _, q := range rest {
@@ -726,11 +905,12 @@ func (c *Cache) syncReadReply(msg network.Msg) {
 
 // memAck completes a write's global performance.
 func (c *Cache) memAck(addr mem.Addr) {
-	ack, ok := c.acks[addr]
-	if !ok {
+	ack := c.ackAt(addr)
+	if ack == nil {
 		panic(fmt.Sprintf("cache %d: stray MemAck for %d", c.cfg.ID, addr))
 	}
-	delete(c.acks, addr)
+	c.ackTab[addr] = nil
+	c.nAcks--
 	if ack.counted {
 		c.decCounter()
 	}
@@ -745,11 +925,11 @@ func (c *Cache) memAck(addr mem.Addr) {
 // no deferral is needed here.
 func (c *Cache) invalidate(addr mem.Addr) {
 	c.stats.InvsReceived++
-	if l, ok := c.lines[addr]; ok {
+	if l := c.lineAt(addr); l != nil {
 		if l.state == LineExclusive {
 			panic(fmt.Sprintf("cache %d: invalidation for exclusive line %d", c.cfg.ID, addr))
 		}
-		delete(c.lines, addr)
+		c.removeLine(addr, l)
 	}
 	c.net.Send(c.cfg.ID, c.cfg.Home(addr), InvAck(addr))
 }
@@ -757,9 +937,9 @@ func (c *Cache) invalidate(addr mem.Addr) {
 // forward services (or defers) a request forwarded by the directory.
 func (c *Cache) forward(m network.Msg) {
 	addr := m.Addr
-	l, present := c.lines[addr]
-	if !present {
-		if _, wb := c.wbWait[addr]; wb {
+	l := c.lineAt(addr)
+	if l == nil {
+		if int(addr) < len(c.wbTab) && c.wbTab[addr] != nil {
 			// Our writeback crossed this forward: it was addressed to us
 			// as the *old* owner, and the directory resolves the blocked
 			// request from the PutX data. This check must precede the
@@ -772,7 +952,7 @@ func (c *Cache) forward(m network.Msg) {
 			// means the forward is stale.
 			return
 		}
-		if mshr, fetching := c.mshrs[addr]; fetching {
+		if mshr := c.mshrAt(addr); mshr != nil {
 			// The directory granted us ownership but the line is still in
 			// flight: service after the fill.
 			mshr.fwds = append(mshr.fwds, deferredFwd{msg: m, since: c.k.Now()})
@@ -797,6 +977,7 @@ func (c *Cache) forward(m network.Msg) {
 		}
 		l.deferred = append(l.deferred, deferredFwd{msg: m, since: c.k.Now()})
 		c.nDeferred++
+		c.markSweep(addr)
 		return
 	}
 	c.serviceForward(addr, l, m)
@@ -819,7 +1000,7 @@ func (c *Cache) serviceForward(addr mem.Addr, l *line, m network.Msg) {
 			l.reserved = false
 			c.nReserved--
 		}
-		delete(c.lines, addr)
+		c.removeLine(addr, l)
 		c.net.Send(c.cfg.ID, int(m.Peer), OwnerDataEx(addr, val))
 		c.net.Send(c.cfg.ID, c.cfg.Home(addr), XferDoneOwner(addr, int(m.Peer)))
 	default:
@@ -845,15 +1026,23 @@ func (c *Cache) decCounter() {
 	if c.nReserved == 0 && c.nDeferred == 0 {
 		return
 	}
-	// Collect deferred work first: servicing can mutate c.lines.
+	// Collect deferred work first: servicing can mutate the line table.
+	// Only lines that ever set a reserve bit or deferred a forward since
+	// the last sweep are on the sweep list (markSweep); every other line
+	// would contribute nothing to the scan, so the sorted sweep list
+	// visits exactly the same lines, in the same order, as a full scan.
 	work := c.scratchWork[:0]
-	addrs := c.scratchAddrs[:0]
-	for a := range c.lines {
-		addrs = append(addrs, a)
+	addrs := append(c.scratchAddrs[:0], c.sweepAddrs...)
+	for _, a := range c.sweepAddrs {
+		c.inSweep[a] = false
 	}
+	c.sweepAddrs = c.sweepAddrs[:0]
 	slices.Sort(addrs)
 	for _, a := range addrs {
-		l := c.lines[a]
+		l := c.lineAt(a)
+		if l == nil {
+			continue
+		}
 		if l.reserved {
 			l.reserved = false
 			c.nReserved--
@@ -878,7 +1067,7 @@ func (c *Cache) decCounter() {
 // once the line has no pending local operations. Entries blocked by a
 // reserve bit simply re-defer.
 func (c *Cache) flushDeferred(addr mem.Addr, l *line) {
-	if cur, ok := c.lines[addr]; !ok || cur != l || len(l.deferred) == 0 {
+	if c.lineAt(addr) != l || len(l.deferred) == 0 {
 		return
 	}
 	work := c.scratchWork[:0]
@@ -903,24 +1092,18 @@ func (c *Cache) flushDeferred(addr mem.Addr, l *line) {
 // lost the machine's watchdog escalates to a LivenessReport). Iteration
 // is in address order for determinism.
 func (c *Cache) CheckTimeouts(now sim.Time) {
-	if c.cfg.RetryTimeout == 0 || (len(c.mshrs) == 0 && len(c.wbWait) == 0) {
+	if c.cfg.RetryTimeout == 0 || (len(c.mshrList) == 0 && len(c.wbList) == 0) {
 		return
 	}
-	addrs := c.scratchAddrs[:0]
-	for a := range c.mshrs {
-		addrs = append(addrs, a)
-	}
+	addrs := append(c.scratchAddrs[:0], c.mshrList...)
 	slices.Sort(addrs)
 	for _, a := range addrs {
-		c.retryTick(now, c.cfg.Home(a), &c.mshrs[a].retry)
+		c.retryTick(now, c.cfg.Home(a), &c.mshrTab[a].retry)
 	}
-	addrs = addrs[:0]
-	for a := range c.wbWait {
-		addrs = append(addrs, a)
-	}
+	addrs = append(addrs[:0], c.wbList...)
 	slices.Sort(addrs)
 	for _, a := range addrs {
-		c.retryTick(now, c.cfg.Home(a), &c.wbWait[a].retry)
+		c.retryTick(now, c.cfg.Home(a), &c.wbTab[a].retry)
 	}
 	c.scratchAddrs = addrs
 }
@@ -963,11 +1146,11 @@ func (c *Cache) NextRetryDeadline() (t sim.Time, ok bool) {
 			t, ok = rs.deadline, true
 		}
 	}
-	for _, m := range c.mshrs {
-		consider(&m.retry)
+	for _, a := range c.mshrList {
+		consider(&c.mshrTab[a].retry)
 	}
-	for _, w := range c.wbWait {
-		consider(&w.retry)
+	for _, a := range c.wbList {
+		consider(&c.wbTab[a].retry)
 	}
 	return t, ok
 }
@@ -975,10 +1158,7 @@ func (c *Cache) NextRetryDeadline() (t sim.Time, ok bool) {
 // PendingLines returns the addresses with in-flight transactions
 // (MSHRs), sorted — liveness diagnostics.
 func (c *Cache) PendingLines() []mem.Addr {
-	out := make([]mem.Addr, 0, len(c.mshrs))
-	for a := range c.mshrs {
-		out = append(out, a)
-	}
+	out := append(make([]mem.Addr, 0, len(c.mshrList)), c.mshrList...)
 	slices.Sort(out)
 	return out
 }
@@ -986,10 +1166,7 @@ func (c *Cache) PendingLines() []mem.Addr {
 // WritebackLines returns the addresses with outstanding PutX
 // writebacks, sorted — liveness diagnostics.
 func (c *Cache) WritebackLines() []mem.Addr {
-	out := make([]mem.Addr, 0, len(c.wbWait))
-	for a := range c.wbWait {
-		out = append(out, a)
-	}
+	out := append(make([]mem.Addr, 0, len(c.wbList)), c.wbList...)
 	slices.Sort(out)
 	return out
 }
@@ -998,13 +1175,13 @@ func (c *Cache) WritebackLines() []mem.Addr {
 // and stopped retrying, sorted.
 func (c *Cache) ExhaustedLines() []mem.Addr {
 	var out []mem.Addr
-	for a, m := range c.mshrs {
-		if m.retry.exhausted {
+	for _, a := range c.mshrList {
+		if c.mshrTab[a].retry.exhausted {
 			out = append(out, a)
 		}
 	}
-	for a, w := range c.wbWait {
-		if w.retry.exhausted {
+	for _, a := range c.wbList {
+		if c.wbTab[a].retry.exhausted {
 			out = append(out, a)
 		}
 	}
@@ -1017,16 +1194,17 @@ func (c *Cache) ExhaustedLines() []mem.Addr {
 // reserved line is never flushed); if no line is eligible the cache
 // overflows temporarily.
 func (c *Cache) makeRoom() {
-	if c.cfg.Capacity <= 0 || len(c.lines) < c.cfg.Capacity {
+	if c.cfg.Capacity <= 0 || len(c.lineList) < c.cfg.Capacity {
 		return
 	}
 	var victim mem.Addr
 	var vl *line
-	for a, l := range c.lines {
+	for _, a := range c.lineList {
+		l := c.lineAt(a)
 		if l.reserved || len(l.deferred) > 0 || l.pendingLocal > 0 {
 			continue
 		}
-		if _, ackPending := c.acks[a]; ackPending {
+		if c.ackAt(a) != nil {
 			// The directory transaction for this line is still collecting
 			// invalidation acks; writing it back now would race that
 			// transaction.
@@ -1043,9 +1221,9 @@ func (c *Cache) makeRoom() {
 	c.stats.Evictions++
 	if vl.state == LineExclusive {
 		c.stats.Writebacks++
-		w := &wbTxn{}
-		c.wbWait[victim] = w
+		w := c.newWb()
+		c.installWb(victim, w)
 		c.sendReq(&w.retry, c.cfg.Home(victim), PutX(victim, vl.val, c.takeReqID()))
 	}
-	delete(c.lines, victim)
+	c.removeLine(victim, vl)
 }

@@ -39,6 +39,54 @@ func (s DirState) String() string {
 	}
 }
 
+// DirMode selects how a directory tracks sharers. Full-map is exact and
+// is the correctness reference; the scalable modes keep less state per
+// line and compensate by over-invalidating, which the protocol absorbs
+// because caches acknowledge invalidations for lines they do not hold.
+type DirMode uint8
+
+const (
+	// DirFullMap keeps one presence bit per processor (exact sharers).
+	DirFullMap DirMode = iota
+	// DirLimitedPtr keeps up to Pointers sharer identities (Dir_i); on
+	// pointer overflow the line degrades to broadcast — an exclusive
+	// request invalidates every processor except the requester.
+	DirLimitedPtr
+	// DirCoarseVector keeps one presence bit per group of Coarseness
+	// processors; invalidations go to every processor in every marked
+	// group (except the requester).
+	DirCoarseVector
+)
+
+// ParseDirMode parses the CLI/config spelling of a directory mode; the
+// empty string means the default full-map.
+func ParseDirMode(s string) (DirMode, error) {
+	switch s {
+	case "", "full":
+		return DirFullMap, nil
+	case "limited":
+		return DirLimitedPtr, nil
+	case "coarse":
+		return DirCoarseVector, nil
+	default:
+		return DirFullMap, fmt.Errorf("cache: unknown directory mode %q (want full, limited, or coarse)", s)
+	}
+}
+
+// String names the mode using the CLI/config spelling.
+func (m DirMode) String() string {
+	switch m {
+	case DirFullMap:
+		return "full"
+	case DirLimitedPtr:
+		return "limited"
+	case DirCoarseVector:
+		return "coarse"
+	default:
+		return fmt.Sprintf("DirMode(%d)", uint8(m))
+	}
+}
+
 // pendingKind describes why a directory line is blocked.
 type pendingKind uint8
 
@@ -59,10 +107,19 @@ var pendingNames = [...]string{
 }
 
 type dirLine struct {
-	state   DirState
+	addr  mem.Addr
+	state DirState
+	// sharers is the presence bit-vector: one bit per processor under
+	// DirFullMap, one bit per processor group under DirCoarseVector, nil
+	// under DirLimitedPtr.
 	sharers *bitset.Set
-	owner   int
-	val     mem.Value
+	// ptrs holds the sharer pointers under DirLimitedPtr, sorted
+	// ascending; bcast marks pointer overflow (every processor is a
+	// potential sharer until the next clear).
+	ptrs  []int32
+	bcast bool
+	owner int
+	val   mem.Value
 
 	pending      pendingKind
 	pendingSince sim.Time // cycle the pending transaction started (telemetry only)
@@ -100,6 +157,19 @@ type DirConfig struct {
 	NumProcs int
 	// Latency is the memory/directory access latency applied to replies.
 	Latency sim.Time
+	// Mode selects the sharer-tracking scheme (default DirFullMap).
+	Mode DirMode
+	// Pointers is the sharer-pointer count for DirLimitedPtr (default 4).
+	Pointers int
+	// Coarseness is the processors-per-group size for DirCoarseVector
+	// (default 8).
+	Coarseness int
+	// NoDedup disables the per-line served-transaction set. Duplicate
+	// request-class messages only exist when the interconnect is faulted
+	// or cache retries are armed; a machine that runs with neither can
+	// skip the bookkeeping, keeping the steady-state request path free of
+	// map inserts (and thus allocation-free).
+	NoDedup bool
 
 	// Telemetry (optional; see internal/metrics). Never alters protocol
 	// behavior.
@@ -133,11 +203,19 @@ func (t *replyTask) fire() {
 // transactions per line: a request arriving while the line has a pending
 // transaction queues until the transaction completes.
 type Directory struct {
-	k     *sim.Kernel
-	net   network.Network
-	cfg   DirConfig
-	lines map[mem.Addr]*dirLine
-	stats DirStats
+	k   *sim.Kernel
+	net network.Network
+	cfg DirConfig
+	// lineIdx is the dense addr → arena-index+1 table (0 = no line).
+	// Program addresses are allocated densely from zero by
+	// program.Builder, so the table stays small and lookup is a slice
+	// index instead of a map probe on every message.
+	lineIdx []int32
+	// busyLines counts lines with a pending transaction, making Idle —
+	// polled every cycle by the machine's termination check — O(1)
+	// instead of a scan over all lines.
+	busyLines int
+	stats     DirStats
 	// reqCounts densely counts processed requests by message kind;
 	// Stats() materializes the name-keyed map from it on demand, keeping
 	// the per-message path allocation- and hash-free.
@@ -167,6 +245,9 @@ type DirStats struct {
 	// transaction id seen before): injected duplicates plus retries of
 	// requests that had in fact survived.
 	Duplicates uint64
+	// PtrOverflows counts limited-pointer overflow events (a line
+	// degrading to broadcast); always 0 outside DirLimitedPtr.
+	PtrOverflows uint64
 }
 
 // NewDirectory constructs a directory attached to the network at cfg.ID.
@@ -174,14 +255,29 @@ func NewDirectory(k *sim.Kernel, net network.Network, cfg DirConfig) *Directory 
 	if cfg.Latency == 0 {
 		cfg.Latency = 1
 	}
+	if cfg.Pointers <= 0 {
+		cfg.Pointers = 4
+	}
+	if cfg.Coarseness <= 0 {
+		cfg.Coarseness = 8
+	}
 	d := &Directory{
-		k:     k,
-		net:   net,
-		cfg:   cfg,
-		lines: make(map[mem.Addr]*dirLine),
+		k:   k,
+		net: net,
+		cfg: cfg,
 	}
 	net.Attach(cfg.ID, d.handle)
 	return d
+}
+
+// SetNoDedup flips duplicate-request tracking for the next run. A pooled
+// machine re-derives it on Reset: retry arming is a per-run knob, and a
+// retry-armed run must dedup while a clean run may skip the bookkeeping.
+func (d *Directory) SetNoDedup(v bool) { d.cfg.NoDedup = v }
+
+// groups returns the presence-vector width for DirCoarseVector.
+func (d *Directory) groups() int {
+	return (d.cfg.NumProcs + d.cfg.Coarseness - 1) / d.cfg.Coarseness
 }
 
 // Reset rewinds the directory for a fresh run on the same wiring: all
@@ -190,23 +286,42 @@ func NewDirectory(k *sim.Kernel, net network.Network, cfg DirConfig) *Directory 
 // is drained (no replies in flight) and that the processor count is
 // unchanged (arena bitsets are sized for it).
 func (d *Directory) Reset() {
-	clear(d.lines)
+	clear(d.lineIdx)
 	d.lineN = 0
+	d.busyLines = 0
 	d.stats = DirStats{}
 	clear(d.reqCounts[:])
 }
 
-func (d *Directory) line(a mem.Addr) *dirLine {
-	l, ok := d.lines[a]
-	if !ok {
-		l = d.newLine()
-		d.lines[a] = l
+// lookup returns the line for a, or nil when the directory has never
+// seen the address.
+func (d *Directory) lookup(a mem.Addr) *dirLine {
+	if int(a) >= len(d.lineIdx) {
+		return nil
 	}
+	idx := d.lineIdx[a]
+	if idx == 0 {
+		return nil
+	}
+	i := int(idx - 1)
+	return &d.lineChunks[i/dirLineChunk][i%dirLineChunk]
+}
+
+func (d *Directory) line(a mem.Addr) *dirLine {
+	if l := d.lookup(a); l != nil {
+		return l
+	}
+	for int(a) >= len(d.lineIdx) {
+		d.lineIdx = append(d.lineIdx, 0)
+	}
+	l := d.newLine()
+	l.addr = a
+	d.lineIdx[a] = int32(d.lineN) // index+1; newLine already advanced lineN
 	return l
 }
 
 // newLine hands out a fresh dirLine from the arena, recycling the
-// slot's sharers bitset, queue capacity, and served map.
+// slot's sharers bitset, pointer slice, queue capacity, and served map.
 func (d *Directory) newLine() *dirLine {
 	ci, li := d.lineN/dirLineChunk, d.lineN%dirLineChunk
 	if ci == len(d.lineChunks) {
@@ -214,17 +329,139 @@ func (d *Directory) newLine() *dirLine {
 	}
 	d.lineN++
 	l := &d.lineChunks[ci][li]
-	sharers, queue, served := l.sharers, l.queue[:0], l.served
-	if sharers == nil {
-		sharers = bitset.New(d.cfg.NumProcs)
-	} else {
-		sharers.Clear()
+	sharers, ptrs, queue, served := l.sharers, l.ptrs[:0], l.queue[:0], l.served
+	switch d.cfg.Mode {
+	case DirLimitedPtr:
+		sharers = nil
+		if ptrs == nil {
+			ptrs = make([]int32, 0, d.cfg.Pointers)
+		}
+	case DirCoarseVector:
+		if sharers == nil {
+			sharers = bitset.New(d.groups())
+		} else {
+			sharers.Clear()
+		}
+	default:
+		if sharers == nil {
+			sharers = bitset.New(d.cfg.NumProcs)
+		} else {
+			sharers.Clear()
+		}
 	}
 	if served != nil {
 		clear(served)
 	}
-	*l = dirLine{state: DirUncached, sharers: sharers, owner: -1, queue: queue, served: served}
+	*l = dirLine{state: DirUncached, sharers: sharers, ptrs: ptrs, owner: -1, queue: queue, served: served}
 	return l
+}
+
+// ---------------------------------------------------------------------------
+// Sharer tracking. All writes to a line's sharer set go through these
+// helpers so the three modes stay interchangeable: full-map is exact,
+// limited-pointer and coarse-vector are conservative over-approximations
+// (they may list processors that do not hold the line, never the
+// reverse), which keeps invalidation complete in every mode.
+
+// addSharer records src as a (potential) sharer.
+func (d *Directory) addSharer(l *dirLine, src int) {
+	switch d.cfg.Mode {
+	case DirLimitedPtr:
+		if l.bcast {
+			return
+		}
+		p := int32(src)
+		i, found := slices.BinarySearch(l.ptrs, p)
+		if found {
+			return
+		}
+		if len(l.ptrs) < d.cfg.Pointers {
+			l.ptrs = slices.Insert(l.ptrs, i, p)
+			return
+		}
+		// Pointer overflow: degrade to broadcast.
+		l.ptrs = l.ptrs[:0]
+		l.bcast = true
+		d.stats.PtrOverflows++
+	case DirCoarseVector:
+		l.sharers.Add(src / d.cfg.Coarseness)
+	default:
+		l.sharers.Add(src)
+	}
+}
+
+// clearSharers empties the sharer set.
+func (d *Directory) clearSharers(l *dirLine) {
+	if d.cfg.Mode == DirLimitedPtr {
+		l.ptrs = l.ptrs[:0]
+		l.bcast = false
+		return
+	}
+	l.sharers.Clear()
+}
+
+// countInvTargets returns how many invalidations an exclusive request
+// from exclude must trigger: the number of potential sharers other than
+// exclude. Zero means the requester is (at worst) the sole sharer and a
+// silent upgrade is safe in every mode.
+func (d *Directory) countInvTargets(l *dirLine, exclude int) int {
+	n := 0
+	d.forEachInvTarget(l, exclude, func(int) {
+		n++
+	})
+	return n
+}
+
+// forEachInvTarget calls fn for each potential sharer other than
+// exclude, in ascending processor order (the full-map iteration order,
+// preserved so full-map behavior is byte-identical to the pre-mode
+// directory).
+func (d *Directory) forEachInvTarget(l *dirLine, exclude int, fn func(p int)) {
+	switch d.cfg.Mode {
+	case DirLimitedPtr:
+		if l.bcast {
+			for p := 0; p < d.cfg.NumProcs; p++ {
+				if p != exclude {
+					fn(p)
+				}
+			}
+			return
+		}
+		for _, p := range l.ptrs {
+			if int(p) != exclude {
+				fn(int(p))
+			}
+		}
+	case DirCoarseVector:
+		l.sharers.ForEach(func(g int) bool {
+			lo, hi := g*d.cfg.Coarseness, (g+1)*d.cfg.Coarseness
+			if hi > d.cfg.NumProcs {
+				hi = d.cfg.NumProcs
+			}
+			for p := lo; p < hi; p++ {
+				if p != exclude {
+					fn(p)
+				}
+			}
+			return true
+		})
+	default:
+		l.sharers.ForEach(func(p int) bool {
+			if p != exclude {
+				fn(p)
+			}
+			return true
+		})
+	}
+}
+
+// sharerMembers lists the potential sharers (introspection only).
+func (d *Directory) sharerMembers(l *dirLine) []int {
+	var out []int
+	d.forEachInvTarget(l, -1, func(p int) {
+		out = append(out, p)
+	})
+	return out
 }
 
 // SetInit installs the initial memory value of an address.
@@ -234,39 +471,37 @@ func (d *Directory) SetInit(a mem.Addr, v mem.Value) { d.line(a).val = v }
 // address. When the line is exclusive in some cache this may be stale;
 // use the machine's final-state extraction, which consults owners.
 func (d *Directory) MemValue(a mem.Addr) mem.Value {
-	if l, ok := d.lines[a]; ok {
+	if l := d.lookup(a); l != nil {
 		return l.val
 	}
 	return 0
 }
 
 // State exposes a line's directory state (for tests and invariants).
+// The sharer list is the set of *potential* sharers: exact under
+// full-map, an over-approximation under the scalable modes.
 func (d *Directory) State(a mem.Addr) (DirState, int, []int) {
-	l, ok := d.lines[a]
-	if !ok {
+	l := d.lookup(a)
+	if l == nil {
 		return DirUncached, -1, nil
 	}
-	return l.state, l.owner, l.sharers.Members()
+	return l.state, l.owner, d.sharerMembers(l)
 }
 
 // Idle reports whether no line has a pending transaction or queued
-// requests (used for drain/termination detection).
-func (d *Directory) Idle() bool {
-	for _, l := range d.lines {
-		if l.pending != pendNone || len(l.queue) > 0 {
-			return false
-		}
-	}
-	return true
-}
+// requests (used for drain/termination detection). Queued requests only
+// exist behind a pending transaction, so the busy-line counter covers
+// both — this is polled every machine cycle and must stay O(1).
+func (d *Directory) Idle() bool { return d.busyLines == 0 }
 
 // PendingLines returns the addresses of blocked lines, for deadlock
 // diagnostics.
 func (d *Directory) PendingLines() []mem.Addr {
 	var out []mem.Addr
-	for a, l := range d.lines {
+	for i := 0; i < d.lineN; i++ {
+		l := &d.lineChunks[i/dirLineChunk][i%dirLineChunk]
 		if l.pending != pendNone || len(l.queue) > 0 {
-			out = append(out, a)
+			out = append(out, l.addr)
 		}
 	}
 	slices.Sort(out)
@@ -289,7 +524,7 @@ func (d *Directory) Stats() DirStats {
 // QueueDepth returns the number of requests queued behind a's pending
 // transaction (0 for an idle or unknown line) — liveness diagnostics.
 func (d *Directory) QueueDepth(a mem.Addr) int {
-	if l, ok := d.lines[a]; ok {
+	if l := d.lookup(a); l != nil {
 		return len(l.queue)
 	}
 	return 0
@@ -332,8 +567,8 @@ func (d *Directory) handle(src int, m network.Msg) {
 // because replies travel unfaulted: the single accepted copy's reply
 // reaches the requester.
 func (d *Directory) duplicate(a mem.Addr, src int, id uint64) bool {
-	if id == 0 {
-		return false // hand-assembled test message: no dedup
+	if id == 0 || d.cfg.NoDedup {
+		return false // hand-assembled test message or dedup disabled
 	}
 	l := d.line(a)
 	k := servedKey{src: src, id: id}
@@ -362,6 +597,7 @@ func (d *Directory) request(src int, a mem.Addr, m network.Msg) {
 	d.process(src, a, l, m)
 	if l.pending != pendNone {
 		l.pendingSince = d.k.Now()
+		d.busyLines++
 	}
 }
 
@@ -372,7 +608,7 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 		switch l.state {
 		case DirUncached, DirShared:
 			l.state = DirShared
-			l.sharers.Add(src)
+			d.addSharer(l, src)
 			d.reply(src, Data(a, l.val))
 		case DirExclusive:
 			d.stats.Forwards++
@@ -387,16 +623,10 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 			l.owner = src
 			d.reply(src, DataEx(a, l.val, false))
 		case DirShared:
-			others := 0
-			l.sharers.ForEach(func(i int) bool {
-				if i != src {
-					others++
-				}
-				return true
-			})
+			others := d.countInvTargets(l, src)
 			if others == 0 {
-				// Requester was the only sharer: silent upgrade.
-				l.sharers.Clear()
+				// Requester is (at worst) the only sharer: silent upgrade.
+				d.clearSharers(l)
 				l.state = DirExclusive
 				l.owner = src
 				d.reply(src, DataEx(a, l.val, false))
@@ -404,19 +634,19 @@ func (d *Directory) process(src int, a mem.Addr, l *dirLine, m network.Msg) {
 			}
 			// Forward the line to the requester in parallel with the
 			// invalidations (the paper's protocol); collect acks here and
-			// send the final MemAck when all arrive.
+			// send the final MemAck when all arrive. Under limited-pointer
+			// overflow or coarse grouping the targets over-approximate the
+			// true sharers; the extras acknowledge an invalidation for a
+			// line they do not hold, so the ack count still closes.
 			d.reply(src, DataEx(a, l.val, true))
 			l.pending = pendAcks
 			l.acksLeft = others
 			l.requester = src
-			l.sharers.ForEach(func(i int) bool {
-				if i != src {
-					d.stats.Invalidations++
-					d.reply(i, Inv(a))
-				}
-				return true
+			d.forEachInvTarget(l, src, func(p int) {
+				d.stats.Invalidations++
+				d.reply(p, Inv(a))
 			})
-			l.sharers.Clear()
+			d.clearSharers(l)
 			l.state = DirExclusive
 			l.owner = src
 		case DirExclusive:
@@ -474,8 +704,8 @@ func (d *Directory) putX(src int, msg network.Msg) {
 		case pendFwdS:
 			l.state = DirShared
 			l.owner = -1
-			l.sharers.Clear()
-			l.sharers.Add(req)
+			d.clearSharers(l)
+			d.addSharer(l, req)
 			d.reply(req, Data(a, l.val))
 		case pendFwdX:
 			l.state = DirExclusive
@@ -517,9 +747,9 @@ func (d *Directory) xferDone(src int, msg network.Msg) {
 		}
 		l.val = msg.Value
 		l.state = DirShared
-		l.sharers.Clear()
-		l.sharers.Add(src)         // previous owner keeps a shared copy
-		l.sharers.Add(l.requester) // requester received one
+		d.clearSharers(l)
+		d.addSharer(l, src)         // previous owner keeps a shared copy
+		d.addSharer(l, l.requester) // requester received one
 		l.owner = -1
 	case pendFwdX:
 		l.state = DirExclusive
@@ -556,6 +786,8 @@ func (d *Directory) unblock(a mem.Addr, l *dirLine) {
 	}
 	if l.pending != pendNone {
 		l.pendingSince = d.k.Now()
+	} else {
+		d.busyLines--
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"weakorder/internal/cache"
 	"weakorder/internal/ctlplane"
 	"weakorder/internal/drf"
 	"weakorder/internal/faults"
@@ -73,8 +74,19 @@ type CampaignConfig struct {
 	Programs int
 	// Policies selects the policy axis (default policy.All()).
 	Policies []policy.Kind
-	// Topologies selects the interconnect axis (default bus + network).
+	// Topologies selects the interconnect axis (default bus + network;
+	// machine.TopoMesh adds the 2D-mesh interconnect).
 	Topologies []machine.Topology
+	// Procs is a floor on total processors per simulated machine: every
+	// program is padded with idle processors up to this size (0 = just
+	// the program's threads). The big-machine campaigns run the same
+	// programs at 16/64/256 procs this way.
+	Procs int
+	// DirMode selects the directory sharer representation for every
+	// cached matrix row (default full-map; limited-pointer and
+	// coarse-vector must produce identical outcomes — campaigns under
+	// those modes are differential tests of the scalable directories).
+	DirMode cache.DirMode
 	// SeedsPerConfig is the number of machine seeds each (program,
 	// config) pair runs under (default 2).
 	SeedsPerConfig int
@@ -479,6 +491,14 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 	matrix := Matrix(cfg.Policies, cfg.Topologies)
 	if len(matrix) == 0 {
 		return nil, fmt.Errorf("check: empty config matrix")
+	}
+	if cfg.Procs < 0 {
+		return nil, fmt.Errorf("check: CampaignConfig.Procs must be non-negative")
+	}
+	for i := range matrix {
+		if matrix[i].Caches {
+			matrix[i].DirMode = cfg.DirMode
+		}
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {

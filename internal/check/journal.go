@@ -19,7 +19,7 @@ import (
 // would not reproduce — is rejected on resume instead of silently
 // merged. Bump it whenever generators, oracles, shrinking, or the
 // progOutcome encoding change observable results.
-const journalCodeHash = "check-v8" // v8: satfast oracle stage + simRecord.Sat/SatFallback
+const journalCodeHash = "check-v9" // v9: procs/topology/dirmode campaign axes
 
 // journalMagic identifies the file format, independent of campaign
 // identity.
@@ -68,6 +68,8 @@ func (c *campaign) identity() string {
 		MaxShrinkTries int           `json:"maxShrinkTries"`
 		CheckDeadline  time.Duration `json:"checkDeadline"`
 		NoSatFast      bool          `json:"noSatFast"`
+		Procs          int           `json:"procs"`
+		DirMode        string        `json:"dirMode"`
 		Matrix         []topoDesc    `json:"matrix"`
 		Faults         string        `json:"faults"`
 	}{
@@ -78,6 +80,8 @@ func (c *campaign) identity() string {
 		MaxShrinkTries: c.cfg.MaxShrinkTries,
 		CheckDeadline:  c.cfg.CheckDeadline,
 		NoSatFast:      c.cfg.NoSatFast,
+		Procs:          c.cfg.Procs,
+		DirMode:        c.cfg.DirMode.String(),
 	}
 	for _, mcfg := range c.matrix {
 		id.Matrix = append(id.Matrix, topoDesc{Name: mcfg.Name(), Caches: mcfg.Caches})

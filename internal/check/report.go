@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"weakorder/internal/cache"
 	"weakorder/internal/exp"
 	"weakorder/internal/faults"
 	"weakorder/internal/machine"
@@ -41,6 +42,10 @@ type ConfigDesc struct {
 	Topology  string `json:"topology"`
 	Caches    bool   `json:"caches"`
 	NetJitter int64  `json:"netJitter,omitempty"`
+	// ExtraProcs and DirMode reproduce the big-machine campaign axes;
+	// both are zero-valued (and omitted) for the classic matrix.
+	ExtraProcs int    `json:"extraProcs,omitempty"`
+	DirMode    string `json:"dirMode,omitempty"`
 	// Faults records the fault plan active when the violation was found;
 	// replay re-arms the identical plan.
 	Faults *faults.Plan `json:"faults,omitempty"`
@@ -48,13 +53,18 @@ type ConfigDesc struct {
 
 // describeConfig projects the fields replay needs out of a machine.Config.
 func describeConfig(cfg machine.Config) ConfigDesc {
-	return ConfigDesc{
-		Policy:    cfg.Policy.String(),
-		Topology:  cfg.Topology.String(),
-		Caches:    cfg.Caches,
-		NetJitter: int64(cfg.NetJitter),
-		Faults:    cfg.Faults,
+	d := ConfigDesc{
+		Policy:     cfg.Policy.String(),
+		Topology:   cfg.Topology.String(),
+		Caches:     cfg.Caches,
+		NetJitter:  int64(cfg.NetJitter),
+		ExtraProcs: cfg.ExtraProcs,
+		Faults:     cfg.Faults,
 	}
+	if cfg.DirMode != cache.DirFullMap {
+		d.DirMode = cfg.DirMode.String()
+	}
+	return d
 }
 
 // Machine rebuilds the machine configuration the description names.
@@ -69,15 +79,23 @@ func (d ConfigDesc) Machine() (machine.Config, error) {
 		topo = machine.TopoBus
 	case machine.TopoNetwork.String():
 		topo = machine.TopoNetwork
+	case machine.TopoMesh.String():
+		topo = machine.TopoMesh
 	default:
 		return machine.Config{}, fmt.Errorf("check: unknown topology %q", d.Topology)
 	}
+	dirMode, err := cache.ParseDirMode(d.DirMode)
+	if err != nil {
+		return machine.Config{}, err
+	}
 	return machine.Config{
-		Policy:    pol,
-		Topology:  topo,
-		Caches:    d.Caches,
-		NetJitter: simTime(d.NetJitter),
-		Faults:    d.Faults,
+		Policy:     pol,
+		Topology:   topo,
+		Caches:     d.Caches,
+		NetJitter:  simTime(d.NetJitter),
+		ExtraProcs: d.ExtraProcs,
+		DirMode:    dirMode,
+		Faults:     d.Faults,
 	}, nil
 }
 

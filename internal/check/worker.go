@@ -298,6 +298,12 @@ func (c *campaign) runProgram(idx int, ws *workerState) (out progOutcome, err er
 	// and a local map answers repeats without the shared entry's lock.
 	l1 := make(map[string]l1Verdict, 8)
 	for cfgIdx, mcfg := range c.matrix {
+		// Pad the machine to the campaign's processor floor. The padding
+		// depends only on (Procs, program), so the Summary stays
+		// deterministic and a violation's ConfigDesc replays exactly.
+		if extra := c.cfg.Procs - prog.NumThreads(); extra > 0 {
+			mcfg.ExtraProcs = extra
+		}
 		for s := 0; s < c.cfg.SeedsPerConfig; s++ {
 			machineSeed := deriveSeed(c.cfg.Seed, uint64(idx), uint64(cfgIdx), uint64(s), 0x5eed5)
 			panicked, err := c.checkOne(&out, ws, prog, cn, entry, spec, genSeed, idx, cfgIdx, mcfg, machineSeed, l1)

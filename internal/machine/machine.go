@@ -32,6 +32,10 @@ const (
 	// TopoNetwork: general interconnection network — independent routing
 	// with variable latency.
 	TopoNetwork
+	// TopoMesh: 2D mesh — deterministic XY routing, latency proportional
+	// to hop distance, point-to-point FIFO. The scalable interconnect for
+	// large processor counts.
+	TopoMesh
 )
 
 // String names the topology.
@@ -41,6 +45,8 @@ func (t Topology) String() string {
 		return "bus"
 	case TopoNetwork:
 		return "network"
+	case TopoMesh:
+		return "mesh"
 	default:
 		return fmt.Sprintf("Topology(%d)", int(t))
 	}
@@ -72,8 +78,22 @@ type Config struct {
 	// stays FIFO.
 	NetBase   sim.Time
 	NetJitter sim.Time
+	// MeshHop is the per-hop router latency for TopoMesh (default 2);
+	// NetBase doubles as the mesh's injection/ejection overhead. Mesh
+	// latency is deterministic — NetJitter does not apply.
+	MeshHop sim.Time
 	// MemLatency is the directory/memory access time (default 4).
 	MemLatency sim.Time
+	// DirMode selects the directory's sharer-tracking scheme (default
+	// cache.DirFullMap, the exact correctness reference). The scalable
+	// modes (cache.DirLimitedPtr, cache.DirCoarseVector) keep bounded
+	// per-line state and over-invalidate on overflow. Requires Caches.
+	DirMode cache.DirMode
+	// DirPointers is the pointer count for cache.DirLimitedPtr (default 4).
+	DirPointers int
+	// DirCoarseness is the processors-per-group size for
+	// cache.DirCoarseVector (default 8).
+	DirCoarseness int
 	// CacheHit is the cache hit latency (default 1).
 	CacheHit sim.Time
 	// CacheCapacity bounds resident lines per cache (0 = unbounded).
@@ -148,11 +168,23 @@ type Migration struct {
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.MemModules == 0 {
-		if c.Topology == TopoNetwork {
+		switch c.Topology {
+		case TopoNetwork:
 			c.MemModules = 2
-		} else {
+		case TopoMesh:
+			c.MemModules = 4
+		default:
 			c.MemModules = 1
 		}
+	}
+	if c.MeshHop == 0 {
+		c.MeshHop = 2
+	}
+	if c.DirPointers == 0 {
+		c.DirPointers = 4
+	}
+	if c.DirCoarseness == 0 {
+		c.DirCoarseness = 8
 	}
 	if c.BusLatency == 0 {
 		c.BusLatency = 3
@@ -212,6 +244,12 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("machine: unknown policy %v", c.Policy)
 	}
+	if c.DirMode != cache.DirFullMap && !c.Caches {
+		return fmt.Errorf("machine: directory mode %v requires Caches", c.DirMode)
+	}
+	if c.DirPointers < 0 || c.DirCoarseness < 0 {
+		return fmt.Errorf("machine: DirPointers/DirCoarseness must be non-negative")
+	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
 			return err
@@ -229,10 +267,15 @@ func (c Config) Validate() error {
 }
 
 // Name renders the configuration compactly, e.g. "bus+caches/WO-Def2".
+// Non-default directory modes are spelled out ("mesh+caches-limited/..."),
+// keeping the full-map names byte-identical to earlier releases.
 func (c Config) Name() string {
 	cc := "nocache"
 	if c.Caches {
 		cc = "caches"
+		if c.DirMode != cache.DirFullMap {
+			cc += "-" + c.DirMode.String()
+		}
 	}
 	if c.Snoop {
 		cc = "snoop"
@@ -419,6 +462,15 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 			Seed:         seed,
 			Telemetry:    m.netTelemetry(),
 		})
+	case TopoMesh:
+		w, h := meshDims(nProcs + cfg.MemModules)
+		m.net = network.NewMesh(m.kernel, network.MeshConfig{
+			Width:       w,
+			Height:      h,
+			BaseLatency: cfg.NetBase,
+			HopLatency:  cfg.MeshHop,
+			Telemetry:   m.netTelemetry(),
+		})
 	default:
 		return nil, fmt.Errorf("machine: unknown topology %v", cfg.Topology)
 	}
@@ -442,11 +494,23 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 	home := func(a mem.Addr) int { return nProcs + int(a)%cfg.MemModules }
 
 	if cfg.Caches {
+		retryTimeout := cfg.RetryTimeout
+		if cfg.Faults != nil && cfg.Faults.DisableRetry {
+			retryTimeout = 0
+		}
 		for i := 0; i < cfg.MemModules; i++ {
 			dcfg := cache.DirConfig{
-				ID:       nProcs + i,
-				NumProcs: nProcs,
-				Latency:  cfg.MemLatency,
+				ID:         nProcs + i,
+				NumProcs:   nProcs,
+				Latency:    cfg.MemLatency,
+				Mode:       cfg.DirMode,
+				Pointers:   cfg.DirPointers,
+				Coarseness: cfg.DirCoarseness,
+				// Duplicate request-class messages exist only when the
+				// interconnect is faulted or cache retries are armed; with
+				// neither, skip the served-set bookkeeping so steady-state
+				// request handling stays allocation-free.
+				NoDedup: !cfg.faultsEnabled() && retryTimeout == 0,
 			}
 			if m.reg != nil {
 				dcfg.QueueDepth = m.reg.Histogram(fmt.Sprintf("dir.%d.queue_depth", i), metrics.DepthBounds)
@@ -461,10 +525,6 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 				}
 			}
 			m.dirs = append(m.dirs, d)
-		}
-		retryTimeout := cfg.RetryTimeout
-		if cfg.Faults != nil && cfg.Faults.DisableRetry {
-			retryTimeout = 0
 		}
 		for i := 0; i < nProcs; i++ {
 			ccfg := cache.Config{
@@ -509,6 +569,21 @@ func New(prog *program.Program, cfg Config, seed int64) (*Machine, error) {
 	}
 
 	return m.finishProcs(prog, nProcs)
+}
+
+// meshDims picks near-square mesh dimensions for n endpoints: the
+// smallest width w with w*w >= n, and the smallest height covering n at
+// that width. 16 procs + 4 modules → 5x4; 256 + 4 → 17x16.
+func meshDims(n int) (w, h int) {
+	if n < 1 {
+		n = 1
+	}
+	w = 1
+	for w*w < n {
+		w++
+	}
+	h = (n + w - 1) / w
+	return w, h
 }
 
 // finishProcs builds the processors over the assembled ports and

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"weakorder/internal/cache"
 	"weakorder/internal/cpu"
 	"weakorder/internal/mem"
 	"weakorder/internal/network"
@@ -31,37 +32,45 @@ import (
 // poolKey is the structural fingerprint of a configuration: two configs
 // with equal keys can share one pooled machine.
 type poolKey struct {
-	policy     policy.Kind
-	topo       Topology
-	caches     bool
-	memModules int
-	busLatency sim.Time
-	netBase    sim.Time
-	netJitter  sim.Time
-	memLatency sim.Time
-	cacheHit   sim.Time
-	capacity   int
-	roUncached bool
-	faults     bool
-	nProcs     int
+	policy        policy.Kind
+	topo          Topology
+	caches        bool
+	memModules    int
+	busLatency    sim.Time
+	netBase       sim.Time
+	netJitter     sim.Time
+	meshHop       sim.Time
+	memLatency    sim.Time
+	cacheHit      sim.Time
+	capacity      int
+	dirMode       cache.DirMode
+	dirPointers   int
+	dirCoarseness int
+	roUncached    bool
+	faults        bool
+	nProcs        int
 }
 
 // key fingerprints an already-defaulted config for nProcs processors.
 func (c Config) key(nProcs int) poolKey {
 	return poolKey{
-		policy:     c.Policy,
-		topo:       c.Topology,
-		caches:     c.Caches,
-		memModules: c.MemModules,
-		busLatency: c.BusLatency,
-		netBase:    c.NetBase,
-		netJitter:  c.NetJitter,
-		memLatency: c.MemLatency,
-		cacheHit:   c.CacheHit,
-		capacity:   c.CacheCapacity,
-		roUncached: c.ROUncachedTest,
-		faults:     c.faultsEnabled(),
-		nProcs:     nProcs,
+		policy:        c.Policy,
+		topo:          c.Topology,
+		caches:        c.Caches,
+		memModules:    c.MemModules,
+		busLatency:    c.BusLatency,
+		netBase:       c.NetBase,
+		netJitter:     c.NetJitter,
+		meshHop:       c.MeshHop,
+		memLatency:    c.MemLatency,
+		cacheHit:      c.CacheHit,
+		capacity:      c.CacheCapacity,
+		dirMode:       c.DirMode,
+		dirPointers:   c.DirPointers,
+		dirCoarseness: c.DirCoarseness,
+		roUncached:    c.ROUncachedTest,
+		faults:        c.faultsEnabled(),
+		nProcs:        nProcs,
 	}
 }
 
@@ -120,6 +129,8 @@ func (m *Machine) Reset(prog *program.Program, cfg Config, seed int64) error {
 		n.Reset(seed)
 	case *network.Bus:
 		n.Reset()
+	case *network.Mesh:
+		n.Reset()
 	}
 	if m.fnet != nil {
 		// Same derived stream as New: fault decisions stay uncorrelated
@@ -129,17 +140,18 @@ func (m *Machine) Reset(prog *program.Program, cfg Config, seed int64) error {
 
 	home := func(a mem.Addr) int { return nProcs + int(a)%cfg.MemModules }
 	if cfg.Caches {
+		retryTimeout := cfg.RetryTimeout
+		if cfg.Faults != nil && cfg.Faults.DisableRetry {
+			retryTimeout = 0
+		}
 		for i, d := range m.dirs {
 			d.Reset()
+			d.SetNoDedup(!cfg.faultsEnabled() && retryTimeout == 0)
 			for a, v := range prog.Init {
 				if home(a) == nProcs+i {
 					d.SetInit(a, v)
 				}
 			}
-		}
-		retryTimeout := cfg.RetryTimeout
-		if cfg.Faults != nil && cfg.Faults.DisableRetry {
-			retryTimeout = 0
 		}
 		for _, c := range m.caches {
 			c.Reset(retryTimeout, cfg.RetryMax)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"weakorder/internal/cache"
 	"weakorder/internal/faults"
 	"weakorder/internal/gen"
 	"weakorder/internal/litmus"
@@ -49,6 +50,11 @@ func TestPooledMachineByteIdentical(t *testing.T) {
 		{Policy: policy.SC, Topology: TopoNetwork, Caches: false},
 		{Policy: policy.SC, Topology: TopoBus, Caches: false},
 		{Policy: policy.WODef1, Topology: TopoNetwork, Caches: true, Faults: &sev},
+		{Policy: policy.WODef2, Topology: TopoMesh, Caches: true},
+		{Policy: policy.WODef2, Topology: TopoMesh, Caches: true,
+			DirMode: cache.DirLimitedPtr, DirPointers: 2},
+		{Policy: policy.WODef1, Topology: TopoMesh, Caches: true,
+			DirMode: cache.DirCoarseVector, DirCoarseness: 2, Faults: &sev},
 	}
 	for _, cfg := range cfgs {
 		pool := NewPool()
@@ -163,6 +169,16 @@ func TestMachineResetCompatibility(t *testing.T) {
 	sc.Policy = policy.SC
 	if err := m.Reset(p2, sc, 1); err == nil {
 		t.Error("Reset accepted a different policy (reserve wiring is structural)")
+	}
+	lim := cfg
+	lim.DirMode = cache.DirLimitedPtr
+	if err := m.Reset(p2, lim, 1); err == nil {
+		t.Error("Reset accepted a different directory mode (sharer storage is structural)")
+	}
+	mesh := cfg
+	mesh.Topology = TopoMesh
+	if err := m.Reset(p2, mesh, 1); err == nil {
+		t.Error("Reset accepted a mesh in place of the flat network")
 	}
 	withMetrics := cfg
 	withMetrics.Metrics = true

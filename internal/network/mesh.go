@@ -1,0 +1,187 @@
+package network
+
+import "weakorder/internal/sim"
+
+// MeshConfig parameterizes a 2D-mesh interconnect.
+type MeshConfig struct {
+	// Width and Height give the mesh dimensions in nodes. Both must be
+	// >= 1; Width*Height is the node count.
+	Width, Height int
+	// BaseLatency is the fixed injection/ejection overhead in cycles
+	// applied to every message (>= 1).
+	BaseLatency sim.Time
+	// HopLatency is the per-hop router traversal cost in cycles (>= 1).
+	// A message from (x0,y0) to (x1,y1) pays HopLatency*(|x1-x0|+|y1-y0|)
+	// on top of BaseLatency — the Manhattan distance a deterministic
+	// XY-routed packet traverses.
+	HopLatency sim.Time
+	// Telemetry holds the optional interconnect instruments.
+	Telemetry Telemetry
+}
+
+// Mesh is a 2D-mesh interconnect with deterministic XY (dimension-order)
+// routing: a message first travels along X to the destination column,
+// then along Y to the destination row. Latency is a pure function of the
+// endpoint placement — BaseLatency + HopLatency*hops — with no random
+// component, so mesh runs are reproducible without a seed.
+//
+// Endpoints are placed row-major: endpoint e lives at node e mod
+// (Width*Height), i.e. column e mod Width, row (e / Width) mod Height.
+// The machine numbers processors first and directories after, so with
+// nodes >= processors each processor gets its own node and the memory
+// modules wrap around and co-locate with processors spread across the
+// mesh — the usual distributed-directory placement.
+//
+// XY routing on a mesh delivers point-to-point FIFO in real hardware
+// (all packets for one (src,dst) pair follow the same path through the
+// same router queues), and the directory protocol depends on that
+// ordering, so Mesh enforces per-(src,dst) FIFO delivery exactly like
+// General's OrderedPairs mode.
+type Mesh struct {
+	k        *sim.Kernel
+	cfg      MeshConfig
+	tab      handlerTable
+	stats    Stats
+	inFlight int
+	// lastArrival tracks, per [src][dst], the latest scheduled arrival to
+	// enforce the per-pair FIFO (see type comment).
+	lastArrival [][]sim.Time
+	// free is the delivery-task pool, identical in role to General.free:
+	// steady-state sends schedule zero new closures.
+	free []*meshDelivery
+}
+
+// meshDelivery is one pooled in-flight message. run is the pre-bound
+// (*meshDelivery).deliver closure, created once per task.
+type meshDelivery struct {
+	n        *Mesh
+	src, dst int
+	m        Msg
+	run      func()
+}
+
+func (d *meshDelivery) deliver() {
+	n := d.n
+	src, dst, m := d.src, d.dst, d.m
+	n.free = append(n.free, d)
+	n.inFlight--
+	h := n.tab.lookup(dst)
+	if h == nil {
+		n.stats.Undeliverable++
+		n.tab.noteUndeliverable(m, src, dst)
+		return
+	}
+	h(src, m)
+}
+
+// NewMesh returns a Width x Height mesh on kernel k.
+func NewMesh(k *sim.Kernel, cfg MeshConfig) *Mesh {
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	if cfg.Height < 1 {
+		cfg.Height = 1
+	}
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = 1
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 1
+	}
+	return &Mesh{k: k, cfg: cfg}
+}
+
+// Attach implements Network.
+func (n *Mesh) Attach(id int, h Handler) { n.tab.attach(id, h) }
+
+// Reset clears traffic state for a fresh run on the same wiring: stats,
+// errors, and FIFO bookkeeping. Attached handlers persist — a pooled
+// machine reuses its endpoints. Mesh latency is deterministic, so unlike
+// General.Reset no seed is involved.
+func (n *Mesh) Reset() {
+	n.stats = Stats{}
+	n.tab.err = nil
+	n.inFlight = 0
+	for _, row := range n.lastArrival {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// node returns the mesh node for endpoint e (row-major placement).
+func (n *Mesh) node(e int) (x, y int) {
+	nodes := n.cfg.Width * n.cfg.Height
+	p := e % nodes
+	return p % n.cfg.Width, p / n.cfg.Width
+}
+
+// Hops returns the XY-route hop count between endpoints src and dst:
+// the Manhattan distance between their nodes.
+func (n *Mesh) Hops(src, dst int) int {
+	sx, sy := n.node(src)
+	dx, dy := n.node(dst)
+	h := 0
+	if sx > dx {
+		h += sx - dx
+	} else {
+		h += dx - sx
+	}
+	if sy > dy {
+		h += sy - dy
+	} else {
+		h += dy - sy
+	}
+	return h
+}
+
+// pairSlot returns a pointer to the lastArrival slot for (src, dst),
+// growing the table on first use.
+func (n *Mesh) pairSlot(src, dst int) *sim.Time {
+	for src >= len(n.lastArrival) {
+		n.lastArrival = append(n.lastArrival, nil)
+	}
+	row := n.lastArrival[src]
+	for dst >= len(row) {
+		row = append(row, 0)
+	}
+	n.lastArrival[src] = row
+	return &row[dst]
+}
+
+// Send implements Network.
+func (n *Mesh) Send(src, dst int, m Msg) {
+	lat := n.cfg.BaseLatency + n.cfg.HopLatency*sim.Time(n.Hops(src, dst))
+	arrive := n.k.Now() + lat
+	slot := n.pairSlot(src, dst)
+	if arrive <= *slot {
+		arrive = *slot + 1
+	}
+	*slot = arrive
+	n.stats.Messages++
+	n.stats.TotalLatency += uint64(arrive - n.k.Now())
+	n.cfg.Telemetry.observe(m, uint64(arrive-n.k.Now()))
+	n.inFlight++
+	if n.inFlight > n.stats.MaxQueued {
+		n.stats.MaxQueued = n.inFlight
+	}
+	n.cfg.Telemetry.QueueDepth.Observe(uint64(n.inFlight))
+	var d *meshDelivery
+	if l := len(n.free); l > 0 {
+		d = n.free[l-1]
+		n.free = n.free[:l-1]
+	} else {
+		d = &meshDelivery{n: n}
+		d.run = d.deliver
+	}
+	d.src, d.dst, d.m = src, dst, m
+	n.k.At(arrive, d.run)
+}
+
+// Stats implements Network.
+func (n *Mesh) Stats() Stats { return n.stats }
+
+// Err implements Network.
+func (n *Mesh) Err() error { return n.tab.err }
+
+var _ Network = (*Mesh)(nil)

@@ -1,0 +1,118 @@
+package network
+
+import (
+	"testing"
+
+	"weakorder/internal/sim"
+)
+
+func TestMeshHopLatency(t *testing.T) {
+	// 4x4 mesh: endpoint 0 at (0,0), endpoint 15 at (3,3) — 6 hops.
+	k := &sim.Kernel{}
+	n := NewMesh(k, MeshConfig{Width: 4, Height: 4, BaseLatency: 2, HopLatency: 3})
+	var got []arrival
+	n.Attach(15, collector(k, &got))
+	n.Send(0, 15, testMsg(0))
+	k.AdvanceTo(100)
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(got))
+	}
+	want := sim.Time(2 + 3*6)
+	if got[0].at != want {
+		t.Fatalf("arrival at %d, want %d (base 2 + 3 per hop * 6 hops)", got[0].at, want)
+	}
+	if s := n.Stats(); s.Messages != 1 || s.TotalLatency != uint64(want) {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	n := NewMesh(&sim.Kernel{}, MeshConfig{Width: 4, Height: 2})
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 0},  // same node
+		{0, 1, 1},  // one column over
+		{0, 3, 3},  // across the row
+		{0, 4, 1},  // one row down
+		{0, 7, 4},  // opposite corner: 3 + 1
+		{1, 6, 2},  // (1,0) -> (2,1)
+		{8, 1, 1},  // endpoint 8 wraps to node 0
+		{11, 0, 3}, // endpoint 11 wraps to node 3
+		{7, 15, 0}, // both wrap to node 7
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d, %d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestMeshPerPairFIFO(t *testing.T) {
+	// Same-pair messages arrive in send order even when sent at the same
+	// cycle (the lastArrival bump), matching General's OrderedPairs mode.
+	k := &sim.Kernel{}
+	n := NewMesh(k, MeshConfig{Width: 4, Height: 4, BaseLatency: 1, HopLatency: 1})
+	var got []arrival
+	n.Attach(1, collector(k, &got))
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, testMsg(i))
+	}
+	k.AdvanceTo(1000)
+	if len(got) != 10 {
+		t.Fatalf("deliveries = %d, want 10", len(got))
+	}
+	for i, d := range got {
+		if d.m != testMsg(i) {
+			t.Fatalf("delivery %d carried %v (FIFO violated)", i, d.m)
+		}
+		if i > 0 && got[i].at <= got[i-1].at {
+			t.Fatalf("delivery %d at %d not after %d", i, got[i].at, got[i-1].at)
+		}
+	}
+}
+
+func TestMeshDeterministicNoSeed(t *testing.T) {
+	// Two identical mesh runs produce identical arrival schedules; Reset
+	// replays the schedule on the same wiring.
+	run := func(n *Mesh, k *sim.Kernel, got *[]arrival) {
+		*got = (*got)[:0]
+		for i := 0; i < 8; i++ {
+			n.Send(i%3, 10+(i%4), testMsg(i))
+		}
+		k.AdvanceTo(k.Now() + 1000)
+	}
+	k := &sim.Kernel{}
+	n := NewMesh(k, MeshConfig{Width: 4, Height: 4, BaseLatency: 2, HopLatency: 2})
+	var got []arrival
+	for e := 10; e < 14; e++ {
+		n.Attach(e, collector(k, &got))
+	}
+	run(n, k, &got)
+	first := append([]arrival(nil), got...)
+
+	base := k.Now()
+	n.Reset()
+	run(n, k, &got)
+	if len(got) != len(first) {
+		t.Fatalf("replay deliveries = %d, want %d", len(got), len(first))
+	}
+	for i := range got {
+		if got[i].m != first[i].m || got[i].src != first[i].src || got[i].at-base != first[i].at {
+			t.Fatalf("replay delivery %d = %+v, first run %+v (base %d)", i, got[i], first[i], base)
+		}
+	}
+}
+
+func TestMeshUnattachedEndpointRecordsError(t *testing.T) {
+	k := &sim.Kernel{}
+	n := NewMesh(k, MeshConfig{Width: 2, Height: 2})
+	n.Send(0, 3, testMsg(0))
+	k.AdvanceTo(100)
+	if n.Err() == nil {
+		t.Fatal("expected wiring error for unattached endpoint")
+	}
+	if s := n.Stats(); s.Undeliverable != 1 {
+		t.Fatalf("Undeliverable = %d, want 1", s.Undeliverable)
+	}
+}

@@ -36,6 +36,57 @@ func Barrier(procs int) *program.Program { return litmus.Barrier(procs) }
 // amount of surrounding work.
 func Fig3(work int) *program.Program { return litmus.Figure3Work(work) }
 
+// Fig3Scaled scales the Figure 3 release/acquire scenario to procs
+// processors: every processor but the releaser first reads x (becoming a
+// sharer) and raises a per-processor ready flag; the releaser acquires
+// all flags, writes x — invalidating the procs-1 shared copies — and
+// releases s; the acquirer then reads x. The write's global performance
+// now waits on procs-1 invalidation acknowledgements, so Definition 1's
+// stall at the release grows with the machine while the Section 5.3
+// implementation's stays flat (the acquirer's forwarded request waits on
+// the reserve bit instead). DRF0 holds by construction: every sharer's
+// read is ordered before W(x) through its flag, and the acquirer's final
+// read after W(x) through s.
+func Fig3Scaled(procs int) *program.Program {
+	if procs < 3 {
+		procs = 3
+	}
+	b := program.NewBuilder(fmt.Sprintf("fig3scaled-%dp", procs))
+	x := b.Var("x")
+	s := b.Var("s")
+	out := b.Var("out")
+	flags := make([]mem.Addr, procs)
+	for i := 1; i < procs; i++ {
+		flags[i] = b.Var(fmt.Sprintf("f%d", i))
+	}
+
+	rel := b.NamedThread("releaser")
+	for i := 1; i < procs; i++ {
+		spin := fmt.Sprintf("wait%d", i)
+		rel.Label(spin)
+		rel.SyncLoad(program.R0, flags[i])
+		rel.BltImm(program.R0, 1, spin)
+	}
+	rel.StoreImm(x, 1)
+	rel.SyncStoreImm(s, 1)
+
+	acq := b.NamedThread("acquirer")
+	acq.Load(program.R1, x)
+	acq.SyncStoreImm(flags[1], 1)
+	acq.Label("acq")
+	acq.SyncLoad(program.R0, s)
+	acq.BltImm(program.R0, 1, "acq")
+	acq.Load(program.R2, x)
+	acq.Store(out, program.R2)
+
+	for i := 2; i < procs; i++ {
+		sh := b.NamedThread(fmt.Sprintf("sharer%d", i))
+		sh.Load(program.R0, x)
+		sh.SyncStoreImm(flags[i], 1)
+	}
+	return b.MustBuild()
+}
+
 // DataPerSync builds the sync-amortization workload: each processor
 // executes rounds of (dataOps independent data writes to its own shard of
 // a shared array, then one release/acquire on a per-neighbor flag). The

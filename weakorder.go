@@ -57,6 +57,7 @@ package weakorder
 
 import (
 	"weakorder/internal/axiom"
+	"weakorder/internal/cache"
 	"weakorder/internal/check"
 	"weakorder/internal/drf"
 	"weakorder/internal/faults"
@@ -233,7 +234,27 @@ const (
 	// Network is a general interconnection network (independent routing,
 	// variable latency).
 	Network = machine.TopoNetwork
+	// Mesh is a 2D mesh with deterministic XY routing and per-hop
+	// latency — the scalable big-machine interconnect.
+	Mesh = machine.TopoMesh
 )
+
+// Directory sharer representations (MachineConfig.DirMode).
+const (
+	// DirFullMap tracks exact sharers, one presence bit per processor —
+	// the default and the correctness reference.
+	DirFullMap = cache.DirFullMap
+	// DirLimitedPtr tracks up to MachineConfig.DirPointers sharers;
+	// overflow degrades the line to broadcast invalidation.
+	DirLimitedPtr = cache.DirLimitedPtr
+	// DirCoarseVector tracks one presence bit per group of
+	// MachineConfig.DirCoarseness processors.
+	DirCoarseVector = cache.DirCoarseVector
+)
+
+// ParseDirMode parses the CLI spelling of a directory mode: full,
+// limited, or coarse (empty = full).
+func ParseDirMode(s string) (cache.DirMode, error) { return cache.ParseDirMode(s) }
 
 // NewProgram returns a builder for a program with the given name.
 func NewProgram(name string) *ProgramBuilder { return program.NewBuilder(name) }
